@@ -1,0 +1,156 @@
+// E11 — implementation quality: raw transition throughput and end-to-end
+// simulation throughput (interactions/second) for every protocol family.
+// google-benchmark; items processed = interactions, so the report reads
+// directly in interactions/sec.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "analysis/workload.hpp"
+#include "baselines/approx_majority_3state.hpp"
+#include "baselines/exact_majority_4state.hpp"
+#include "baselines/pairwise_plurality.hpp"
+#include "core/circles_protocol.hpp"
+#include "extensions/tie_report.hpp"
+#include "extensions/unordered_circles.hpp"
+#include "pp/engine.hpp"
+#include "pp/silence.hpp"
+#include "pp/transition_cache.hpp"
+
+namespace {
+
+using namespace circles;
+
+/// Raw transition-function calls over a pseudo-random state stream.
+void run_transition_bench(benchmark::State& state,
+                          const pp::Protocol& protocol) {
+  util::Rng rng(1);
+  const auto num_states = protocol.num_states();
+  std::vector<pp::StateId> stream(4096);
+  for (auto& s : stream) {
+    s = static_cast<pp::StateId>(rng.uniform_below(num_states));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const pp::StateId a = stream[i & 4095];
+    const pp::StateId b = stream[(i + 1) & 4095];
+    benchmark::DoNotOptimize(protocol.transition(a, b));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TransitionCircles(benchmark::State& state) {
+  core::CirclesProtocol protocol(static_cast<std::uint32_t>(state.range(0)));
+  run_transition_bench(state, protocol);
+}
+BENCHMARK(BM_TransitionCircles)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TransitionTieReport(benchmark::State& state) {
+  ext::TieReportProtocol protocol(static_cast<std::uint32_t>(state.range(0)));
+  run_transition_bench(state, protocol);
+}
+BENCHMARK(BM_TransitionTieReport)->Arg(4)->Arg(16);
+
+void BM_TransitionPairwise(benchmark::State& state) {
+  baselines::PairwisePlurality protocol(
+      static_cast<std::uint32_t>(state.range(0)));
+  run_transition_bench(state, protocol);
+}
+BENCHMARK(BM_TransitionPairwise)->Arg(3)->Arg(5);
+
+void BM_TransitionUnordered(benchmark::State& state) {
+  ext::UnorderedCirclesProtocol protocol(
+      static_cast<std::uint32_t>(state.range(0)));
+  run_transition_bench(state, protocol);
+}
+BENCHMARK(BM_TransitionUnordered)->Arg(4)->Arg(8);
+
+/// End-to-end engine throughput: fixed interaction budget, silence stop off.
+void run_engine_bench(benchmark::State& state, const pp::Protocol& protocol,
+                      std::uint32_t n) {
+  util::Rng rng(2);
+  analysis::Workload w =
+      analysis::random_unique_winner(rng, n, protocol.num_colors());
+  const auto colors = w.agent_colors(rng);
+  constexpr std::uint64_t kBatch = 1 << 16;
+  for (auto _ : state) {
+    state.PauseTiming();
+    pp::Population population(protocol, colors);
+    auto scheduler =
+        pp::make_scheduler(pp::SchedulerKind::kUniformRandom, n, rng());
+    pp::EngineOptions options;
+    options.max_interactions = kBatch;
+    options.stop_when_silent = false;
+    pp::Engine engine(options);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        engine.run(protocol, population, *scheduler));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kBatch));
+}
+
+void BM_EngineCircles(benchmark::State& state) {
+  core::CirclesProtocol protocol(static_cast<std::uint32_t>(state.range(0)));
+  run_engine_bench(state, protocol,
+                   static_cast<std::uint32_t>(state.range(1)));
+}
+BENCHMARK(BM_EngineCircles)->Args({8, 256})->Args({8, 4096})->Args({32, 1024});
+
+void BM_EngineFourState(benchmark::State& state) {
+  baselines::ExactMajority4State protocol;
+  run_engine_bench(state, protocol,
+                   static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_EngineFourState)->Arg(1024);
+
+void BM_EngineApproxMajority(benchmark::State& state) {
+  baselines::ApproxMajority3State protocol;
+  run_engine_bench(state, protocol,
+                   static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_EngineApproxMajority)->Arg(1024);
+
+void BM_EnginePairwise(benchmark::State& state) {
+  baselines::PairwisePlurality protocol(
+      static_cast<std::uint32_t>(state.range(0)));
+  run_engine_bench(state, protocol, 256);
+}
+BENCHMARK(BM_EnginePairwise)->Arg(4);
+
+// Dense transition caching (pp::CachedProtocol): the pairwise baseline's
+// transitions decode O(k^2) digits; the cached variant is one array load.
+void BM_EnginePairwiseCached(benchmark::State& state) {
+  baselines::PairwisePlurality base(
+      static_cast<std::uint32_t>(state.range(0)));
+  pp::CachedProtocol protocol(base);
+  run_engine_bench(state, protocol, 256);
+}
+BENCHMARK(BM_EnginePairwiseCached)->Arg(4);
+
+void BM_EngineCirclesCached(benchmark::State& state) {
+  core::CirclesProtocol base(static_cast<std::uint32_t>(state.range(0)));
+  pp::CachedProtocol protocol(base);
+  run_engine_bench(state, protocol,
+                   static_cast<std::uint32_t>(state.range(1)));
+}
+BENCHMARK(BM_EngineCirclesCached)->Args({8, 256});
+
+/// Silence-check cost in isolation (it gates the engine's stop decision).
+void BM_SilenceCheck(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  core::CirclesProtocol protocol(k);
+  util::Rng rng(3);
+  analysis::Workload w = analysis::random_unique_winner(rng, 512, k);
+  const auto colors = w.agent_colors(rng);
+  pp::Population population(protocol, colors);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pp::is_silent(population, protocol));
+  }
+}
+BENCHMARK(BM_SilenceCheck)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+// Shared boilerplate for the experiment binaries (bench/exp_*.cpp).
+//
+// Every experiment binary prints a header naming the claim it reproduces,
+// one or more tables, and a PASS/FAIL verdict line that EXPERIMENTS.md
+// references. Binaries accept --trials/--seed style flags for deeper runs
+// but default to settings that finish in seconds.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace circles::bench {
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline int verdict(bool pass, const std::string& summary) {
+  std::printf("\n[%s] %s\n", pass ? "PASS" : "FAIL", summary.c_str());
+  return pass ? 0 : 1;
+}
+
+}  // namespace circles::bench

@@ -1,0 +1,98 @@
+// E9 — paper §4 ordering protocol: per-color leader election plus label
+// bumping generates an injective color -> label map with 2k^2 states, using
+// only color-equality comparisons. Measures stabilization cost and verifies
+// the invariants (one leader per color, distinct labels, synced followers).
+#include <map>
+#include <set>
+
+#include "analysis/workload.hpp"
+#include "exp_common.hpp"
+#include "extensions/ordering.hpp"
+#include "pp/engine.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace circles;
+
+bool ordering_valid(const ext::OrderingProtocol& protocol,
+                    const pp::Population& population) {
+  std::map<pp::ColorId, std::uint32_t> leader_label;
+  std::map<pp::ColorId, std::uint64_t> leaders;
+  for (const pp::StateId s : population.present_states()) {
+    const auto f = protocol.decode(s);
+    if (f.leader) {
+      leaders[f.color] += population.count(s);
+      leader_label[f.color] = f.label;
+    }
+  }
+  std::set<std::uint32_t> labels;
+  for (const auto& [color, count] : leaders) {
+    if (count != 1) return false;
+    if (!labels.insert(leader_label[color]).second) return false;
+  }
+  for (const pp::StateId s : population.present_states()) {
+    const auto f = protocol.decode(s);
+    if (!f.leader) {
+      auto it = leader_label.find(f.color);
+      if (it == leader_label.end() || it->second != f.label) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto trials = static_cast<int>(cli.int_flag("trials", 6, "trials per cell"));
+  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 9, "rng seed"));
+  cli.finish();
+
+  bench::print_header("E9",
+                      "paper §4 — ordering protocol: injective labels from "
+                      "equality-only color comparisons, 2k^2 states");
+
+  util::Rng rng(seed);
+  util::Table table({"k", "n", "states 2k^2", "valid orderings",
+                     "mean interactions", "p90 interactions"});
+  bool all_valid = true;
+
+  for (const std::uint32_t k : {2u, 4u, 8u, 16u}) {
+    ext::OrderingProtocol protocol(k);
+    for (const std::uint64_t n : {16ull, 64ull}) {
+      int valid = 0;
+      std::vector<double> interactions;
+      for (int t = 0; t < trials; ++t) {
+        const analysis::Workload w = analysis::random_counts(rng, n, k);
+        util::Rng trial_rng(rng());
+        const auto colors = w.agent_colors(trial_rng);
+        pp::Population population(protocol, colors);
+        auto scheduler = pp::make_scheduler(
+            pp::SchedulerKind::kUniformRandom,
+            static_cast<std::uint32_t>(colors.size()), trial_rng());
+        pp::Engine engine;
+        const auto result = engine.run(protocol, population, *scheduler);
+        if (result.silent && ordering_valid(protocol, population)) ++valid;
+        interactions.push_back(static_cast<double>(result.interactions));
+      }
+      all_valid = all_valid && valid == trials;
+      const auto s = util::summarize(interactions);
+      table.add_row({util::Table::num(std::uint64_t{k}), util::Table::num(n),
+                     util::Table::num(protocol.num_states()),
+                     util::Table::percent(double(valid) / trials, 0),
+                     util::Table::num(s.mean, 0),
+                     util::Table::num(s.p90, 0)});
+    }
+  }
+  table.print("ordering stabilization (uniform scheduler)");
+  std::printf("\n(the label-bump move graph is proven acyclic for <= k "
+              "leaders by exhaustive\nsearch in ext_ordering_test — this "
+              "table adds the dynamic view)\n");
+  return bench::verdict(all_valid,
+                        all_valid ? "every run stabilized to one leader per "
+                                    "color with distinct labels"
+                                  : "an ordering run failed");
+}

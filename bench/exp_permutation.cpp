@@ -1,0 +1,70 @@
+// E13 — ablation on the energy design: Circles' weight function is the
+// cyclic numeric distance between colors, so relabeling the colors (same
+// count multiset, permuted ids) changes the energy landscape and thus the
+// work performed — but never the correctness or the (relabeled) winner.
+// This probes how load-bearing the "numeric representation" assumption is,
+// which is exactly what §4's unordered extension must replace.
+#include <vector>
+
+#include "analysis/trial.hpp"
+#include "analysis/workload.hpp"
+#include "core/circles_protocol.hpp"
+#include "exp_common.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace circles;
+  util::Cli cli(argc, argv);
+  const auto permutations =
+      static_cast<int>(cli.int_flag("permutations", 20, "relabelings per workload"));
+  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 12, "rng seed"));
+  cli.finish();
+
+  bench::print_header("E13",
+                      "ablation — color relabeling changes the work (weights "
+                      "are numeric distances) but never the answer");
+
+  util::Rng rng(seed);
+  util::Table table({"k", "n", "relabelings", "all correct",
+                     "min exchanges", "mean exchanges", "max exchanges",
+                     "max/min"});
+  bool all_correct = true;
+  bool spread_observed = false;
+
+  for (const std::uint32_t k : {6u, 12u}) {
+    core::CirclesProtocol protocol(k);
+    const std::uint64_t n = 60;
+    const analysis::Workload base = analysis::zipf(rng, n, k, 1.3);
+    std::vector<double> exchanges;
+    int correct = 0;
+    for (int p = 0; p < permutations; ++p) {
+      const analysis::Workload w =
+          p == 0 ? base : analysis::permute_colors(rng, base);
+      analysis::TrialOptions options;
+      options.seed = 777;  // same schedule stream for every relabeling
+      const auto outcome = analysis::run_circles_trial(protocol, w, options);
+      correct += outcome.trial.correct ? 1 : 0;
+      exchanges.push_back(static_cast<double>(outcome.ket_exchanges));
+    }
+    all_correct = all_correct && correct == permutations;
+    const auto s = util::summarize(exchanges);
+    if (s.max > s.min) spread_observed = true;
+    table.add_row(
+        {util::Table::num(std::uint64_t{k}), util::Table::num(n),
+         util::Table::num(std::int64_t{permutations}),
+         util::Table::percent(double(correct) / permutations, 0),
+         util::Table::num(s.min, 0), util::Table::num(s.mean, 0),
+         util::Table::num(s.max, 0),
+         util::Table::num(s.min > 0 ? s.max / s.min : 0.0, 2)});
+  }
+  table.print("exchange counts across color relabelings (same counts, same "
+              "schedule stream)");
+  const bool pass = all_correct && spread_observed;
+  return bench::verdict(pass,
+                        pass ? "correctness is relabeling-invariant; the "
+                               "amount of work is not — the numeric color "
+                               "representation is load-bearing for cost only"
+                             : "unexpected pattern");
+}

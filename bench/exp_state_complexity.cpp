@@ -1,0 +1,112 @@
+// E5 — the headline table: state complexity of relative-majority protocols.
+// Circles' k^3 against the prior O(k^7) upper bound [Gąsieniec et al. 2017],
+// the Ω(k^2) lower bound [Natale & Ramezani 2019], this repository's
+// baselines/extensions, and — as a reality check — the number of distinct
+// states a real execution actually occupies.
+#include <set>
+
+#include "analysis/workload.hpp"
+#include "baselines/state_complexity.hpp"
+#include "core/circles_protocol.hpp"
+#include "exp_common.hpp"
+#include "pp/engine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace circles;
+
+/// Counts distinct states ever occupied during one run.
+class UsedStatesMonitor final : public pp::Monitor {
+ public:
+  void on_start(const pp::Population& population,
+                const pp::Protocol&) override {
+    for (const pp::StateId s : population.present_states()) seen_.insert(s);
+  }
+  void on_interaction(const pp::InteractionEvent& event,
+                      const pp::Population&) override {
+    seen_.insert(event.initiator_after);
+    seen_.insert(event.responder_after);
+  }
+  std::size_t used() const { return seen_.size(); }
+
+ private:
+  std::set<pp::StateId> seen_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 5, "rng seed"));
+  cli.finish();
+
+  bench::print_header("E5",
+                      "state complexity — k^3 vs O(k^7) vs Omega(k^2) and "
+                      "every protocol in this repository");
+
+  {
+    util::Table table({"k", "circles k^3", "GHMSS16 k^7", "lower bound k^2",
+                       "pairwise baseline", "tie_report 2k^2(k+1)",
+                       "ordering 2k^2", "unordered 2k^4"});
+    for (const std::uint32_t k : {2u, 3u, 4u, 5u, 6u, 8u, 12u, 16u, 24u, 32u}) {
+      const auto rows = baselines::state_complexity_table(k);
+      auto find = [&](const std::string& name) -> std::string {
+        for (const auto& row : rows) {
+          if (row.protocol == name) {
+            return row.states == 0 ? "> 2^64" : util::Table::num(row.states);
+          }
+        }
+        return "-";
+      };
+      table.add_row({util::Table::num(std::uint64_t{k}), find("circles"),
+                     find("GHMSS16 upper bound (literature)"),
+                     find("lower bound (literature)"),
+                     find("pairwise_plurality"), find("tie_report"),
+                     find("ordering"), find("unordered_circles")});
+    }
+    table.print("protocol state counts (paper: k^3 closes most of the "
+                "k^7 -> k^2 gap)");
+  }
+
+  // States actually touched by an execution: far fewer than k^3, because an
+  // agent's bra is fixed and outputs trail the winner — context for why the
+  // definition-level count is the right metric (worst case over inputs).
+  {
+    util::Table table({"k", "n", "k^3", "states occupied in one run",
+                       "occupancy"});
+    util::Rng rng(seed);
+    bool sane = true;
+    for (const std::uint32_t k : {4u, 8u, 16u}) {
+      core::CirclesProtocol protocol(k);
+      const std::uint64_t n = 128;
+      const analysis::Workload w = analysis::random_unique_winner(rng, n, k);
+      UsedStatesMonitor used;
+      pp::Monitor* monitors[] = {&used};
+      util::Rng trial_rng(rng());
+      const auto colors = w.agent_colors(trial_rng);
+      pp::Population population(protocol, colors);
+      auto scheduler = pp::make_scheduler(
+          pp::SchedulerKind::kUniformRandom,
+          static_cast<std::uint32_t>(colors.size()), trial_rng());
+      pp::Engine engine;
+      engine.run(protocol, population, *scheduler,
+                 std::span<pp::Monitor* const>(monitors, 1));
+      sane = sane && used.used() <= protocol.num_states();
+      table.add_row(
+          {util::Table::num(std::uint64_t{k}), util::Table::num(n),
+           util::Table::num(protocol.num_states()),
+           util::Table::num(static_cast<std::uint64_t>(used.used())),
+           util::Table::percent(double(used.used()) /
+                                    double(protocol.num_states()),
+                                1)});
+    }
+    table.print("state-space occupancy of actual runs");
+    if (!sane) return bench::verdict(false, "occupancy exceeded k^3?!");
+  }
+
+  return bench::verdict(true,
+                        "k^3 < k^7 for all k >= 2; all implementation counts "
+                        "match their closed forms (also unit-tested)");
+}

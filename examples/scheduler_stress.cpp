@@ -1,0 +1,52 @@
+// "All possible sequences of interactions": Circles' correctness claim
+// quantifies over every weakly fair schedule. This example runs the same
+// election under all five schedulers in the zoo — including an adversary
+// that actively delays progress — and shows that
+//   (a) every run converges to the same winner, and
+//   (b) every run stabilizes to the *identical* bra-ket multiset
+//       (Lemma 3.6: the stable configuration depends only on the counts).
+#include <cstdio>
+
+#include "analysis/trial.hpp"
+#include "analysis/workload.hpp"
+#include "core/circles_protocol.hpp"
+#include "core/decomposition.hpp"
+#include "core/greedy_sets.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace circles;
+
+  const std::uint32_t k = 4;
+  core::CirclesProtocol protocol(k);
+  analysis::Workload w;
+  w.counts = {7, 5, 6, 2};  // winner: color 0
+
+  std::printf("counts=%s; predicted stable bra-kets: %s\n\n",
+              w.to_string().c_str(),
+              core::predict_stable_brakets(w.counts).to_string().c_str());
+
+  util::Table table({"scheduler", "winner", "interactions", "ket exchanges",
+                     "decomposition"});
+  bool all_ok = true;
+  for (const pp::SchedulerKind kind : pp::kAllSchedulerKinds) {
+    analysis::TrialOptions options;
+    options.scheduler = kind;
+    options.seed = 4242;
+    const auto outcome = analysis::run_circles_trial(protocol, w, options);
+    all_ok = all_ok && outcome.trial.correct && outcome.decomposition_matches;
+    table.add_row(
+        {pp::to_string(kind),
+         outcome.trial.consensus.has_value()
+             ? "c" + std::to_string(*outcome.trial.consensus)
+             : "<none>",
+         util::Table::num(outcome.trial.run.interactions),
+         util::Table::num(outcome.ket_exchanges),
+         outcome.decomposition_matches ? "exact" : "MISMATCH"});
+  }
+  table.print("one election, five schedulers");
+  std::printf("\nThe adversarial scheduler prefers null interactions and only "
+              "honors weak\nfairness through forced round-robin steps — "
+              "Circles still cannot be fooled.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Sensor-network scenario (the model's original motivation: Angluin et al.'s
+// passively mobile finite-state sensors): 200 sensors each observed one of 5
+// failure codes and must agree on the most frequent code, using 125 states
+// of memory each — no ids, no routing, just chance pairwise radio contacts.
+//
+// Two deployments are compared:
+//  * well-mixed: any two sensors may meet (uniform scheduler);
+//  * two-room:  sensors are split across two rooms; only 1% of contacts
+//               cross the corridor (clustered scheduler). Information mixes
+//               slowly, but weak fairness still holds, so Circles still
+//               converges to the right answer — it just takes longer.
+#include <cstdio>
+
+#include "analysis/trial.hpp"
+#include "analysis/workload.hpp"
+#include "core/circles_protocol.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace circles;
+
+  const std::uint32_t k = 5;
+  const std::uint64_t n = 200;
+  core::CirclesProtocol protocol(k);
+
+  util::Rng rng(2025);
+  const analysis::Workload readings = analysis::zipf(rng, n, k, 1.1);
+  std::printf("failure-code histogram: %s\n", readings.to_string().c_str());
+  std::printf("ground-truth plurality code: %u\n", *readings.winner());
+  std::printf("per-sensor memory: %llu states (= k^3)\n\n",
+              static_cast<unsigned long long>(protocol.num_states()));
+
+  util::Table table({"deployment", "correct", "interactions to silence",
+                     "ket exchanges"});
+  for (const auto kind : {pp::SchedulerKind::kUniformRandom,
+                          pp::SchedulerKind::kClustered}) {
+    analysis::TrialOptions options;
+    options.scheduler = kind;
+    options.seed = rng();
+    const auto outcome = analysis::run_circles_trial(protocol, readings,
+                                                     options);
+    table.add_row({kind == pp::SchedulerKind::kUniformRandom ? "well-mixed"
+                                                             : "two-room",
+                   outcome.trial.correct ? "yes" : "NO",
+                   util::Table::num(outcome.trial.run.interactions),
+                   util::Table::num(outcome.ket_exchanges)});
+    if (!outcome.trial.correct) return 1;
+  }
+  table.print("sensor-network plurality consensus");
+  std::printf("\nNote: Lemma 3.6 fixes the stable configuration regardless of "
+              "topology;\nthe deployment only changes how long the scheduler "
+              "takes to find the\nproductive meetings (and along which path "
+              "the kets travel there).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Tie handling (paper §4): the brief announcement sketches three semantics —
+// tie report, tie break, tie share. This example demonstrates all three:
+//
+//  * TieReportProtocol — the O(k^3) retractor construction layered on
+//    Circles (our concretization of the paper's "special state" sketch);
+//  * TieAwarePairwise  — exact pairwise-game prototypes for report/break/
+//    share semantics (exponential states, small k; see DESIGN.md).
+#include <cstdio>
+#include <vector>
+
+#include "analysis/trial.hpp"
+#include "analysis/workload.hpp"
+#include "extensions/tie_aware_pairwise.hpp"
+#include "extensions/tie_report.hpp"
+#include "pp/engine.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace circles;
+
+void demo_tie_report(const analysis::Workload& w, const char* label) {
+  ext::TieReportProtocol protocol(w.k());
+  analysis::TrialOptions options;
+  options.seed = 31337;
+  const auto winner = w.winner();
+  const pp::OutputSymbol expected =
+      winner.has_value() ? *winner : protocol.tie_symbol();
+  const auto outcome = analysis::run_trial(protocol, w, options, {}, expected);
+  std::printf("  %-28s counts=%s -> all agents output %s (%s)\n", label,
+              w.to_string().c_str(),
+              outcome.consensus.has_value()
+                  ? protocol.output_name(*outcome.consensus).c_str()
+                  : "<no consensus>",
+              outcome.correct ? "correct" : "WRONG");
+}
+
+void demo_semantics(const analysis::Workload& w) {
+  std::printf("  counts=%s:\n", w.to_string().c_str());
+  for (const auto semantics : {ext::TieSemantics::kReport,
+                               ext::TieSemantics::kBreak,
+                               ext::TieSemantics::kShare}) {
+    ext::TieAwarePairwise protocol(w.k(), semantics);
+    util::Rng rng(99);
+    const auto colors = w.agent_colors(rng);
+    pp::Population population(protocol, colors);
+    auto scheduler = pp::make_scheduler(
+        pp::SchedulerKind::kUniformRandom,
+        static_cast<std::uint32_t>(colors.size()), rng());
+    pp::Engine engine;
+    engine.run(protocol, population, *scheduler);
+    // Summarize what each input color's agents now announce.
+    std::printf("    %-7s:", to_string(semantics).c_str());
+    for (pp::ColorId c = 0; c < w.k(); ++c) {
+      if (w.counts[c] == 0) continue;
+      // Find one agent with that input color and read its output.
+      for (std::size_t i = 0; i < colors.size(); ++i) {
+        if (colors[i] == c) {
+          std::printf("  c%u agents say %s", c,
+                      protocol.output_name(
+                          protocol.output(population.state(
+                              static_cast<pp::AgentId>(i)))).c_str());
+          break;
+        }
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace circles;
+  util::Rng rng(1);
+
+  std::printf("== TieReport: Circles + retractors, 2k^2(k+1) states ==\n");
+  {
+    analysis::Workload no_tie;
+    no_tie.counts = {5, 3, 2};
+    demo_tie_report(no_tie, "unique winner");
+  }
+  {
+    analysis::Workload two_way;
+    two_way.counts = {4, 4, 2};
+    demo_tie_report(two_way, "two-way tie");
+  }
+  {
+    analysis::Workload all_tied;
+    all_tied.counts = {3, 3, 3};
+    demo_tie_report(all_tied, "three-way tie");
+  }
+  {
+    const analysis::Workload near = analysis::close_margin(rng, 11, 3);
+    demo_tie_report(near, "margin-1 near-tie (no tie!)");
+  }
+
+  std::printf("\n== Tie semantics on a two-way tie (pairwise prototypes) ==\n");
+  analysis::Workload tie;
+  tie.counts = {4, 4, 1};
+  demo_semantics(tie);
+
+  std::printf("\n'share' lets each winning color keep its own agents while "
+              "losers adopt a winner;\n'break' makes everyone agree on one "
+              "winner; 'report' surfaces the tie itself.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "analysis/trial.hpp"
+
+#include <array>
+#include <memory>
+
+#include "core/decomposition.hpp"
+#include "core/invariants.hpp"
+#include "util/check.hpp"
+
+namespace circles::analysis {
+
+namespace {
+
+std::optional<pp::OutputSymbol> histogram_consensus(
+    const std::vector<std::uint64_t>& histogram) {
+  std::optional<pp::OutputSymbol> symbol;
+  for (pp::OutputSymbol s = 0; s < histogram.size(); ++s) {
+    if (histogram[s] == 0) continue;
+    if (symbol.has_value()) return std::nullopt;
+    symbol = s;
+  }
+  return symbol;
+}
+
+/// Shared core: build population, run, grade. Returns the final population
+/// through `final_population` when the caller needs to inspect it.
+TrialOutcome run_graded(const pp::Protocol& protocol, const Workload& workload,
+                        const TrialOptions& options,
+                        std::span<pp::Monitor* const> monitors,
+                        std::optional<pp::OutputSymbol> expected_symbol,
+                        std::unique_ptr<pp::Population>* final_population) {
+  CIRCLES_CHECK_MSG(workload.k() == protocol.num_colors(),
+                    "workload color count does not match the protocol");
+  util::Rng rng(options.seed);
+  const auto colors = workload.agent_colors(rng);
+  CIRCLES_CHECK_MSG(colors.size() >= 2, "trials need at least two agents");
+
+  auto population = std::make_unique<pp::Population>(protocol, colors);
+  auto scheduler = pp::make_scheduler(
+      options.scheduler, static_cast<std::uint32_t>(colors.size()),
+      rng.split()(), &protocol);
+
+  pp::Engine engine(options.engine);
+  TrialOutcome outcome;
+  outcome.run = engine.run(protocol, *population, *scheduler, monitors);
+  outcome.expected_winner = workload.winner();
+  outcome.consensus = histogram_consensus(outcome.run.final_outputs);
+
+  const std::optional<pp::OutputSymbol> target =
+      expected_symbol.has_value()
+          ? expected_symbol
+          : (outcome.expected_winner.has_value()
+                 ? std::optional<pp::OutputSymbol>(*outcome.expected_winner)
+                 : std::nullopt);
+  outcome.correct = outcome.run.silent && target.has_value() &&
+                    outcome.consensus == target;
+
+  if (final_population != nullptr) *final_population = std::move(population);
+  return outcome;
+}
+
+}  // namespace
+
+TrialOutcome run_trial(const pp::Protocol& protocol, const Workload& workload,
+                       const TrialOptions& options,
+                       std::span<pp::Monitor* const> monitors,
+                       std::optional<pp::OutputSymbol> expected_symbol) {
+  return run_graded(protocol, workload, options, monitors, expected_symbol,
+                    nullptr);
+}
+
+CirclesTrialOutcome run_circles_trial(const core::CirclesProtocol& protocol,
+                                      const Workload& workload,
+                                      const TrialOptions& options) {
+  core::CirclesBraKetView view(protocol);
+  core::KetExchangeCounter exchanges(view);
+  core::BraKetInvariantMonitor invariant(view);
+  core::PotentialDescentMonitor potential(view);
+  std::array<pp::Monitor*, 3> monitors{&exchanges, &invariant, &potential};
+
+  std::unique_ptr<pp::Population> population;
+  CirclesTrialOutcome outcome;
+  outcome.trial = run_graded(
+      protocol, workload, options,
+      std::span<pp::Monitor* const>(monitors.data(), monitors.size()),
+      std::nullopt, &population);
+
+  outcome.ket_exchanges = exchanges.exchanges();
+  outcome.diagonal_creations = exchanges.diagonal_creations();
+  outcome.diagonal_destructions = exchanges.diagonal_destructions();
+  outcome.braket_invariant_violations = invariant.violations();
+  outcome.potential_descent_violations = potential.descent_violations();
+  outcome.scalar_energy_increases = potential.scalar_energy_increases();
+  outcome.decomposition_matches =
+      core::verify_decomposition(*population, protocol, workload.counts)
+          .matches;
+  return outcome;
+}
+
+}  // namespace circles::analysis

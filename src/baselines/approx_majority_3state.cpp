@@ -1,0 +1,41 @@
+#include "baselines/approx_majority_3state.hpp"
+
+#include "util/check.hpp"
+
+namespace circles::baselines {
+
+pp::StateId ApproxMajority3State::input(pp::ColorId color) const {
+  CIRCLES_DCHECK(color < 2);
+  return color == 0 ? kX : kY;
+}
+
+pp::OutputSymbol ApproxMajority3State::output(pp::StateId state) const {
+  return state == kY ? 1 : 0;
+}
+
+pp::Transition ApproxMajority3State::transition(pp::StateId initiator,
+                                                pp::StateId responder) const {
+  const bool init_vote = initiator == kX || initiator == kY;
+  const bool resp_vote = responder == kX || responder == kY;
+  if (init_vote && resp_vote && initiator != responder) {
+    return {initiator, kBlank};
+  }
+  if (init_vote && responder == kBlank) return {initiator, initiator};
+  if (resp_vote && initiator == kBlank) return {responder, responder};
+  return {initiator, responder};
+}
+
+std::string ApproxMajority3State::state_name(pp::StateId state) const {
+  switch (state) {
+    case kX:
+      return "X";
+    case kY:
+      return "Y";
+    case kBlank:
+      return "B";
+    default:
+      return "invalid";
+  }
+}
+
+}  // namespace circles::baselines

@@ -1,0 +1,36 @@
+// The 3-state approximate majority protocol (Angluin–Aspnes–Eisenstat 2008)
+// for k = 2. Converges in O(n log n) interactions under the uniform random
+// scheduler but is only correct with high probability — for small margins it
+// decides the *minority* with non-negligible probability. Experiment E12
+// measures that error rate; the contrast motivates always-correct protocols
+// like Circles.
+//
+// States: X (vote 0), Y (vote 1), B (blank).
+//   X + Y -> initiator keeps its vote, responder goes blank
+//   vote + B -> blank adopts the vote
+#pragma once
+
+#include "pp/protocol.hpp"
+
+namespace circles::baselines {
+
+class ApproxMajority3State final : public pp::Protocol {
+ public:
+  static constexpr pp::StateId kX = 0;
+  static constexpr pp::StateId kY = 1;
+  static constexpr pp::StateId kBlank = 2;
+
+  std::uint64_t num_states() const override { return 3; }
+  std::uint32_t num_colors() const override { return 2; }
+  pp::StateId input(pp::ColorId color) const override;
+  /// Blank agents report color 0 by convention; all measured final
+  /// configurations are uniform X or uniform Y, so the convention never
+  /// affects a converged result.
+  pp::OutputSymbol output(pp::StateId state) const override;
+  pp::Transition transition(pp::StateId initiator,
+                            pp::StateId responder) const override;
+  std::string name() const override { return "approx_majority_3state"; }
+  std::string state_name(pp::StateId state) const override;
+};
+
+}  // namespace circles::baselines

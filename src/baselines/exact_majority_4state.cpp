@@ -1,0 +1,63 @@
+#include "baselines/exact_majority_4state.hpp"
+
+#include "util/check.hpp"
+
+namespace circles::baselines {
+
+pp::StateId ExactMajority4State::input(pp::ColorId color) const {
+  CIRCLES_DCHECK(color < 2);
+  return color == 0 ? kStrong0 : kStrong1;
+}
+
+pp::OutputSymbol ExactMajority4State::output(pp::StateId state) const {
+  switch (state) {
+    case kStrong0:
+    case kWeak0:
+      return 0;
+    case kStrong1:
+    case kWeak1:
+      return 1;
+    default:
+      CIRCLES_CHECK_MSG(false, "invalid 4-state id");
+      return 0;
+  }
+}
+
+pp::Transition ExactMajority4State::transition(pp::StateId initiator,
+                                               pp::StateId responder) const {
+  auto is_strong = [](pp::StateId s) { return s == kStrong0 || s == kStrong1; };
+  auto color_of = [this](pp::StateId s) { return output(s); };
+
+  if (is_strong(initiator) && is_strong(responder) &&
+      color_of(initiator) != color_of(responder)) {
+    // Cancellation: each vote becomes a follower of its own color.
+    return {initiator == kStrong0 ? kWeak0 : kWeak1,
+            responder == kStrong0 ? kWeak0 : kWeak1};
+  }
+  if (is_strong(initiator) && !is_strong(responder) &&
+      color_of(responder) != color_of(initiator)) {
+    return {initiator, color_of(initiator) == 0 ? kWeak0 : kWeak1};
+  }
+  if (is_strong(responder) && !is_strong(initiator) &&
+      color_of(initiator) != color_of(responder)) {
+    return {color_of(responder) == 0 ? kWeak0 : kWeak1, responder};
+  }
+  return {initiator, responder};
+}
+
+std::string ExactMajority4State::state_name(pp::StateId state) const {
+  switch (state) {
+    case kStrong0:
+      return "S0";
+    case kStrong1:
+      return "S1";
+    case kWeak0:
+      return "w0";
+    case kWeak1:
+      return "w1";
+    default:
+      return "invalid";
+  }
+}
+
+}  // namespace circles::baselines

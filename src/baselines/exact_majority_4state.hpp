@@ -1,0 +1,38 @@
+// Classic 4-state always-correct exact majority for k = 2 (cancel/convert
+// design of Mertzios et al. / Gąsieniec et al.). Serves as the historical
+// baseline the plurality literature generalizes: Circles restricted to k = 2
+// competes against this protocol in the comparison experiments.
+//
+// States: STRONG_c ("an uncancelled vote for c") and WEAK_c ("a follower
+// currently believing c"), c ∈ {0, 1}.
+//   STRONG_0 + STRONG_1 -> WEAK_0 + WEAK_1   (votes cancel)
+//   STRONG_c + WEAK_¬c  -> STRONG_c + WEAK_c (winner converts followers)
+// With no tie, #STRONG_0 − #STRONG_1 is invariant under cancellation, so
+// only majority-color strong agents survive and convert every follower:
+// always correct under weak fairness, reaching a silent configuration.
+// On ties all strong agents cancel and mixed followers freeze — the protocol
+// cannot decide ties, which is exactly why the tie experiments exist.
+#pragma once
+
+#include "pp/protocol.hpp"
+
+namespace circles::baselines {
+
+class ExactMajority4State final : public pp::Protocol {
+ public:
+  static constexpr pp::StateId kStrong0 = 0;
+  static constexpr pp::StateId kStrong1 = 1;
+  static constexpr pp::StateId kWeak0 = 2;
+  static constexpr pp::StateId kWeak1 = 3;
+
+  std::uint64_t num_states() const override { return 4; }
+  std::uint32_t num_colors() const override { return 2; }
+  pp::StateId input(pp::ColorId color) const override;
+  pp::OutputSymbol output(pp::StateId state) const override;
+  pp::Transition transition(pp::StateId initiator,
+                            pp::StateId responder) const override;
+  std::string name() const override { return "exact_majority_4state"; }
+  std::string state_name(pp::StateId state) const override;
+};
+
+}  // namespace circles::baselines

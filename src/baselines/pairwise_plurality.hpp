@@ -1,0 +1,89 @@
+// Always-correct deterministic exact plurality via a product of pairwise
+// cancel/convert games — the comparator standing in for the O(k^7)
+// construction of Gąsieniec et al. (see DESIGN.md, substitution 1).
+//
+// Every unordered color pair {i, j} hosts an independent majority game.
+// An agent of color c is a *player* in the k−1 games containing c and a
+// *spectator* in the rest:
+//   player sub-state:    STRONG (uncancelled vote for c), or WEAK believing
+//                        i or j (3 values);
+//   spectator sub-state: believes i or j (2 values).
+// Game rules (independently per game, on every interaction):
+//   STRONG_i + STRONG_j          -> both WEAK, each believing its own color
+//   STRONG_x + WEAK/spectator ¬x -> the other now believes x
+//   anything else                -> null (so tied games freeze silently)
+//
+// The plurality winner μ satisfies m_μ > m_j for every j, so every game
+// {μ, j} resolves to μ: eventually every agent believes μ in all k−1 of μ's
+// games. Games between two losers may tie and freeze with mixed beliefs,
+// which is harmless: the output scans colors in ascending order for one that
+// wins all its games in the agent's view, and μ is eventually the unique
+// such color in every view (every other color loses its game against μ).
+//
+// State count: k · 3^(k−1) · 2^((k−1)(k−2)/2) — exponential in k, against
+// Circles' k^3. The state-complexity table (E5) and convergence comparison
+// (E6) quantify the gap. Capped at k <= 6 (~1.5M states).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/protocol.hpp"
+
+namespace circles::baselines {
+
+class PairwisePlurality final : public pp::Protocol {
+ public:
+  explicit PairwisePlurality(std::uint32_t k);
+
+  std::uint64_t num_states() const override { return num_states_; }
+  std::uint32_t num_colors() const override { return k_; }
+  pp::StateId input(pp::ColorId color) const override;
+  pp::OutputSymbol output(pp::StateId state) const override;
+  pp::Transition transition(pp::StateId initiator,
+                            pp::StateId responder) const override;
+  std::string name() const override { return "pairwise_plurality"; }
+  std::string state_name(pp::StateId state) const override;
+
+  std::uint32_t k() const { return k_; }
+  std::uint32_t num_games() const { return static_cast<std::uint32_t>(games_.size()); }
+
+  /// The closed-form state count (also valid for k beyond the runnable cap,
+  /// until it overflows uint64 at k = 11).
+  static std::uint64_t state_count_formula(std::uint32_t k);
+
+  // --- decoded representation, exposed for tests ---
+  enum class PlayerSub : std::uint8_t { kStrong = 0, kWeakLo = 1, kWeakHi = 2 };
+  enum class SpectatorSub : std::uint8_t { kBelieveLo = 0, kBelieveHi = 1 };
+
+  struct Decoded {
+    pp::ColorId color;
+    // For each game index g: if the agent plays game g, player[g] is
+    // meaningful; otherwise spectator[g] is. The other entry is zero.
+    std::vector<std::uint8_t> sub;  // raw digit per game
+  };
+  Decoded decode(pp::StateId state) const;
+  pp::StateId encode(const Decoded& decoded) const;
+
+  struct Game {
+    pp::ColorId lo;
+    pp::ColorId hi;
+  };
+  const Game& game(std::uint32_t index) const { return games_[index]; }
+  bool plays(pp::ColorId color, std::uint32_t game_index) const;
+
+  /// The color this agent currently believes wins game `game_index`.
+  pp::ColorId belief(const Decoded& decoded, std::uint32_t game_index) const;
+
+ private:
+  std::uint32_t radix(pp::ColorId color, std::uint32_t game_index) const {
+    return plays(color, game_index) ? 3 : 2;
+  }
+
+  std::uint32_t k_;
+  std::vector<Game> games_;
+  std::uint64_t per_color_states_;
+  std::uint64_t num_states_;
+};
+
+}  // namespace circles::baselines

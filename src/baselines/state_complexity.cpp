@@ -1,0 +1,77 @@
+#include "baselines/state_complexity.hpp"
+
+#include "baselines/pairwise_plurality.hpp"
+#include "util/check.hpp"
+
+namespace circles::baselines {
+
+namespace {
+/// k^e with saturation to 0 on overflow (0 is otherwise impossible: k >= 1).
+std::uint64_t pow_or_zero(std::uint32_t k, std::uint32_t e) {
+  std::uint64_t out = 1;
+  for (std::uint32_t i = 0; i < e; ++i) {
+    if (out > ~std::uint64_t{0} / k) return 0;
+    out *= k;
+  }
+  return out;
+}
+}  // namespace
+
+std::uint64_t circles_states(std::uint32_t k) { return pow_or_zero(k, 3); }
+
+std::uint64_t tie_report_states(std::uint32_t k) {
+  return 2 * pow_or_zero(k, 2) * (k + 1);
+}
+
+std::uint64_t ordering_states(std::uint32_t k) { return 2 * pow_or_zero(k, 2); }
+
+std::uint64_t unordered_circles_states(std::uint32_t k) {
+  return 2 * pow_or_zero(k, 4);
+}
+
+std::uint64_t ghmss_upper_bound(std::uint32_t k) { return pow_or_zero(k, 7); }
+
+std::uint64_t plurality_lower_bound(std::uint32_t k) {
+  return pow_or_zero(k, 2);
+}
+
+std::vector<StateComplexityRow> state_complexity_table(std::uint32_t k) {
+  CIRCLES_CHECK(k >= 1);
+  std::vector<StateComplexityRow> rows;
+  rows.push_back({"circles", circles_states(k), "k^3", true, 0});
+  rows.push_back({"pairwise_plurality",
+                  k <= 10 ? PairwisePlurality::state_count_formula(k) : 0,
+                  "k*3^(k-1)*2^((k-1)(k-2)/2)", true, 6});
+  rows.push_back({"exact_majority_4state", 4, "4 (k=2 only)", true, 2});
+  rows.push_back(
+      {"approx_majority_3state", 3, "3 (k=2 only, w.h.p.)", false, 2});
+  rows.push_back({"tie_report", tie_report_states(k), "2k^2(k+1)", true, 0});
+  rows.push_back({"ordering", ordering_states(k), "2k^2", true, 0});
+  rows.push_back({"unordered_circles", unordered_circles_states(k), "2k^4",
+                  false, 0});
+  {
+    // tie_aware_pairwise: k * 5^(k-1) * 3^((k-1)(k-2)/2); overflows later
+    // than the runnable cap of 5, so compute with saturation.
+    std::uint64_t s = k;
+    bool overflow = false;
+    for (std::uint32_t i = 0; i + 1 < k && !overflow; ++i) {
+      overflow = s > ~std::uint64_t{0} / 5;
+      if (!overflow) s *= 5;
+    }
+    const std::uint64_t ternary =
+        k >= 2 ? static_cast<std::uint64_t>(k - 1) * (k - 2) / 2 : 0;
+    for (std::uint64_t i = 0; i < ternary && !overflow; ++i) {
+      overflow = s > ~std::uint64_t{0} / 3;
+      if (!overflow) s *= 3;
+    }
+    rows.push_back({"tie_aware_pairwise", overflow ? 0 : s,
+                    "k*5^(k-1)*3^((k-1)(k-2)/2)", true, 5});
+  }
+  rows.push_back({"GHMSS16 upper bound (literature)", ghmss_upper_bound(k),
+                  "O(k^7)", true, 0});
+  rows.push_back({"lower bound (literature)", plurality_lower_bound(k),
+                  "Omega(k^2)", true, 0});
+  return rows;
+}
+
+}  // namespace circles::baselines

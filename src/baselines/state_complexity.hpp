@@ -1,0 +1,36 @@
+// State-complexity accounting for the E5 headline table:
+// the paper's k^3 against the literature's O(k^7) upper bound
+// [Gąsieniec et al. 2017] and Ω(k^2) lower bound [Natale & Ramezani 2019],
+// alongside the exact state counts of every protocol in this repository.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace circles::baselines {
+
+struct StateComplexityRow {
+  std::string protocol;
+  /// Exact state count, or 0 when the value overflows uint64 at this k.
+  std::uint64_t states;
+  /// Closed-form rendering, e.g. "k^3" or "2k^2(k+1)".
+  std::string formula;
+  bool always_correct;
+  /// Colors this implementation can actually run at (0 = unbounded in k).
+  std::uint32_t runnable_k_cap;
+};
+
+/// All rows for a given k: Circles, the baselines, the extensions, and the
+/// two literature bounds (which have no runnable implementation).
+std::vector<StateComplexityRow> state_complexity_table(std::uint32_t k);
+
+/// Individual closed forms (exposed for tests).
+std::uint64_t circles_states(std::uint32_t k);            // k^3
+std::uint64_t tie_report_states(std::uint32_t k);         // 2 k^2 (k+1)
+std::uint64_t ordering_states(std::uint32_t k);           // 2 k^2
+std::uint64_t unordered_circles_states(std::uint32_t k);  // 2 k^3 (k+1)
+std::uint64_t ghmss_upper_bound(std::uint32_t k);         // k^7 (literature)
+std::uint64_t plurality_lower_bound(std::uint32_t k);     // k^2 (literature)
+
+}  // namespace circles::baselines

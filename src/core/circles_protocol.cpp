@@ -1,0 +1,67 @@
+#include "core/circles_protocol.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace circles::core {
+
+CirclesProtocol::CirclesProtocol(std::uint32_t k) : k_(k) {
+  CIRCLES_CHECK_MSG(k >= 1, "Circles needs at least one color");
+  CIRCLES_CHECK_MSG(k <= 1024, "k^3 state space would overflow StateId");
+}
+
+pp::StateId CirclesProtocol::input(ColorId color) const {
+  CIRCLES_DCHECK(color < k_);
+  return encode({color, color}, color);
+}
+
+pp::OutputSymbol CirclesProtocol::output(pp::StateId state) const {
+  return state % k_;
+}
+
+CirclesProtocol::Fields CirclesProtocol::decode(pp::StateId state) const {
+  CIRCLES_DCHECK(state < num_states());
+  const ColorId out = state % k_;
+  state /= k_;
+  const ColorId ket = state % k_;
+  const ColorId bra = state / k_;
+  return {{bra, ket}, out};
+}
+
+pp::StateId CirclesProtocol::encode(BraKet braket, ColorId out) const {
+  CIRCLES_DCHECK(braket.bra < k_ && braket.ket < k_ && out < k_);
+  return (braket.bra * k_ + braket.ket) * k_ + out;
+}
+
+bool CirclesProtocol::would_exchange(BraKet a, BraKet b) const {
+  return exchange_decreases_min(a, b, k_);
+}
+
+pp::Transition CirclesProtocol::transition(pp::StateId initiator,
+                                           pp::StateId responder) const {
+  Fields a = decode(initiator);
+  Fields b = decode(responder);
+
+  // Step 1: exchange kets iff it strictly decreases the minimum weight.
+  if (would_exchange(a.braket, b.braket)) {
+    std::swap(a.braket.ket, b.braket.ket);
+  }
+
+  // Step 2: a diagonal agent broadcasts its color as the current winner.
+  // Initiator precedence resolves the (transient) both-diagonal ambiguity.
+  if (a.braket.diagonal()) {
+    a.out = b.out = a.braket.bra;
+  } else if (b.braket.diagonal()) {
+    a.out = b.out = b.braket.bra;
+  }
+
+  return {encode(a.braket, a.out), encode(b.braket, b.out)};
+}
+
+std::string CirclesProtocol::state_name(pp::StateId state) const {
+  const Fields f = decode(state);
+  return to_string(f.braket) + ":" + std::to_string(f.out);
+}
+
+}  // namespace circles::core

@@ -1,0 +1,58 @@
+// The Circles protocol (paper §2) — relative majority with exactly k^3 states.
+//
+// State: (bra, ket, out) ∈ [0,k)^3. Input color i starts as ⟨i|i⟩ with
+// out = i; the output is the out field. On interaction:
+//   1. the two agents swap kets iff that strictly decreases the minimum of
+//      their two bra-ket weights;
+//   2. if either agent is then diagonal ⟨i|i⟩, both set out := i.
+// The paper's rule (2) is ambiguous when both agents are diagonal with
+// different colors (only possible before stabilization); we resolve it by
+// initiator precedence, which is deterministic and preserves all proofs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/braket.hpp"
+#include "pp/protocol.hpp"
+
+namespace circles::core {
+
+class CirclesProtocol final : public pp::Protocol {
+ public:
+  /// Builds the protocol for k >= 1 colors. k is capped so that k^3 fits
+  /// comfortably in StateId (k <= 1024 gives ~10^9 states; practical
+  /// simulations use far less).
+  explicit CirclesProtocol(std::uint32_t k);
+
+  std::uint64_t num_states() const override {
+    return static_cast<std::uint64_t>(k_) * k_ * k_;
+  }
+  std::uint32_t num_colors() const override { return k_; }
+  pp::StateId input(ColorId color) const override;
+  pp::OutputSymbol output(pp::StateId state) const override;
+  pp::Transition transition(pp::StateId initiator,
+                            pp::StateId responder) const override;
+  std::string name() const override { return "circles"; }
+  std::string state_name(pp::StateId state) const override;
+
+  std::uint32_t k() const { return k_; }
+
+  /// Decoded view of a state.
+  struct Fields {
+    BraKet braket;
+    ColorId out;
+  };
+  Fields decode(pp::StateId state) const;
+  pp::StateId encode(BraKet braket, ColorId out) const;
+
+  /// The exchange rule in isolation: would ⟨a⟩ and ⟨b⟩ swap kets?
+  /// Exposed for tests and the extension layers, which must apply the exact
+  /// same rule.
+  bool would_exchange(BraKet a, BraKet b) const;
+
+ private:
+  std::uint32_t k_;
+};
+
+}  // namespace circles::core

@@ -1,0 +1,38 @@
+#include "core/decomposition.hpp"
+
+namespace circles::core {
+
+BraKetMultiset braket_multiset(const pp::Population& population,
+                               const CirclesProtocol& protocol) {
+  BraKetMultiset out;
+  for (const pp::StateId s : population.present_states()) {
+    const auto fields = protocol.decode(s);
+    out.add(fields.braket, population.count(s));
+  }
+  return out;
+}
+
+std::string DecompositionCheck::describe() const {
+  if (matches) return "decomposition matches";
+  std::string out = "decomposition mismatch\n  expected: ";
+  out += expected.to_string();
+  out += "\n  actual:   ";
+  out += actual.to_string();
+  out += "\n  missing:  ";
+  out += expected.difference(actual).to_string();
+  out += "\n  extra:    ";
+  out += actual.difference(expected).to_string();
+  return out;
+}
+
+DecompositionCheck verify_decomposition(
+    const pp::Population& population, const CirclesProtocol& protocol,
+    std::span<const std::uint64_t> color_counts) {
+  DecompositionCheck check;
+  check.expected = predict_stable_brakets(color_counts);
+  check.actual = braket_multiset(population, protocol);
+  check.matches = check.expected == check.actual;
+  return check;
+}
+
+}  // namespace circles::core

@@ -1,0 +1,33 @@
+// Executable form of Lemma 3.6: extract the bra-ket multiset of a
+// configuration and compare it against the greedy-set prediction.
+#pragma once
+
+#include <string>
+
+#include "core/circles_protocol.hpp"
+#include "core/greedy_sets.hpp"
+#include "pp/population.hpp"
+
+namespace circles::core {
+
+/// The multiset of bra-kets across all agents (out fields ignored).
+BraKetMultiset braket_multiset(const pp::Population& population,
+                               const CirclesProtocol& protocol);
+
+struct DecompositionCheck {
+  bool matches = false;
+  BraKetMultiset expected;
+  BraKetMultiset actual;
+
+  /// Diff rendering for test failures.
+  std::string describe() const;
+};
+
+/// Compares the population's bra-kets against predict_stable_brakets(counts).
+/// Only meaningful once the run is silent (Lemma 3.6 is a post-stabilization
+/// statement).
+DecompositionCheck verify_decomposition(
+    const pp::Population& population, const CirclesProtocol& protocol,
+    std::span<const std::uint64_t> color_counts);
+
+}  // namespace circles::core

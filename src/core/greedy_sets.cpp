@@ -1,0 +1,86 @@
+#include "core/greedy_sets.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace circles::core {
+
+std::vector<std::vector<ColorId>> greedy_sets(
+    std::span<const std::uint64_t> counts) {
+  std::uint64_t q = 0;
+  for (const auto c : counts) q = std::max(q, c);
+
+  std::vector<std::vector<ColorId>> sets;
+  sets.reserve(q);
+  for (std::uint64_t p = 1; p <= q; ++p) {
+    std::vector<ColorId> set;
+    for (ColorId color = 0; color < counts.size(); ++color) {
+      if (counts[color] >= p) set.push_back(color);
+    }
+    CIRCLES_DCHECK(!set.empty());
+    sets.push_back(std::move(set));  // ascending by construction
+  }
+  return sets;
+}
+
+BraKetMultiset circle_brakets(std::span<const ColorId> sorted_set) {
+  CIRCLES_CHECK_MSG(!sorted_set.empty(), "circle of an empty set");
+  CIRCLES_DCHECK(std::is_sorted(sorted_set.begin(), sorted_set.end()));
+  BraKetMultiset out;
+  if (sorted_set.size() == 1) {
+    out.add({sorted_set[0], sorted_set[0]});
+    return out;
+  }
+  for (std::size_t l = 0; l < sorted_set.size(); ++l) {
+    const ColorId from = sorted_set[l];
+    const ColorId to = sorted_set[(l + 1) % sorted_set.size()];
+    out.add({from, to});
+  }
+  return out;
+}
+
+BraKetMultiset predict_stable_brakets(std::span<const std::uint64_t> counts) {
+  BraKetMultiset out;
+  for (const auto& set : greedy_sets(counts)) {
+    out = out.union_with(circle_brakets(set));
+  }
+  return out;
+}
+
+std::optional<ColorId> unique_plurality_winner(
+    std::span<const std::uint64_t> counts) {
+  std::optional<ColorId> best;
+  std::uint64_t best_count = 0;
+  bool tied = false;
+  for (ColorId color = 0; color < counts.size(); ++color) {
+    if (counts[color] > best_count) {
+      best = color;
+      best_count = counts[color];
+      tied = false;
+    } else if (counts[color] == best_count && best_count > 0) {
+      tied = true;
+    }
+  }
+  if (tied || best_count == 0) return std::nullopt;
+  return best;
+}
+
+std::uint64_t predicted_diagonal_count(
+    std::span<const std::uint64_t> counts) {
+  // G_p is a singleton exactly for second_highest < p <= highest, and only
+  // singletons contribute a diagonal to ∪ f(G_p).
+  std::uint64_t highest = 0;
+  std::uint64_t second = 0;
+  for (const auto c : counts) {
+    if (c >= highest) {
+      second = highest;
+      highest = c;
+    } else if (c > second) {
+      second = c;
+    }
+  }
+  return highest - second;
+}
+
+}  // namespace circles::core

@@ -1,0 +1,48 @@
+// Greedy independent sets (Definition 3.1), circle bra-ket sets
+// (Definition 3.5), and the Lemma 3.6 prediction of the stable configuration.
+//
+// Partition the input multiset into G_1 ⊇ G_2 ⊇ … ⊇ G_q where G_p contains
+// every color with multiplicity >= p. The stable bra-ket multiset is exactly
+// ∪_p f(G_p), where f maps a set to the "circle" of bra-kets between its
+// consecutive sorted elements (wrapping around). This makes the stable
+// configuration a pure function of the input counts — independent of the
+// schedule — which the decomposition experiments verify bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/braket.hpp"
+#include "util/multiset.hpp"
+
+namespace circles::core {
+
+using BraKetMultiset = util::CountedMultiset<BraKet>;
+
+/// The greedy independent sets G_1..G_q for the given per-color counts
+/// (counts.size() == k). Each set is sorted ascending; q == max count.
+/// Colors with count zero never appear.
+std::vector<std::vector<ColorId>> greedy_sets(
+    std::span<const std::uint64_t> counts);
+
+/// f(G): the circle bra-kets of one sorted set (Definition 3.5).
+/// A singleton {g} maps to {⟨g|g⟩}; larger sets map to the ring
+/// ⟨g_0|g_1⟩, ⟨g_1|g_2⟩, …, ⟨g_m|g_0⟩.
+BraKetMultiset circle_brakets(std::span<const ColorId> sorted_set);
+
+/// The full Lemma 3.6 prediction: ∪_p f(G_p).
+BraKetMultiset predict_stable_brakets(std::span<const std::uint64_t> counts);
+
+/// The unique relative-majority winner, or nullopt on a tie (or empty input).
+std::optional<ColorId> unique_plurality_winner(
+    std::span<const std::uint64_t> counts);
+
+/// Number of diagonal bra-kets the stable configuration will contain; equals
+/// (max count − second-highest count), and 0 iff the input is tied. Exposed
+/// because the TieReport extension's correctness argument rests on it.
+std::uint64_t predicted_diagonal_count(std::span<const std::uint64_t> counts);
+
+}  // namespace circles::core

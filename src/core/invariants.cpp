@@ -1,0 +1,120 @@
+#include "core/invariants.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace circles::core {
+
+namespace {
+
+/// Did this event swap kets (as opposed to only updating outputs)?
+bool is_exchange(const BraKetView& view, const pp::InteractionEvent& event) {
+  return view.braket_of(event.initiator_before) !=
+             view.braket_of(event.initiator_after) ||
+         view.braket_of(event.responder_before) !=
+             view.braket_of(event.responder_after);
+}
+
+}  // namespace
+
+void BraKetInvariantMonitor::on_start(const pp::Population& population,
+                                      const pp::Protocol&) {
+  initial_bra_counts_.assign(view_.k(), 0);
+  for (const pp::StateId s : population.agents()) {
+    initial_bra_counts_[view_.braket_of(s).bra] += 1;
+  }
+  recount_and_check(population);
+}
+
+void BraKetInvariantMonitor::on_interaction(const pp::InteractionEvent& event,
+                                            const pp::Population& population) {
+  if (!event.changed()) return;
+  recount_and_check(population);
+}
+
+void BraKetInvariantMonitor::recount_and_check(
+    const pp::Population& population) {
+  std::vector<std::uint64_t> bras(view_.k(), 0);
+  std::vector<std::uint64_t> kets(view_.k(), 0);
+  for (const pp::StateId s : population.present_states()) {
+    const BraKet bk = view_.braket_of(s);
+    const std::uint64_t count = population.count(s);
+    bras[bk.bra] += count;
+    kets[bk.ket] += count;
+  }
+  // Lemma 3.3: #⟨i| == #|i⟩ for all i. Stronger: bras are immutable.
+  if (bras != kets || bras != initial_bra_counts_) violations_ += 1;
+}
+
+void PotentialDescentMonitor::on_start(const pp::Population& population,
+                                       const pp::Protocol&) {
+  potential_ = current(population);
+}
+
+WeightVector PotentialDescentMonitor::current(
+    const pp::Population& population) const {
+  std::vector<std::uint32_t> weights;
+  weights.reserve(population.size());
+  for (const pp::StateId s : population.agents()) {
+    weights.push_back(weight(view_.braket_of(s), view_.k()));
+  }
+  std::sort(weights.begin(), weights.end());
+  return WeightVector(std::move(weights));
+}
+
+void PotentialDescentMonitor::on_interaction(
+    const pp::InteractionEvent& event, const pp::Population& population) {
+  if (!event.changed()) return;
+  if (!is_exchange(view_, event)) {
+    output_only_changes_ += 1;
+    return;
+  }
+  exchanges_ += 1;
+  const WeightVector next = current(population);
+  if (!(next < potential_)) descent_violations_ += 1;
+  if (next.total_energy() >= potential_.total_energy()) {
+    scalar_energy_increases_ += 1;
+  }
+  potential_ = next;
+}
+
+void KetExchangeCounter::on_interaction(const pp::InteractionEvent& event,
+                                        const pp::Population&) {
+  if (!event.changed() || !is_exchange(view_, event)) return;
+  exchanges_ += 1;
+  const bool diag_before_i = view_.braket_of(event.initiator_before).diagonal();
+  const bool diag_after_i = view_.braket_of(event.initiator_after).diagonal();
+  const bool diag_before_r = view_.braket_of(event.responder_before).diagonal();
+  const bool diag_after_r = view_.braket_of(event.responder_after).diagonal();
+  diagonal_creations_ += (!diag_before_i && diag_after_i) ? 1 : 0;
+  diagonal_creations_ += (!diag_before_r && diag_after_r) ? 1 : 0;
+  diagonal_destructions_ += (diag_before_i && !diag_after_i) ? 1 : 0;
+  diagonal_destructions_ += (diag_before_r && !diag_after_r) ? 1 : 0;
+}
+
+void EnergyTraceMonitor::on_start(const pp::Population& population,
+                                  const pp::Protocol&) {
+  samples_.clear();
+  sample(0, population);
+}
+
+void EnergyTraceMonitor::on_interaction(const pp::InteractionEvent& event,
+                                        const pp::Population& population) {
+  if (!event.changed() || !is_exchange(view_, event)) return;
+  sample(event.step + 1, population);
+}
+
+void EnergyTraceMonitor::sample(std::uint64_t step,
+                                const pp::Population& population) {
+  std::uint64_t total = 0;
+  std::uint32_t min_w = view_.k();
+  for (const pp::StateId s : population.present_states()) {
+    const std::uint32_t w = weight(view_.braket_of(s), view_.k());
+    total += w * population.count(s);
+    min_w = std::min(min_w, w);
+  }
+  samples_.push_back({step, total, min_w});
+}
+
+}  // namespace circles::core

@@ -1,0 +1,142 @@
+// Runtime checkers for the paper's invariants, as engine monitors.
+//
+//  * BraKetInvariantMonitor — Lemma 3.3: for every color i, #bras ⟨i| equals
+//    #kets |i⟩ in every reachable configuration; additionally the bra
+//    multiset never changes at all (bras are immutable by construction).
+//  * PotentialDescentMonitor — Theorem 3.4: every ket exchange strictly
+//    decreases the sorted weight vector lexicographically. Also tracks the
+//    scalar energy Σw to demonstrate it is not monotone.
+//  * KetExchangeCounter — counts exchanges vs. pure output updates; the
+//    stabilization experiments read exchange totals from it.
+//
+// Monitors accumulate violation counts rather than aborting, so tests can
+// assert exact zero and print context on failure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/circles_protocol.hpp"
+#include "core/potential.hpp"
+#include "pp/monitor.hpp"
+
+namespace circles::core {
+
+/// A view of Circles-compatible protocols: any protocol whose states embed a
+/// bra-ket (Circles itself and the extension layers). The monitors only need
+/// the bra-ket projection.
+class BraKetView {
+ public:
+  virtual ~BraKetView() = default;
+  virtual BraKet braket_of(pp::StateId state) const = 0;
+  virtual std::uint32_t k() const = 0;
+};
+
+/// Adapter for the plain Circles protocol.
+class CirclesBraKetView final : public BraKetView {
+ public:
+  explicit CirclesBraKetView(const CirclesProtocol& protocol)
+      : protocol_(protocol) {}
+  BraKet braket_of(pp::StateId state) const override {
+    return protocol_.decode(state).braket;
+  }
+  std::uint32_t k() const override { return protocol_.k(); }
+
+ private:
+  const CirclesProtocol& protocol_;
+};
+
+class BraKetInvariantMonitor final : public pp::Monitor {
+ public:
+  explicit BraKetInvariantMonitor(const BraKetView& view) : view_(view) {}
+
+  void on_start(const pp::Population& population,
+                const pp::Protocol& protocol) override;
+  void on_interaction(const pp::InteractionEvent& event,
+                      const pp::Population& population) override;
+
+  std::uint64_t violations() const { return violations_; }
+
+ private:
+  void recount_and_check(const pp::Population& population);
+
+  const BraKetView& view_;
+  std::vector<std::uint64_t> initial_bra_counts_;
+  std::uint64_t violations_ = 0;
+};
+
+class PotentialDescentMonitor final : public pp::Monitor {
+ public:
+  explicit PotentialDescentMonitor(const BraKetView& view) : view_(view) {}
+
+  void on_start(const pp::Population& population,
+                const pp::Protocol& protocol) override;
+  void on_interaction(const pp::InteractionEvent& event,
+                      const pp::Population& population) override;
+
+  std::uint64_t exchanges() const { return exchanges_; }
+  /// Exchanges that failed to strictly decrease the ordinal potential.
+  std::uint64_t descent_violations() const { return descent_violations_; }
+  /// Exchanges after which the scalar energy Σw did NOT decrease — expected
+  /// to be nonzero; evidence that the ordinal potential is necessary.
+  std::uint64_t scalar_energy_increases() const {
+    return scalar_energy_increases_;
+  }
+  /// Interactions that changed state without a ket exchange (output updates).
+  std::uint64_t output_only_changes() const { return output_only_changes_; }
+
+ private:
+  WeightVector current(const pp::Population& population) const;
+
+  const BraKetView& view_;
+  WeightVector potential_;
+  std::uint64_t exchanges_ = 0;
+  std::uint64_t descent_violations_ = 0;
+  std::uint64_t scalar_energy_increases_ = 0;
+  std::uint64_t output_only_changes_ = 0;
+};
+
+class KetExchangeCounter final : public pp::Monitor {
+ public:
+  explicit KetExchangeCounter(const BraKetView& view) : view_(view) {}
+
+  void on_interaction(const pp::InteractionEvent& event,
+                      const pp::Population& population) override;
+
+  std::uint64_t exchanges() const { return exchanges_; }
+  std::uint64_t diagonal_creations() const { return diagonal_creations_; }
+  std::uint64_t diagonal_destructions() const { return diagonal_destructions_; }
+
+ private:
+  const BraKetView& view_;
+  std::uint64_t exchanges_ = 0;
+  std::uint64_t diagonal_creations_ = 0;
+  std::uint64_t diagonal_destructions_ = 0;
+};
+
+/// Records (exchange index -> scalar energy and min weight) for energy plots.
+class EnergyTraceMonitor final : public pp::Monitor {
+ public:
+  explicit EnergyTraceMonitor(const BraKetView& view) : view_(view) {}
+
+  struct Sample {
+    std::uint64_t step;
+    std::uint64_t total_energy;
+    std::uint32_t min_weight;
+  };
+
+  void on_start(const pp::Population& population,
+                const pp::Protocol& protocol) override;
+  void on_interaction(const pp::InteractionEvent& event,
+                      const pp::Population& population) override;
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  void sample(std::uint64_t step, const pp::Population& population);
+
+  const BraKetView& view_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace circles::core

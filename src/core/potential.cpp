@@ -1,0 +1,43 @@
+#include "core/potential.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace circles::core {
+
+WeightVector::WeightVector(std::vector<std::uint32_t> sorted_weights)
+    : weights_(std::move(sorted_weights)) {
+  CIRCLES_DCHECK(std::is_sorted(weights_.begin(), weights_.end()));
+}
+
+WeightVector WeightVector::of(const pp::Population& population,
+                              const CirclesProtocol& protocol) {
+  std::vector<std::uint32_t> weights;
+  weights.reserve(population.size());
+  for (const pp::StateId s : population.agents()) {
+    weights.push_back(weight(protocol.decode(s).braket, protocol.k()));
+  }
+  std::sort(weights.begin(), weights.end());
+  return WeightVector(std::move(weights));
+}
+
+std::strong_ordering WeightVector::operator<=>(
+    const WeightVector& other) const {
+  return std::lexicographical_compare_three_way(
+      weights_.begin(), weights_.end(), other.weights_.begin(),
+      other.weights_.end());
+}
+
+std::uint64_t WeightVector::total_energy() const {
+  std::uint64_t total = 0;
+  for (const auto w : weights_) total += w;
+  return total;
+}
+
+std::uint32_t WeightVector::min_weight() const {
+  CIRCLES_CHECK(!weights_.empty());
+  return weights_.front();
+}
+
+}  // namespace circles::core

@@ -1,0 +1,45 @@
+// The stabilization potential of Theorem 3.4 in executable form.
+//
+// The paper defines g(C) = ω^{n−1}·w_1 + … + ω·w_{n−1} + w_n over the
+// ascending-sorted agent weights w_1 <= … <= w_n. Ordinal comparison of such
+// sums is exactly lexicographic comparison of the tuples (w_1, …, w_n)
+// (DESIGN.md §5.1), so the potential is represented as a sorted
+// std::vector<uint32_t> compared lexicographically — no ordinal arithmetic.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "core/circles_protocol.hpp"
+#include "pp/population.hpp"
+
+namespace circles::core {
+
+/// Ascending-sorted agent weights; the order-isomorphic image of g(C).
+class WeightVector {
+ public:
+  WeightVector() = default;
+  explicit WeightVector(std::vector<std::uint32_t> sorted_weights);
+
+  /// Extracts and sorts all agent weights of a Circles configuration.
+  static WeightVector of(const pp::Population& population,
+                         const CirclesProtocol& protocol);
+
+  /// Lexicographic order == ordinal order of g(C).
+  std::strong_ordering operator<=>(const WeightVector& other) const;
+  bool operator==(const WeightVector& other) const = default;
+
+  /// Scalar total energy Σ w_i. NOT monotone under the protocol (E4 shows
+  /// this empirically); provided to demonstrate why the ordinal potential is
+  /// required for the stabilization proof.
+  std::uint64_t total_energy() const;
+
+  std::uint32_t min_weight() const;
+  const std::vector<std::uint32_t>& weights() const { return weights_; }
+
+ private:
+  std::vector<std::uint32_t> weights_;
+};
+
+}  // namespace circles::core

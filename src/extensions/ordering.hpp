@@ -1,0 +1,53 @@
+// The §4 ordering protocol for the unordered setting: generate a numeric
+// label per color using O(k^2) states, assuming agents can only compare
+// colors for equality.
+//
+// Mechanism (as sketched in the paper, after Cai–Izumi–Wada):
+//  * per-color leader election using the asymmetry of interactions — when
+//    two leaders of the same color meet, the responder is demoted and copies
+//    the initiator's label;
+//  * when two leaders of *different* colors meet with equal labels, the
+//    responder increments its label (mod k);
+//  * followers copy the label from a leader of their own color.
+//
+// Eventually there is exactly one leader per color and all leader labels are
+// distinct, giving an injective color -> label map that UnorderedCircles
+// uses as the bra. Termination of the mod-k bump dynamics under adversarial
+// scheduling is verified by exhaustive search in the tests (DESIGN.md §5.3).
+//
+// State: (color, leader bit, label ∈ [0,k)) = 2k^2 states.
+#pragma once
+
+#include "pp/protocol.hpp"
+
+namespace circles::ext {
+
+class OrderingProtocol final : public pp::Protocol {
+ public:
+  explicit OrderingProtocol(std::uint32_t k);
+
+  std::uint64_t num_states() const override { return 2ull * k_ * k_; }
+  std::uint32_t num_colors() const override { return k_; }
+  pp::StateId input(pp::ColorId color) const override;
+  /// Output = the agent's current label (its color's provisional rank).
+  pp::OutputSymbol output(pp::StateId state) const override;
+  pp::Transition transition(pp::StateId initiator,
+                            pp::StateId responder) const override;
+  std::string name() const override { return "ordering"; }
+  std::string state_name(pp::StateId state) const override;
+
+  std::uint32_t k() const { return k_; }
+
+  struct Fields {
+    pp::ColorId color;
+    bool leader;
+    std::uint32_t label;
+  };
+  Fields decode(pp::StateId state) const;
+  pp::StateId encode(const Fields& fields) const;
+
+ private:
+  std::uint32_t k_;
+};
+
+}  // namespace circles::ext

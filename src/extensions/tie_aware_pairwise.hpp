@@ -1,0 +1,117 @@
+// Tie-aware exact plurality via pairwise games with explicit tie detection —
+// the prototype for the paper's §4 tie-handling semantics (tie report, tie
+// break, tie share). The paper promises O(k^3) constructions in its future
+// full version without giving them; this protocol delivers the exact
+// *semantics* with an exponential state count at small k (DESIGN.md,
+// substitution 2), so the three output conventions can be exercised and
+// tested end to end. The O(k^3) tie-report construction lives in
+// tie_report.hpp.
+//
+// Each unordered color pair {i, j} hosts an independent game using the same
+// retractor mechanism as TieReportProtocol (a naive "TIED players convert
+// neighbours" rule livelocks: converted agents get re-converted by surviving
+// strongs forever; retractors do not replicate, so every event class below
+// is finite and the protocol is always silent eventually):
+//
+//   player sub-state:    STRONG | WEAK_LO | WEAK_HI | WEAK_TIE | RETRACTOR
+//   spectator sub-state: BELIEVE_LO | BELIEVE_HI | BELIEVE_TIE
+//
+// Rules per game, per interaction:
+//   STRONG_i + STRONG_j          -> both RETRACTOR ("my vote was cancelled")
+//   STRONG_x + anyone non-strong -> other believes x, retraction cleared
+//   RETRACTOR + non-retractor    -> other believes TIE (retractor bit does
+//                                   not spread)
+//   anything else                -> null
+//
+// Decided game (m_i > m_j): strongs of i survive cancellation, clear every
+// retractor they meet (finitely many are ever created) and then convert all
+// beliefs to i. Tied game (m_i == m_j >= 1): all strongs cancel; the last
+// cancellation leaves retractors no strong can clear, which convert every
+// belief to TIE. Either way beliefs converge to sign(m_i − m_j), silently.
+//
+// Output conventions over the believed result matrix, W = colors losing no
+// game: kReport -> min(W) if |W| = 1 else TIE; kBreak -> min(W);
+// kShare -> own color if in W, else min(W).
+//
+// State count: k · 5^(k−1) · 3^((k−1)(k−2)/2); runnable for k <= 5 (~2.3M).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/protocol.hpp"
+
+namespace circles::ext {
+
+enum class TieSemantics { kReport, kBreak, kShare };
+
+std::string to_string(TieSemantics semantics);
+
+class TieAwarePairwise final : public pp::Protocol {
+ public:
+  TieAwarePairwise(std::uint32_t k, TieSemantics semantics);
+
+  std::uint64_t num_states() const override { return num_states_; }
+  std::uint32_t num_colors() const override { return k_; }
+  /// kReport adds the TIE symbol at index k.
+  std::uint32_t num_output_symbols() const override;
+  pp::StateId input(pp::ColorId color) const override;
+  pp::OutputSymbol output(pp::StateId state) const override;
+  pp::Transition transition(pp::StateId initiator,
+                            pp::StateId responder) const override;
+  std::string name() const override;
+  std::string output_name(pp::OutputSymbol symbol) const override;
+
+  std::uint32_t k() const { return k_; }
+  TieSemantics semantics() const { return semantics_; }
+  pp::OutputSymbol tie_symbol() const { return k_; }
+
+  enum class PlayerSub : std::uint8_t {
+    kStrong = 0,
+    kWeakLo = 1,
+    kWeakHi = 2,
+    kWeakTie = 3,
+    kRetractor = 4,  // believes TIE; cleared by a strong, never spreads
+  };
+  enum class SpectatorSub : std::uint8_t {
+    kBelieveLo = 0,
+    kBelieveHi = 1,
+    kBelieveTie = 2,
+  };
+
+  struct Decoded {
+    pp::ColorId color;
+    std::vector<std::uint8_t> sub;
+  };
+  Decoded decode(pp::StateId state) const;
+  pp::StateId encode(const Decoded& decoded) const;
+
+  struct Game {
+    pp::ColorId lo;
+    pp::ColorId hi;
+  };
+  std::uint32_t num_games() const {
+    return static_cast<std::uint32_t>(games_.size());
+  }
+  const Game& game(std::uint32_t index) const { return games_[index]; }
+  bool plays(pp::ColorId color, std::uint32_t game_index) const;
+
+  /// Believed winner of a game: a color, or tie_symbol() for a believed tie.
+  pp::OutputSymbol belief(const Decoded& decoded,
+                          std::uint32_t game_index) const;
+
+ private:
+  std::uint32_t radix(pp::ColorId color, std::uint32_t game_index) const {
+    return plays(color, game_index) ? 5 : 3;
+  }
+  void apply_believe(Decoded& target, std::uint32_t game_index,
+                     pp::OutputSymbol value) const;
+
+  std::uint32_t k_;
+  TieSemantics semantics_;
+  std::vector<Game> games_;
+  std::uint64_t per_color_states_;
+  std::uint64_t num_states_;
+};
+
+}  // namespace circles::ext

@@ -1,0 +1,84 @@
+// TieReport: Circles plus a "retractor" layer that detects ties (paper §4,
+// "tie report") while keeping the state complexity at O(k^3).
+//
+// The structural fact this rests on (Lemmas 3.2/3.6): the stable Circles
+// configuration contains a diagonal bra-ket iff some greedy set G_p is a
+// singleton iff the maximum color count is unique. So "tie" is exactly
+// "no diagonal survives". Agents cannot observe global absence directly, but
+// they can observe the *events* that create it:
+//
+//   * an agent whose diagonal bra-ket is destroyed by a ket exchange becomes
+//     a RETRACTOR ("my earlier broadcast may be stale");
+//   * a retractor meeting a diagonal agent is cleared (the broadcast was
+//     refreshed by a live witness);
+//   * a retractor flips the out field of agents it meets to TIE, but the
+//     retractor bit itself never spreads (spreading would oscillate against
+//     diagonal clearing in non-tie runs).
+//
+// Correctness (proof sketch in DESIGN.md §5.2, tested exhaustively):
+//   no tie  -> diagonals ⟨μ|μ⟩ persist forever; finitely many retractors all
+//              get cleared; outputs converge to μ;        (silent)
+//   tie     -> all n initial diagonals die; the final destruction leaves a
+//              retractor no diagonal can ever clear; it eventually sets
+//              every output to TIE.                       (silent)
+//
+// State: (bra, ket, out ∈ [0,k] with k = TIE, retractor bit):
+// 2·k^2·(k+1) states.
+#pragma once
+
+#include "core/braket.hpp"
+#include "core/invariants.hpp"
+#include "pp/protocol.hpp"
+
+namespace circles::ext {
+
+class TieReportProtocol final : public pp::Protocol {
+ public:
+  explicit TieReportProtocol(std::uint32_t k);
+
+  std::uint64_t num_states() const override {
+    return 2ull * k_ * k_ * (k_ + 1);
+  }
+  std::uint32_t num_colors() const override { return k_; }
+  std::uint32_t num_output_symbols() const override { return k_ + 1; }
+  pp::StateId input(pp::ColorId color) const override;
+  pp::OutputSymbol output(pp::StateId state) const override;
+  pp::Transition transition(pp::StateId initiator,
+                            pp::StateId responder) const override;
+  std::string name() const override { return "tie_report"; }
+  std::string state_name(pp::StateId state) const override;
+  std::string output_name(pp::OutputSymbol symbol) const override;
+
+  std::uint32_t k() const { return k_; }
+
+  /// The TIE output symbol.
+  pp::OutputSymbol tie_symbol() const { return k_; }
+
+  struct Fields {
+    core::BraKet braket;
+    pp::OutputSymbol out;  // in [0, k], k = TIE
+    bool retractor;
+  };
+  Fields decode(pp::StateId state) const;
+  pp::StateId encode(const Fields& fields) const;
+
+ private:
+  std::uint32_t k_;
+};
+
+/// Bra-ket projection so the core invariant monitors (Lemma 3.3 checker,
+/// potential descent) apply unchanged to the extension layer.
+class TieReportBraKetView final : public core::BraKetView {
+ public:
+  explicit TieReportBraKetView(const TieReportProtocol& protocol)
+      : protocol_(protocol) {}
+  core::BraKet braket_of(pp::StateId state) const override {
+    return protocol_.decode(state).braket;
+  }
+  std::uint32_t k() const override { return protocol_.k(); }
+
+ private:
+  const TieReportProtocol& protocol_;
+};
+
+}  // namespace circles::ext

@@ -1,0 +1,63 @@
+// UnorderedCircles: Circles for the unordered setting (paper §4) — agents can
+// only compare colors for equality, so the ordering protocol supplies the
+// numeric labels that Circles' weight function needs.
+//
+// State: (color, leader, label, ket, out-color) = 2k^4 states. Per the BA's
+// trick, the label IS the Circles bra — it is not stored twice. Composition,
+// per interaction:
+//   1. run the ordering layer (leader election + label bumps + copying);
+//   2. any agent whose label changed RESTARTS its Circles layer
+//      (ket := new label, out := own color);
+//   3. run the Circles exchange rule on (label | ket) bra-kets;
+//   4. an agent with ket == label is diagonal and broadcasts its own COLOR.
+//
+// Honesty note (DESIGN.md §5.4): the paper's full version promises an
+// undo/wait mechanism making this always-correct. The restart composition
+// implemented here can leave stale kets from before the last label change in
+// circulation, breaking the global bra-ket invariant for the rest of the
+// run; experiment E10 measures how often that loses correctness instead of
+// claiming it never does.
+#pragma once
+
+#include "core/braket.hpp"
+#include "pp/protocol.hpp"
+
+namespace circles::ext {
+
+class UnorderedCirclesProtocol final : public pp::Protocol {
+ public:
+  explicit UnorderedCirclesProtocol(std::uint32_t k);
+
+  std::uint64_t num_states() const override {
+    return 2ull * k_ * k_ * k_ * k_;
+  }
+  std::uint32_t num_colors() const override { return k_; }
+  pp::StateId input(pp::ColorId color) const override;
+  /// Output is a color (the believed plurality winner).
+  pp::OutputSymbol output(pp::StateId state) const override;
+  pp::Transition transition(pp::StateId initiator,
+                            pp::StateId responder) const override;
+  std::string name() const override { return "unordered_circles"; }
+  std::string state_name(pp::StateId state) const override;
+
+  std::uint32_t k() const { return k_; }
+
+  struct Fields {
+    pp::ColorId color;
+    bool leader;
+    std::uint32_t label;  // doubles as the Circles bra
+    std::uint32_t ket;
+    pp::ColorId out;
+  };
+  Fields decode(pp::StateId state) const;
+  pp::StateId encode(const Fields& fields) const;
+
+  core::BraKet braket_of_fields(const Fields& f) const {
+    return {f.label, f.ket};
+  }
+
+ private:
+  std::uint32_t k_;
+};
+
+}  // namespace circles::ext

@@ -1,0 +1,188 @@
+#include "mc/hitting_time.hpp"
+
+#include <cmath>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "mc/model_checker.hpp"
+#include "util/check.hpp"
+
+namespace circles::mc {
+
+namespace {
+
+Config apply(const Config& config, pp::StateId remove_a, pp::StateId remove_b,
+             pp::StateId add_a, pp::StateId add_b) {
+  std::map<pp::StateId, std::int64_t> counts(config.begin(), config.end());
+  counts[remove_a] -= 1;
+  counts[remove_b] -= 1;
+  counts[add_a] += 1;
+  counts[add_b] += 1;
+  Config out;
+  out.reserve(counts.size());
+  for (const auto& [state, count] : counts) {
+    CIRCLES_DCHECK(count >= 0);
+    if (count > 0) out.push_back({state, static_cast<std::uint32_t>(count)});
+  }
+  return out;
+}
+
+}  // namespace
+
+HittingTimeResult expected_interactions_to_silence(
+    const pp::Protocol& protocol, std::span<const pp::ColorId> colors,
+    HittingTimeOptions options) {
+  CIRCLES_CHECK(colors.size() >= 2);
+  const double n = static_cast<double>(colors.size());
+  const double pairs_total = n * (n - 1.0);
+
+  std::vector<pp::StateId> initial_states;
+  initial_states.reserve(colors.size());
+  for (const pp::ColorId c : colors) initial_states.push_back(protocol.input(c));
+  const Config initial = make_config(initial_states);
+
+  HittingTimeResult result;
+
+  // BFS, collecting per-config outgoing probabilities to *changed* configs.
+  // Null interactions are self-loops; folding them means the solved E counts
+  // every interaction, matching the engine's "interactions" metric.
+  std::map<Config, std::uint32_t> index;
+  std::vector<Config> configs;
+  struct Edge {
+    std::uint32_t to;
+    double probability;
+  };
+  std::vector<std::vector<Edge>> edges;
+  std::vector<double> move_probability;  // 1 - self-loop mass
+  std::queue<std::uint32_t> frontier;
+
+  auto intern = [&](const Config& config) -> std::optional<std::uint32_t> {
+    auto it = index.find(config);
+    if (it != index.end()) return it->second;
+    if (configs.size() >= options.max_configurations) return std::nullopt;
+    const auto id = static_cast<std::uint32_t>(configs.size());
+    index.emplace(config, id);
+    configs.push_back(config);
+    edges.emplace_back();
+    move_probability.push_back(0.0);
+    frontier.push(id);
+    return id;
+  };
+
+  if (!intern(initial)) return result;
+  bool truncated = false;
+  while (!frontier.empty()) {
+    const std::uint32_t id = frontier.front();
+    frontier.pop();
+    const Config config = configs[id];
+    std::map<std::uint32_t, double> outgoing;
+    double moving = 0.0;
+    for (const auto& [s, count_s] : config) {
+      for (const auto& [t, count_t] : config) {
+        const double ways =
+            static_cast<double>(count_s) *
+            (s == t ? static_cast<double>(count_t) - 1.0
+                    : static_cast<double>(count_t));
+        if (ways <= 0.0) continue;
+        const pp::Transition tr = protocol.transition(s, t);
+        if (tr.initiator == s && tr.responder == t) continue;
+        const Config next = apply(config, s, t, tr.initiator, tr.responder);
+        const auto next_id = intern(next);
+        if (!next_id.has_value()) {
+          truncated = true;
+          continue;
+        }
+        outgoing[*next_id] += ways / pairs_total;
+        moving += ways / pairs_total;
+      }
+    }
+    move_probability[id] = moving;
+    for (const auto& [to, p] : outgoing) edges[id].push_back({to, p});
+  }
+  result.reachable = configs.size();
+  if (truncated) return result;  // computed stays false
+
+  // Absorbing = no probability of moving.
+  std::vector<bool> absorbing(configs.size());
+  std::vector<std::int64_t> transient_index(configs.size(), -1);
+  std::vector<std::uint32_t> transients;
+  for (std::uint32_t id = 0; id < configs.size(); ++id) {
+    absorbing[id] = move_probability[id] == 0.0;
+    if (absorbing[id]) {
+      result.absorbing += 1;
+    } else {
+      transient_index[id] = static_cast<std::int64_t>(transients.size());
+      transients.push_back(id);
+    }
+  }
+  if (absorbing[index.at(initial)]) {
+    result.computed = true;
+    result.expected_interactions = 0.0;
+    return result;
+  }
+
+  // Solve (I − Q') x = 1/move where Q' is the jump chain between transient
+  // configs conditioned on moving: folding the geometric self-loop at i adds
+  // 1/move_probability[i] expected interactions per jump and rescales each
+  // outgoing probability by 1/move_probability[i].
+  const std::size_t m = transients.size();
+  std::vector<double> matrix(m * m, 0.0);
+  std::vector<double> rhs(m, 0.0);
+  for (std::size_t row = 0; row < m; ++row) {
+    const std::uint32_t id = transients[row];
+    matrix[row * m + row] = 1.0;
+    rhs[row] = 1.0 / move_probability[id];
+    for (const Edge& edge : edges[id]) {
+      if (absorbing[edge.to]) continue;
+      const auto col = static_cast<std::size_t>(transient_index[edge.to]);
+      matrix[row * m + col] -= edge.probability / move_probability[id];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < m; ++row) {
+      if (std::fabs(matrix[row * m + col]) >
+          std::fabs(matrix[pivot * m + col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(matrix[pivot * m + col]) < 1e-14) {
+      // Singular: some transient config cannot reach absorption — the
+      // expected hitting time is infinite (protocol can livelock).
+      return result;
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < m; ++j) {
+        std::swap(matrix[pivot * m + j], matrix[col * m + j]);
+      }
+      std::swap(rhs[pivot], rhs[col]);
+    }
+    const double diag = matrix[col * m + col];
+    for (std::size_t row = col + 1; row < m; ++row) {
+      const double factor = matrix[row * m + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < m; ++j) {
+        matrix[row * m + j] -= factor * matrix[col * m + j];
+      }
+      rhs[row] -= factor * rhs[col];
+    }
+  }
+  std::vector<double> solution(m, 0.0);
+  for (std::size_t row = m; row-- > 0;) {
+    double acc = rhs[row];
+    for (std::size_t j = row + 1; j < m; ++j) {
+      acc -= matrix[row * m + j] * solution[j];
+    }
+    solution[row] = acc / matrix[row * m + row];
+  }
+
+  result.computed = true;
+  result.expected_interactions =
+      solution[static_cast<std::size_t>(transient_index[index.at(initial)])];
+  return result;
+}
+
+}  // namespace circles::mc

@@ -1,0 +1,41 @@
+// Exact expected convergence times via the configuration Markov chain.
+//
+// Under the uniform random scheduler a protocol induces a Markov chain on
+// configurations: from C, the ordered state pair (s, t) is selected with
+// probability count_s · (count_t − [s = t]) / (n(n−1)). Silent
+// configurations are absorbing. For small instances the chain is tiny, so
+// the expected number of interactions until absorption — the exact value the
+// simulations of E2/E6 estimate — solves the standard linear system
+//    E_i = 1 + Σ_j P_ij E_j   (j transient),  E_absorbing = 0
+// by dense Gaussian elimination. This pins simulation means to closed-form
+// ground truth (tested to agree within sampling error).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pp/protocol.hpp"
+
+namespace circles::mc {
+
+struct HittingTimeOptions {
+  /// Cap on the number of configurations (Gaussian elimination is O(m^3)).
+  std::uint64_t max_configurations = 600;
+};
+
+struct HittingTimeResult {
+  /// True iff the chain fit the cap and every execution is absorbed with
+  /// probability 1 (no transient config without a path to silence).
+  bool computed = false;
+  /// Expected interactions (including null interactions) from the initial
+  /// configuration until the first silent configuration.
+  double expected_interactions = 0.0;
+  std::uint64_t reachable = 0;
+  std::uint64_t absorbing = 0;
+};
+
+HittingTimeResult expected_interactions_to_silence(
+    const pp::Protocol& protocol, std::span<const pp::ColorId> colors,
+    HittingTimeOptions options = {});
+
+}  // namespace circles::mc

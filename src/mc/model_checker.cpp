@@ -1,0 +1,177 @@
+#include "mc/model_checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace circles::mc {
+
+namespace {
+
+/// Applies count deltas to a canonical config, keeping it canonical.
+Config apply(const Config& config, pp::StateId remove_a, pp::StateId remove_b,
+             pp::StateId add_a, pp::StateId add_b) {
+  std::map<pp::StateId, std::int64_t> counts(config.begin(), config.end());
+  counts[remove_a] -= 1;
+  counts[remove_b] -= 1;
+  counts[add_a] += 1;
+  counts[add_b] += 1;
+  Config out;
+  out.reserve(counts.size());
+  for (const auto& [state, count] : counts) {
+    CIRCLES_DCHECK(count >= 0);
+    if (count > 0) out.push_back({state, static_cast<std::uint32_t>(count)});
+  }
+  return out;
+}
+
+bool has_expected_consensus(const pp::Protocol& protocol, const Config& config,
+                            pp::OutputSymbol expected) {
+  for (const auto& [state, count] : config) {
+    (void)count;
+    if (protocol.output(state) != expected) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Config make_config(std::span<const pp::StateId> states) {
+  std::map<pp::StateId, std::uint32_t> counts;
+  for (const pp::StateId s : states) counts[s] += 1;
+  return Config(counts.begin(), counts.end());
+}
+
+std::string config_to_string(const pp::Protocol& protocol,
+                             const Config& config) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [state, count] : config) {
+    if (!first) out += ", ";
+    first = false;
+    out += protocol.state_name(state);
+    if (count > 1) out += " x" + std::to_string(count);
+  }
+  out += "}";
+  return out;
+}
+
+Result check(const pp::Protocol& protocol, std::span<const pp::ColorId> colors,
+             std::optional<pp::OutputSymbol> expected, Options options) {
+  CIRCLES_CHECK_MSG(colors.size() >= 2, "model checking needs >= 2 agents");
+
+  std::vector<pp::StateId> initial_states;
+  initial_states.reserve(colors.size());
+  for (const pp::ColorId c : colors) initial_states.push_back(protocol.input(c));
+  const Config initial = make_config(initial_states);
+
+  // Forward BFS over configurations.
+  std::map<Config, std::uint32_t> index;
+  std::vector<Config> configs;
+  std::vector<std::vector<std::uint32_t>> successors;
+  std::vector<bool> silent_flag;
+  std::queue<std::uint32_t> frontier;
+
+  Result result;
+
+  auto intern = [&](const Config& config) -> std::optional<std::uint32_t> {
+    auto it = index.find(config);
+    if (it != index.end()) return it->second;
+    if (configs.size() >= options.max_configurations) {
+      result.explored_fully = false;
+      return std::nullopt;
+    }
+    const auto id = static_cast<std::uint32_t>(configs.size());
+    index.emplace(config, id);
+    configs.push_back(config);
+    successors.emplace_back();
+    silent_flag.push_back(false);
+    frontier.push(id);
+    return id;
+  };
+
+  (void)intern(initial);
+  while (!frontier.empty()) {
+    const std::uint32_t id = frontier.front();
+    frontier.pop();
+    const Config config = configs[id];  // copy: configs may reallocate
+    bool any_change = false;
+    for (const auto& [s, count_s] : config) {
+      for (const auto& [t, count_t] : config) {
+        if (s == t && count_s < 2) continue;
+        const pp::Transition tr = protocol.transition(s, t);
+        if (tr.initiator == s && tr.responder == t) continue;
+        any_change = true;
+        const Config next = apply(config, s, t, tr.initiator, tr.responder);
+        if (const auto next_id = intern(next)) {
+          successors[id].push_back(*next_id);
+          result.transitions += 1;
+        }
+      }
+    }
+    silent_flag[id] = !any_change;
+  }
+  result.reachable = configs.size();
+
+  // Classify silent configurations.
+  std::vector<bool> is_target(configs.size(), false);
+  for (std::uint32_t id = 0; id < configs.size(); ++id) {
+    if (!silent_flag[id]) continue;
+    result.silent += 1;
+    const bool correct =
+        !expected.has_value() ||
+        has_expected_consensus(protocol, configs[id], *expected);
+    if (correct) {
+      is_target[id] = true;
+    } else {
+      result.incorrect_silent_count += 1;
+      if (result.incorrect_silent.size() < options.max_examples) {
+        result.incorrect_silent.push_back(configs[id]);
+      }
+    }
+  }
+
+  // Backward reachability from the targets: every configuration must be able
+  // to reach a correct silent configuration. (On a truncated exploration the
+  // stuck analysis is skipped: missing configs would fake violations.)
+  if (result.explored_fully) {
+    std::vector<std::vector<std::uint32_t>> predecessors(configs.size());
+    for (std::uint32_t id = 0; id < configs.size(); ++id) {
+      for (const std::uint32_t next : successors[id]) {
+        predecessors[next].push_back(id);
+      }
+    }
+    std::vector<bool> can_reach(configs.size(), false);
+    std::queue<std::uint32_t> backward;
+    for (std::uint32_t id = 0; id < configs.size(); ++id) {
+      if (is_target[id]) {
+        can_reach[id] = true;
+        backward.push(id);
+      }
+    }
+    while (!backward.empty()) {
+      const std::uint32_t id = backward.front();
+      backward.pop();
+      for (const std::uint32_t prev : predecessors[id]) {
+        if (!can_reach[prev]) {
+          can_reach[prev] = true;
+          backward.push(prev);
+        }
+      }
+    }
+    for (std::uint32_t id = 0; id < configs.size(); ++id) {
+      if (!can_reach[id]) {
+        result.stuck_count += 1;
+        if (result.stuck.size() < options.max_examples) {
+          result.stuck.push_back(configs[id]);
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace circles::mc

@@ -1,0 +1,78 @@
+// Exhaustive model checking of population protocols on small instances.
+//
+// Configurations are multisets of states (Definition 1.1), so the reachable
+// space of a small population is finite and usually tiny; this module
+// explores all of it and decides, *exhaustively* rather than by sampling:
+//
+//  * safety   — every reachable silent configuration announces the expected
+//               output (silent = no interaction can change any state; once
+//               silent, outputs are frozen forever);
+//  * liveness — every reachable configuration can still reach a correct
+//               silent configuration ("stuck" = a config from which correct
+//               stabilization has become unreachable — under weak fairness
+//               such a config would doom some schedule).
+//
+// Together these are necessary conditions for always-correctness, and for
+// protocols whose non-silent activity provably terminates (Circles via the
+// ordinal potential of Theorem 3.4, the cancel/convert baselines via vote
+// counting) they are also sufficient. The negative control in the tests
+// shows the checker catching the 3-state approximate-majority protocol
+// reaching a minority-win silent configuration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pp/protocol.hpp"
+
+namespace circles::mc {
+
+/// Canonical configuration: (state, count) pairs, sorted by state, counts>0.
+using Config = std::vector<std::pair<pp::StateId, std::uint32_t>>;
+
+struct Options {
+  /// Exploration cap; exceeding it reports explored_fully = false.
+  std::uint64_t max_configurations = 200'000;
+  /// How many example violations to retain.
+  std::size_t max_examples = 4;
+};
+
+struct Result {
+  std::uint64_t reachable = 0;
+  std::uint64_t silent = 0;
+  std::uint64_t transitions = 0;
+  bool explored_fully = true;
+
+  /// Reachable silent configurations whose outputs are not unanimously the
+  /// expected symbol (empty when no expectation was given).
+  std::vector<Config> incorrect_silent;
+  /// Reachable configurations from which no correct silent configuration
+  /// (or, with no expectation, no silent configuration at all) is reachable.
+  std::vector<Config> stuck;
+  std::uint64_t incorrect_silent_count = 0;
+  std::uint64_t stuck_count = 0;
+
+  /// Exhaustive verdict; meaningful only when explored_fully.
+  bool always_correct() const {
+    return explored_fully && incorrect_silent_count == 0 && stuck_count == 0;
+  }
+};
+
+/// Explores every configuration reachable from the initial population given
+/// by `colors`. `expected` is the output symbol all agents must announce in
+/// correct silent configurations (nullopt: only check that silence remains
+/// reachable — livelock detection).
+Result check(const pp::Protocol& protocol, std::span<const pp::ColorId> colors,
+             std::optional<pp::OutputSymbol> expected, Options options = {});
+
+/// Canonical form of an explicit state multiset (helper for tests).
+Config make_config(std::span<const pp::StateId> states);
+
+std::string config_to_string(const pp::Protocol& protocol,
+                             const Config& config);
+
+}  // namespace circles::mc

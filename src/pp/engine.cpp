@@ -1,0 +1,99 @@
+#include "pp/engine.hpp"
+
+#include "pp/silence.hpp"
+#include "util/check.hpp"
+
+namespace circles::pp {
+
+RunResult Engine::run(const Protocol& protocol, Population& population,
+                      Scheduler& scheduler,
+                      std::span<Monitor* const> monitors) {
+  CIRCLES_CHECK_MSG(population.size() >= 2,
+                    "engine requires at least two agents");
+  RunResult result;
+
+  for (Monitor* monitor : monitors) monitor->on_start(population, protocol);
+
+  const std::uint64_t period = scheduler.fairness_period();
+  std::uint64_t change_free_streak = 0;
+  std::uint64_t next_silence_check = options_.initial_silence_streak;
+
+  // An initial configuration can already be silent (e.g. n agents of one
+  // color under a protocol whose same-state interactions are null).
+  if (options_.stop_when_silent && is_silent(population, protocol)) {
+    result.silent = true;
+  }
+
+  while (!result.silent && result.interactions < options_.max_interactions) {
+    const AgentPair pair = scheduler.next(population);
+    CIRCLES_DCHECK(pair.initiator != pair.responder);
+    CIRCLES_DCHECK(pair.initiator < population.size());
+    CIRCLES_DCHECK(pair.responder < population.size());
+
+    const StateId before_i = population.state(pair.initiator);
+    const StateId before_r = population.state(pair.responder);
+    const Transition tr = protocol.transition(before_i, before_r);
+    const bool changed = tr.initiator != before_i || tr.responder != before_r;
+
+    if (changed) {
+      population.set_state(pair.initiator, tr.initiator);
+      population.set_state(pair.responder, tr.responder);
+    }
+
+    if (!monitors.empty()) {
+      const InteractionEvent event{result.interactions, pair.initiator,
+                                   pair.responder,     before_i,
+                                   before_r,           tr.initiator,
+                                   tr.responder};
+      for (Monitor* monitor : monitors) {
+        monitor->on_interaction(event, population);
+      }
+    }
+
+    if (changed) {
+      result.state_changes += 1;
+      result.last_change_step = result.interactions;
+      change_free_streak = 0;
+      next_silence_check = options_.initial_silence_streak;
+    } else {
+      change_free_streak += 1;
+    }
+    result.interactions += 1;
+
+    if (!options_.stop_when_silent) continue;
+
+    if (period > 0) {
+      // Deterministic certificate: a change-free full period means every
+      // ordered agent pair was tried and none changed.
+      if (change_free_streak >= period) result.silent = true;
+    } else if (change_free_streak >= next_silence_check) {
+      if (is_silent(population, protocol)) {
+        result.silent = true;
+      } else {
+        next_silence_check *= 2;
+      }
+    }
+  }
+
+  if (!result.silent && result.interactions >= options_.max_interactions) {
+    result.budget_exhausted = true;
+    // The budget may have stopped us in a configuration that happens to be
+    // silent; report it exactly.
+    result.silent = is_silent(population, protocol);
+  }
+
+  result.final_outputs = population.output_histogram(protocol);
+  for (Monitor* monitor : monitors) monitor->on_finish(population);
+  return result;
+}
+
+RunResult run_protocol(const Protocol& protocol,
+                       std::span<const ColorId> colors, Scheduler& scheduler,
+                       EngineOptions options,
+                       std::span<Monitor* const> monitors) {
+  Population population(protocol, colors);
+  Engine engine(options);
+  return engine.run(protocol, population, scheduler, monitors);
+}
+
+}  // namespace circles::pp

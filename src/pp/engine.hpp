@@ -1,0 +1,57 @@
+// The simulation engine: drives protocol x population x scheduler.
+//
+// Termination policy:
+//  * For periodic schedulers (fairness_period() > 0) a change-free full
+//    period is itself an exact silence proof: every ordered agent pair was
+//    scheduled and none changed, hence no pair can change.
+//  * Otherwise, after change-free streaks the engine runs the exact O(d^2)
+//    silence check of silence.hpp, with exponential backoff so nearly-stable
+//    phases are not dominated by checking.
+//  * A hard interaction budget bounds runs of protocols that never silence.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pp/monitor.hpp"
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+#include "pp/run_result.hpp"
+#include "pp/scheduler.hpp"
+
+namespace circles::pp {
+
+struct EngineOptions {
+  /// Hard cap on interactions; runs hitting it report budget_exhausted.
+  std::uint64_t max_interactions = 500'000'000;
+
+  /// Stop as soon as silence is certified (otherwise run to the budget).
+  bool stop_when_silent = true;
+
+  /// First change-free streak length that triggers an exact silence check
+  /// for non-periodic schedulers; doubles after every failed check.
+  std::uint64_t initial_silence_streak = 64;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {}) : options_(options) {}
+
+  /// Runs until silence (if enabled) or budget exhaustion. Monitors are
+  /// optional and may be empty.
+  RunResult run(const Protocol& protocol, Population& population,
+                Scheduler& scheduler, std::span<Monitor* const> monitors = {});
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  EngineOptions options_;
+};
+
+/// Convenience: build a population from colors, run, and return the result.
+RunResult run_protocol(const Protocol& protocol,
+                       std::span<const ColorId> colors, Scheduler& scheduler,
+                       EngineOptions options = {},
+                       std::span<Monitor* const> monitors = {});
+
+}  // namespace circles::pp

@@ -1,0 +1,158 @@
+#include "pp/graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <span>
+
+#include "util/check.hpp"
+
+namespace circles::pp {
+
+InteractionGraph InteractionGraph::complete(std::uint32_t n) {
+  CIRCLES_CHECK(n >= 2);
+  InteractionGraph g;
+  g.n = n;
+  g.name = "complete";
+  for (AgentId a = 0; a < n; ++a) {
+    for (AgentId b = a + 1; b < n; ++b) g.edges.push_back({a, b});
+  }
+  return g;
+}
+
+InteractionGraph InteractionGraph::ring(std::uint32_t n) {
+  CIRCLES_CHECK(n >= 3);
+  InteractionGraph g;
+  g.n = n;
+  g.name = "ring";
+  for (AgentId a = 0; a < n; ++a) {
+    const AgentId b = (a + 1) % n;
+    g.edges.push_back({std::min(a, b), std::max(a, b)});
+  }
+  std::sort(g.edges.begin(), g.edges.end());
+  g.edges.erase(std::unique(g.edges.begin(), g.edges.end()), g.edges.end());
+  return g;
+}
+
+InteractionGraph InteractionGraph::star(std::uint32_t n) {
+  CIRCLES_CHECK(n >= 2);
+  InteractionGraph g;
+  g.n = n;
+  g.name = "star";
+  for (AgentId b = 1; b < n; ++b) g.edges.push_back({0, b});
+  return g;
+}
+
+InteractionGraph InteractionGraph::grid(std::uint32_t rows,
+                                        std::uint32_t cols) {
+  CIRCLES_CHECK(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  InteractionGraph g;
+  g.n = rows * cols;
+  g.name = "grid";
+  auto id = [cols](std::uint32_t r, std::uint32_t c) {
+    return static_cast<AgentId>(r * cols + c);
+  };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) g.edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return g;
+}
+
+InteractionGraph InteractionGraph::random_regular(std::uint32_t n,
+                                                  std::uint32_t d,
+                                                  std::uint64_t seed) {
+  CIRCLES_CHECK(d >= 1 && d < n);
+  CIRCLES_CHECK_MSG((static_cast<std::uint64_t>(n) * d) % 2 == 0,
+                    "n*d must be even for a d-regular graph");
+  util::Rng rng(seed);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    // Pairing model: d stubs per vertex, random perfect matching.
+    std::vector<AgentId> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (AgentId v = 0; v < n; ++v) {
+      for (std::uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    rng.shuffle(std::span<AgentId>(stubs));
+    std::set<std::pair<AgentId, AgentId>> edges;
+    bool simple = true;
+    for (std::size_t i = 0; i + 1 < stubs.size() && simple; i += 2) {
+      const AgentId a = std::min(stubs[i], stubs[i + 1]);
+      const AgentId b = std::max(stubs[i], stubs[i + 1]);
+      if (a == b || !edges.insert({a, b}).second) simple = false;
+    }
+    if (!simple) continue;
+    InteractionGraph g;
+    g.n = n;
+    g.name = "random_" + std::to_string(d) + "_regular";
+    g.edges.assign(edges.begin(), edges.end());
+    if (g.connected()) return g;
+  }
+  CIRCLES_CHECK_MSG(false, "failed to sample a connected d-regular graph");
+  return {};
+}
+
+bool InteractionGraph::connected() const {
+  if (n == 0) return false;
+  std::vector<std::vector<AgentId>> adjacency(n);
+  for (const auto& [a, b] : edges) {
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+  std::vector<bool> seen(n, false);
+  std::vector<AgentId> stack{0};
+  seen[0] = true;
+  std::uint32_t visited = 1;
+  while (!stack.empty()) {
+    const AgentId v = stack.back();
+    stack.pop_back();
+    for (const AgentId w : adjacency[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited == n;
+}
+
+GraphScheduler::GraphScheduler(InteractionGraph graph,
+                               GraphSchedulerMode mode, std::uint64_t seed)
+    : graph_(std::move(graph)), mode_(mode), rng_(seed) {
+  CIRCLES_CHECK_MSG(!graph_.edges.empty(), "graph has no edges");
+  for (const auto& [a, b] : graph_.edges) {
+    CIRCLES_CHECK(a < graph_.n && b < graph_.n && a != b);
+    directed_.push_back({a, b});
+    directed_.push_back({b, a});
+  }
+  if (mode_ == GraphSchedulerMode::kShuffledSweep) {
+    rng_.shuffle(std::span<AgentPair>(directed_));
+  }
+}
+
+AgentPair GraphScheduler::next(const Population&) {
+  if (cursor_ == directed_.size()) {
+    cursor_ = 0;
+    if (mode_ == GraphSchedulerMode::kShuffledSweep) {
+      rng_.shuffle(std::span<AgentPair>(directed_));
+    }
+  }
+  return directed_[cursor_++];
+}
+
+std::uint64_t GraphScheduler::fairness_period() const {
+  // Round robin: any window of 2|E| steps is a full directed-edge cycle.
+  // Shuffled: any window of 2*(2|E|)-1 steps contains one complete sweep.
+  return mode_ == GraphSchedulerMode::kRoundRobin
+             ? directed_.size()
+             : 2 * directed_.size() - 1;
+}
+
+std::string GraphScheduler::name() const {
+  return "graph_" + graph_.name +
+         (mode_ == GraphSchedulerMode::kRoundRobin ? "_rr" : "_shuffled");
+}
+
+}  // namespace circles::pp

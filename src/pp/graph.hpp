@@ -1,0 +1,69 @@
+// Interaction graphs and graph-restricted scheduling.
+//
+// The paper's model lets every pair interact (Definition 1.2 demands it:
+// weak fairness quantifies over all pairs). Restricting interactions to the
+// edges of a graph leaves that model — none of the paper's proofs apply —
+// but it is the natural "what if the sensors have radio range" question, and
+// experiment E14 explores it. The schedulers here are *edge-fair*: every
+// ordered edge is scheduled infinitely often, and their fairness_period()
+// certifies edge-silence ("no schedulable interaction can change state"),
+// which is the correct stability notion for a restricted topology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pp/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace circles::pp {
+
+/// An undirected simple graph on agents [0, n); interactions may use each
+/// edge in both (initiator, responder) orientations.
+struct InteractionGraph {
+  std::uint32_t n = 0;
+  std::vector<std::pair<AgentId, AgentId>> edges;  // a < b, no duplicates
+
+  static InteractionGraph complete(std::uint32_t n);
+  static InteractionGraph ring(std::uint32_t n);
+  /// Star with hub 0.
+  static InteractionGraph star(std::uint32_t n);
+  /// rows x cols 4-neighbour grid (n = rows * cols).
+  static InteractionGraph grid(std::uint32_t rows, std::uint32_t cols);
+  /// Random d-regular simple graph via the pairing model (retries until
+  /// simple). Requires n*d even, d < n.
+  static InteractionGraph random_regular(std::uint32_t n, std::uint32_t d,
+                                         std::uint64_t seed);
+
+  bool connected() const;
+  std::string name;  // optional label for tables
+};
+
+enum class GraphSchedulerMode {
+  kRoundRobin,     // directed edges in fixed order; period 2|E|
+  kShuffledSweep,  // directed edges reshuffled each sweep; period 4|E|-1
+};
+
+class GraphScheduler final : public Scheduler {
+ public:
+  GraphScheduler(InteractionGraph graph, GraphSchedulerMode mode,
+                 std::uint64_t seed);
+
+  AgentPair next(const Population& population) override;
+  /// A change-free window of this length certifies *edge*-silence.
+  std::uint64_t fairness_period() const override;
+  std::string name() const override;
+
+  const InteractionGraph& graph() const { return graph_; }
+
+ private:
+  InteractionGraph graph_;
+  GraphSchedulerMode mode_;
+  std::vector<AgentPair> directed_;
+  std::size_t cursor_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace circles::pp

@@ -1,0 +1,52 @@
+// Monitors observe every interaction the engine executes.
+//
+// Tests plug in invariant checkers (bra-ket conservation, potential descent);
+// experiments plug in counters and energy traces. Monitors see the states
+// both before and after the transition was applied.
+#pragma once
+
+#include <cstdint>
+
+#include "pp/population.hpp"
+#include "pp/types.hpp"
+
+namespace circles::pp {
+
+struct InteractionEvent {
+  std::uint64_t step;  // 0-based interaction index
+  AgentId initiator;
+  AgentId responder;
+  StateId initiator_before;
+  StateId responder_before;
+  StateId initiator_after;
+  StateId responder_after;
+
+  bool changed() const {
+    return initiator_before != initiator_after ||
+           responder_before != responder_after;
+  }
+};
+
+class Monitor {
+ public:
+  virtual ~Monitor() = default;
+
+  /// Called once before the first interaction.
+  virtual void on_start(const Population& population,
+                        const Protocol& protocol) {
+    (void)population;
+    (void)protocol;
+  }
+
+  /// Called after each interaction has been applied to the population.
+  virtual void on_interaction(const InteractionEvent& event,
+                              const Population& population) {
+    (void)event;
+    (void)population;
+  }
+
+  /// Called once when the run ends.
+  virtual void on_finish(const Population& population) { (void)population; }
+};
+
+}  // namespace circles::pp

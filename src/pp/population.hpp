@@ -1,0 +1,56 @@
+// A population: the agent vector plus the configuration multiset
+// (Definition 1.1) maintained incrementally as per-state counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "pp/protocol.hpp"
+#include "pp/types.hpp"
+
+namespace circles::pp {
+
+class Population {
+ public:
+  /// Builds a population whose agent i starts in protocol.input(colors[i]).
+  Population(const Protocol& protocol, std::span<const ColorId> colors);
+
+  /// Builds a population directly from explicit states (for tests).
+  Population(std::uint64_t num_states, std::span<const StateId> states);
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(agents_.size()); }
+  std::uint64_t num_states() const { return counts_.size(); }
+
+  StateId state(AgentId agent) const { return agents_[agent]; }
+
+  /// Updates one agent's state, maintaining counts and the present-state set.
+  void set_state(AgentId agent, StateId next);
+
+  std::uint64_t count(StateId state) const { return counts_[state]; }
+  std::span<const StateId> agents() const { return agents_; }
+
+  /// Number of distinct states currently present.
+  std::size_t distinct_states() const { return present_.size(); }
+
+  /// Sorted list of the distinct states currently present.
+  std::vector<StateId> present_states() const;
+
+  /// Histogram of output symbols under `protocol` (sized num_output_symbols).
+  std::vector<std::uint64_t> output_histogram(const Protocol& protocol) const;
+
+  /// True iff all agents announce `symbol`.
+  bool output_consensus(const Protocol& protocol, OutputSymbol symbol) const;
+
+  /// Debug rendering: sorted "state_name x count" list.
+  std::string to_string(const Protocol& protocol) const;
+
+ private:
+  std::vector<StateId> agents_;
+  std::vector<std::uint64_t> counts_;
+  std::unordered_set<StateId> present_;
+};
+
+}  // namespace circles::pp

@@ -1,0 +1,14 @@
+#include "pp/protocol.hpp"
+
+namespace circles::pp {
+
+std::string Protocol::state_name(StateId state) const {
+  return "s" + std::to_string(state);
+}
+
+std::string Protocol::output_name(OutputSymbol symbol) const {
+  if (symbol < num_colors()) return "c" + std::to_string(symbol);
+  return "sym" + std::to_string(symbol);
+}
+
+}  // namespace circles::pp

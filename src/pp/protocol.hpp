@@ -1,0 +1,52 @@
+// The population-protocol abstraction (Angluin et al. 2006).
+//
+// A protocol is fully described by a finite state set, an input map from
+// colors to states, an output map from states to output symbols, and a
+// deterministic transition function over *ordered* pairs (initiator,
+// responder). Symmetric protocols simply ignore the order. The transition
+// function deliberately receives nothing but the two states: agents are
+// anonymous and interactions carry no other information (model §1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pp/types.hpp"
+
+namespace circles::pp {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Number of states; StateIds range over [0, num_states()).
+  virtual std::uint64_t num_states() const = 0;
+
+  /// Number of input colors k.
+  virtual std::uint32_t num_colors() const = 0;
+
+  /// Number of distinct output symbols (>= num_colors()). Symbols at index
+  /// >= num_colors() are protocol-specific specials.
+  virtual std::uint32_t num_output_symbols() const { return num_colors(); }
+
+  /// Initial state for an agent with the given input color.
+  virtual StateId input(ColorId color) const = 0;
+
+  /// Output symbol announced by an agent in the given state.
+  virtual OutputSymbol output(StateId state) const = 0;
+
+  /// Joint transition for an ordered interaction.
+  virtual Transition transition(StateId initiator, StateId responder) const = 0;
+
+  /// Short machine-friendly protocol name (used in tables and CSV).
+  virtual std::string name() const = 0;
+
+  /// Debug rendering of a state; default is "s<id>".
+  virtual std::string state_name(StateId state) const;
+
+  /// Human-readable rendering of an output symbol; default prints colors as
+  /// "c<id>" and other symbols as "sym<id>".
+  virtual std::string output_name(OutputSymbol symbol) const;
+};
+
+}  // namespace circles::pp

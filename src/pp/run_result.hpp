@@ -1,0 +1,39 @@
+// Result of one engine run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/types.hpp"
+
+namespace circles::pp {
+
+struct RunResult {
+  /// Total interactions executed (including null interactions).
+  std::uint64_t interactions = 0;
+
+  /// Interactions that changed at least one agent's state.
+  std::uint64_t state_changes = 0;
+
+  /// Step index of the last state change (0 if none happened).
+  std::uint64_t last_change_step = 0;
+
+  /// True iff the run ended with an exact silence certificate.
+  bool silent = false;
+
+  /// True iff the run stopped because the interaction budget ran out.
+  bool budget_exhausted = false;
+
+  /// Output-symbol histogram of the final configuration.
+  std::vector<std::uint64_t> final_outputs;
+
+  /// True iff every agent announced `symbol` at the end.
+  bool consensus_on(OutputSymbol symbol) const {
+    if (symbol >= final_outputs.size()) return false;
+    std::uint64_t total = 0;
+    for (const auto c : final_outputs) total += c;
+    return final_outputs[symbol] == total && total > 0;
+  }
+};
+
+}  // namespace circles::pp

@@ -1,0 +1,67 @@
+// Scheduler interface: produces the infinite interaction sequence.
+//
+// The paper quantifies correctness over *all* weakly fair schedules
+// (Definition 1.2: every pair occurs infinitely often). Finite simulations
+// use schedulers that are weakly fair in the limit; the zoo in schedulers/
+// covers deterministic, randomized and adversarial members.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "pp/population.hpp"
+#include "pp/types.hpp"
+
+namespace circles::pp {
+
+struct AgentPair {
+  AgentId initiator;
+  AgentId responder;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Next ordered pair to interact. The population is visible so that
+  /// state-aware (adversarial) schedulers can be expressed; oblivious
+  /// schedulers ignore it.
+  virtual AgentPair next(const Population& population) = 0;
+
+  /// For deterministic periodic schedulers: the number of steps after which
+  /// every ordered agent pair is guaranteed to have been scheduled at least
+  /// once. 0 means "no such guarantee" (randomized schedulers).
+  virtual std::uint64_t fairness_period() const { return 0; }
+
+  virtual std::string name() const = 0;
+};
+
+/// The scheduler kinds available through the factory.
+enum class SchedulerKind {
+  kUniformRandom,
+  kRoundRobin,
+  kShuffledSweep,
+  kAdversarialDelay,
+  kClustered,
+};
+
+/// Builds a scheduler for a population of n agents. `protocol` is required
+/// only by kAdversarialDelay (it inspects transitions to find null
+/// interactions) and may be null otherwise; `seed` feeds randomized kinds.
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, std::uint32_t n,
+                                          std::uint64_t seed,
+                                          const Protocol* protocol = nullptr);
+
+/// Parses "uniform", "round_robin", "shuffled", "adversarial", "clustered".
+SchedulerKind scheduler_kind_from_string(const std::string& text);
+std::string to_string(SchedulerKind kind);
+
+/// All kinds, for sweep experiments.
+inline constexpr SchedulerKind kAllSchedulerKinds[] = {
+    SchedulerKind::kUniformRandom,    SchedulerKind::kRoundRobin,
+    SchedulerKind::kShuffledSweep,    SchedulerKind::kAdversarialDelay,
+    SchedulerKind::kClustered,
+};
+
+}  // namespace circles::pp

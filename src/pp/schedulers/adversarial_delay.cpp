@@ -1,0 +1,83 @@
+#include "pp/schedulers/adversarial_delay.hpp"
+
+#include "util/check.hpp"
+
+namespace circles::pp {
+
+AdversarialDelayScheduler::AdversarialDelayScheduler(std::uint32_t n,
+                                                     const Protocol& protocol,
+                                                     std::uint32_t fairness_stride)
+    : n_(n), protocol_(protocol), fairness_stride_(fairness_stride) {
+  CIRCLES_CHECK_MSG(n >= 2, "scheduler needs at least two agents");
+  CIRCLES_CHECK_MSG(fairness_stride >= 1, "fairness stride must be positive");
+}
+
+AgentPair AdversarialDelayScheduler::round_robin_pair() {
+  const AgentPair out{rr_i_, rr_j_};
+  do {
+    if (++rr_j_ == n_) {
+      rr_j_ = 0;
+      if (++rr_i_ == n_) rr_i_ = 0;
+    }
+  } while (rr_i_ == rr_j_);
+  return out;
+}
+
+std::optional<AgentPair> AdversarialDelayScheduler::find_null_pair(
+    const Population& population) const {
+  const auto present = population.present_states();
+  StateId want_a = 0, want_b = 0;
+  bool found = false;
+  for (const StateId s : present) {
+    for (const StateId t : present) {
+      if (s == t && population.count(s) < 2) continue;
+      const Transition tr = protocol_.transition(s, t);
+      if (tr.initiator == s && tr.responder == t) {
+        want_a = s;
+        want_b = t;
+        found = true;
+        break;
+      }
+    }
+    if (found) break;
+  }
+  if (!found) return std::nullopt;
+
+  // Locate concrete agents carrying those states (first match scan; the
+  // adversary does not need randomness, only legality).
+  AgentId a = 0;
+  bool have_a = false;
+  for (AgentId i = 0; i < n_; ++i) {
+    const StateId s = population.state(i);
+    if (!have_a && s == want_a) {
+      a = i;
+      have_a = true;
+      continue;  // a and b must be distinct agents even if states match
+    }
+    if (have_a && s == want_b) return AgentPair{a, i};
+  }
+  // want_b may sit at a smaller index than want_a when the states differ.
+  if (want_a != want_b) {
+    AgentId b = 0;
+    bool have_b = false;
+    for (AgentId i = 0; i < n_; ++i) {
+      const StateId s = population.state(i);
+      if (!have_b && s == want_b) {
+        b = i;
+        have_b = true;
+        continue;
+      }
+      if (have_b && s == want_a) return AgentPair{i, b};
+    }
+  }
+  return std::nullopt;
+}
+
+AgentPair AdversarialDelayScheduler::next(const Population& population) {
+  const std::uint64_t step = step_++;
+  if (step % fairness_stride_ == 0) return round_robin_pair();
+  if (auto pair = find_null_pair(population)) return *pair;
+  return round_robin_pair();
+}
+
+}  // namespace circles::pp

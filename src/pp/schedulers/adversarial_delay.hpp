@@ -1,0 +1,47 @@
+// A weakly fair adversary that delays progress as long as it can.
+//
+// Strategy: on most steps, schedule a *null* interaction (an ordered pair of
+// agents whose states the protocol leaves unchanged) if one exists; every
+// `kFairnessStride` steps, and whenever no null pair exists, fall back to a
+// round-robin cursor. The round-robin subsequence alone visits every ordered
+// pair infinitely often, so the produced schedule is weakly fair no matter
+// what the adversarial part does — this is the strongest scheduler in the zoo
+// for "always correct" claims (Theorem 3.7) because it starves the protocol
+// of productive meetings for as long as the fairness constraint allows.
+//
+// State-aware, so it needs the protocol; search is O(d^2 + n) per refresh
+// with d = distinct present states. Intended for n up to a few hundred.
+#pragma once
+
+#include <optional>
+
+#include "pp/scheduler.hpp"
+
+namespace circles::pp {
+
+class AdversarialDelayScheduler final : public Scheduler {
+ public:
+  /// One in `fairness_stride` steps is forced round-robin.
+  AdversarialDelayScheduler(std::uint32_t n, const Protocol& protocol,
+                            std::uint32_t fairness_stride = 8);
+
+  AgentPair next(const Population& population) override;
+  std::uint64_t fairness_period() const override {
+    // Every ordered pair appears within stride * n(n-1) steps.
+    return static_cast<std::uint64_t>(fairness_stride_) * n_ * (n_ - 1);
+  }
+  std::string name() const override { return "adversarial"; }
+
+ private:
+  AgentPair round_robin_pair();
+  std::optional<AgentPair> find_null_pair(const Population& population) const;
+
+  std::uint32_t n_;
+  const Protocol& protocol_;
+  std::uint32_t fairness_stride_;
+  std::uint64_t step_ = 0;
+  std::uint32_t rr_i_ = 0;
+  std::uint32_t rr_j_ = 1;
+};
+
+}  // namespace circles::pp

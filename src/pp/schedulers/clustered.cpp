@@ -1,0 +1,35 @@
+#include "pp/schedulers/clustered.hpp"
+
+#include "util/check.hpp"
+
+namespace circles::pp {
+
+ClusteredScheduler::ClusteredScheduler(std::uint32_t n, std::uint64_t seed,
+                                       double bridge_probability)
+    : n_(n),
+      half_(n / 2),
+      bridge_probability_(bridge_probability),
+      rng_(seed) {
+  CIRCLES_CHECK_MSG(n >= 4, "clustered scheduler needs at least four agents");
+  CIRCLES_CHECK_MSG(bridge_probability > 0.0 && bridge_probability <= 1.0,
+                    "bridge probability must be in (0, 1]");
+}
+
+AgentPair ClusteredScheduler::next(const Population&) {
+  if (rng_.bernoulli(bridge_probability_)) {
+    // One agent from each side, random orientation.
+    const auto a = static_cast<AgentId>(rng_.uniform_below(half_));
+    const auto b =
+        static_cast<AgentId>(half_ + rng_.uniform_below(n_ - half_));
+    if (rng_.bernoulli(0.5)) return {a, b};
+    return {b, a};
+  }
+  if (rng_.bernoulli(0.5)) {
+    const auto [a, b] = rng_.distinct_pair(half_);
+    return {static_cast<AgentId>(a), static_cast<AgentId>(b)};
+  }
+  const auto [a, b] = rng_.distinct_pair(n_ - half_);
+  return {static_cast<AgentId>(half_ + a), static_cast<AgentId>(half_ + b)};
+}
+
+}  // namespace circles::pp

@@ -1,0 +1,28 @@
+// Two-clique ("dumbbell") interaction pattern: agents are split into two
+// clusters; most interactions are intra-cluster, a small fraction crosses the
+// bridge. Weakly fair with probability 1 (the bridge probability is positive)
+// but information between the halves mixes slowly — a stress test for
+// convergence-time experiments.
+#pragma once
+
+#include "pp/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace circles::pp {
+
+class ClusteredScheduler final : public Scheduler {
+ public:
+  ClusteredScheduler(std::uint32_t n, std::uint64_t seed,
+                     double bridge_probability = 0.01);
+
+  AgentPair next(const Population& population) override;
+  std::string name() const override { return "clustered"; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t half_;  // agents [0, half_) form cluster A, the rest cluster B
+  double bridge_probability_;
+  util::Rng rng_;
+};
+
+}  // namespace circles::pp

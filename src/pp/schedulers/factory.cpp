@@ -1,0 +1,58 @@
+#include <stdexcept>
+
+#include "pp/scheduler.hpp"
+#include "pp/schedulers/adversarial_delay.hpp"
+#include "pp/schedulers/clustered.hpp"
+#include "pp/schedulers/round_robin.hpp"
+#include "pp/schedulers/shuffled_sweep.hpp"
+#include "pp/schedulers/uniform_random.hpp"
+#include "util/check.hpp"
+
+namespace circles::pp {
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, std::uint32_t n,
+                                          std::uint64_t seed,
+                                          const Protocol* protocol) {
+  switch (kind) {
+    case SchedulerKind::kUniformRandom:
+      return std::make_unique<UniformRandomScheduler>(n, seed);
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>(n);
+    case SchedulerKind::kShuffledSweep:
+      return std::make_unique<ShuffledSweepScheduler>(n, seed);
+    case SchedulerKind::kAdversarialDelay:
+      CIRCLES_CHECK_MSG(protocol != nullptr,
+                        "adversarial scheduler needs the protocol");
+      return std::make_unique<AdversarialDelayScheduler>(n, *protocol);
+    case SchedulerKind::kClustered:
+      return std::make_unique<ClusteredScheduler>(n, seed);
+  }
+  throw std::invalid_argument("unknown scheduler kind");
+}
+
+SchedulerKind scheduler_kind_from_string(const std::string& text) {
+  if (text == "uniform") return SchedulerKind::kUniformRandom;
+  if (text == "round_robin") return SchedulerKind::kRoundRobin;
+  if (text == "shuffled") return SchedulerKind::kShuffledSweep;
+  if (text == "adversarial") return SchedulerKind::kAdversarialDelay;
+  if (text == "clustered") return SchedulerKind::kClustered;
+  throw std::invalid_argument("unknown scheduler name: " + text);
+}
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kUniformRandom:
+      return "uniform";
+    case SchedulerKind::kRoundRobin:
+      return "round_robin";
+    case SchedulerKind::kShuffledSweep:
+      return "shuffled";
+    case SchedulerKind::kAdversarialDelay:
+      return "adversarial";
+    case SchedulerKind::kClustered:
+      return "clustered";
+  }
+  return "unknown";
+}
+
+}  // namespace circles::pp

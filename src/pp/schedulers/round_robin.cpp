@@ -1,0 +1,23 @@
+#include "pp/schedulers/round_robin.hpp"
+
+#include "util/check.hpp"
+
+namespace circles::pp {
+
+RoundRobinScheduler::RoundRobinScheduler(std::uint32_t n) : n_(n) {
+  CIRCLES_CHECK_MSG(n >= 2, "scheduler needs at least two agents");
+}
+
+AgentPair RoundRobinScheduler::next(const Population&) {
+  const AgentPair out{i_, j_};
+  // Advance (i, j) over all ordered pairs with i != j.
+  do {
+    if (++j_ == n_) {
+      j_ = 0;
+      if (++i_ == n_) i_ = 0;
+    }
+  } while (i_ == j_);
+  return out;
+}
+
+}  // namespace circles::pp

@@ -1,0 +1,26 @@
+// Deterministic round-robin over all ordered pairs (i, j), i != j, in
+// lexicographic order. Weakly fair by construction: every ordered pair occurs
+// exactly once per period of n(n-1) steps.
+#pragma once
+
+#include "pp/scheduler.hpp"
+
+namespace circles::pp {
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(std::uint32_t n);
+
+  AgentPair next(const Population& population) override;
+  std::uint64_t fairness_period() const override {
+    return static_cast<std::uint64_t>(n_) * (n_ - 1);
+  }
+  std::string name() const override { return "round_robin"; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t i_ = 0;
+  std::uint32_t j_ = 1;
+};
+
+}  // namespace circles::pp

@@ -1,0 +1,18 @@
+#include "pp/schedulers/uniform_random.hpp"
+
+#include "util/check.hpp"
+
+namespace circles::pp {
+
+UniformRandomScheduler::UniformRandomScheduler(std::uint32_t n,
+                                               std::uint64_t seed)
+    : n_(n), rng_(seed) {
+  CIRCLES_CHECK_MSG(n >= 2, "scheduler needs at least two agents");
+}
+
+AgentPair UniformRandomScheduler::next(const Population&) {
+  const auto [a, b] = rng_.distinct_pair(n_);
+  return {static_cast<AgentId>(a), static_cast<AgentId>(b)};
+}
+
+}  // namespace circles::pp

@@ -1,0 +1,23 @@
+// The classic probabilistic scheduler: each step picks an ordered pair of
+// distinct agents uniformly at random. Globally fair with probability 1,
+// hence also weakly fair with probability 1.
+#pragma once
+
+#include "pp/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace circles::pp {
+
+class UniformRandomScheduler final : public Scheduler {
+ public:
+  UniformRandomScheduler(std::uint32_t n, std::uint64_t seed);
+
+  AgentPair next(const Population& population) override;
+  std::string name() const override { return "uniform"; }
+
+ private:
+  std::uint32_t n_;
+  util::Rng rng_;
+};
+
+}  // namespace circles::pp

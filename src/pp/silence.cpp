@@ -1,0 +1,17 @@
+#include "pp/silence.hpp"
+
+namespace circles::pp {
+
+bool is_silent(const Population& population, const Protocol& protocol) {
+  const auto present = population.present_states();
+  for (const StateId s : present) {
+    for (const StateId t : present) {
+      if (s == t && population.count(s) < 2) continue;
+      const Transition tr = protocol.transition(s, t);
+      if (tr.initiator != s || tr.responder != t) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace circles::pp

@@ -1,0 +1,17 @@
+// Exact silence detection.
+//
+// A configuration is *silent* when no scheduled interaction can change any
+// state: for all ordered pairs (s, t) of present states (requiring count >= 2
+// when s == t), transition(s, t) == (s, t). Silence certifies that outputs
+// are stable forever — it is the strongest convergence certificate a finite
+// run can produce, and all correctness experiments insist on it.
+#pragma once
+
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+
+namespace circles::pp {
+
+bool is_silent(const Population& population, const Protocol& protocol);
+
+}  // namespace circles::pp

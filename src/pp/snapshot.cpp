@@ -1,0 +1,65 @@
+#include "pp/snapshot.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace circles::pp {
+
+namespace {
+constexpr char kMagic[] = "circles-snapshot v1";
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("snapshot: " + what);
+}
+}  // namespace
+
+std::string serialize_population(const Population& population,
+                                 const Protocol& protocol) {
+  std::ostringstream os;
+  os << kMagic << '\n';
+  os << "protocol " << protocol.name() << '\n';
+  os << "num_states " << protocol.num_states() << '\n';
+  os << "agents " << population.size() << '\n';
+  for (const StateId s : population.present_states()) {
+    os << s << ' ' << population.count(s) << '\n';
+  }
+  return os.str();
+}
+
+Population parse_population(const std::string& text,
+                            const Protocol& protocol) {
+  std::istringstream is(text);
+  std::string line;
+
+  if (!std::getline(is, line) || line != kMagic) fail("bad magic line");
+
+  std::string word, name;
+  if (!(is >> word >> name) || word != "protocol") fail("missing protocol");
+  if (name != protocol.name()) {
+    fail("protocol mismatch: snapshot is for '" + name + "', got '" +
+         protocol.name() + "'");
+  }
+
+  std::uint64_t num_states = 0;
+  if (!(is >> word >> num_states) || word != "num_states") {
+    fail("missing num_states");
+  }
+  if (num_states != protocol.num_states()) fail("state-count mismatch");
+
+  std::uint64_t agents = 0;
+  if (!(is >> word >> agents) || word != "agents") fail("missing agents");
+
+  std::vector<StateId> states;
+  states.reserve(agents);
+  std::uint64_t state = 0, count = 0;
+  while (is >> state >> count) {
+    if (state >= num_states) fail("state id out of range");
+    if (count == 0) fail("zero count entry");
+    states.insert(states.end(), count, static_cast<StateId>(state));
+    if (states.size() > agents) fail("counts exceed agent total");
+  }
+  if (states.size() != agents) fail("counts do not sum to agent total");
+  return Population(protocol.num_states(), states);
+}
+
+}  // namespace circles::pp

@@ -1,0 +1,30 @@
+// Text snapshots of configurations.
+//
+// Configurations are multisets (agents are anonymous), so a snapshot is the
+// per-state count table plus enough metadata to detect mismatched reloads.
+// The format is line-oriented and diff-friendly — stable across runs for use
+// in golden tests and repro bundles:
+//
+//   circles-snapshot v1
+//   protocol <name>
+//   num_states <N>
+//   agents <n>
+//   <state_id> <count>      # one line per present state, ascending
+#pragma once
+
+#include <string>
+
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+
+namespace circles::pp {
+
+std::string serialize_population(const Population& population,
+                                 const Protocol& protocol);
+
+/// Parses a snapshot produced by serialize_population. Throws
+/// std::invalid_argument on malformed input or a protocol mismatch
+/// (different name or state count).
+Population parse_population(const std::string& text, const Protocol& protocol);
+
+}  // namespace circles::pp

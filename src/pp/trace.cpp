@@ -1,0 +1,44 @@
+#include "pp/trace.hpp"
+
+namespace circles::pp {
+
+void InteractionRecorder::on_interaction(const InteractionEvent& event,
+                                         const Population&) {
+  if (events_.size() >= max_events_) {
+    truncated_ = true;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void OutputStabilityMonitor::on_start(const Population&,
+                                      const Protocol& protocol) {
+  protocol_ = &protocol;
+  last_output_change_ = 0;
+  total_flips_ = 0;
+}
+
+void OutputStabilityMonitor::on_interaction(const InteractionEvent& event,
+                                            const Population&) {
+  if (!event.changed()) return;
+  const bool initiator_flip = protocol_->output(event.initiator_before) !=
+                              protocol_->output(event.initiator_after);
+  const bool responder_flip = protocol_->output(event.responder_before) !=
+                              protocol_->output(event.responder_after);
+  if (initiator_flip || responder_flip) {
+    last_output_change_ = event.step + 1;
+    total_flips_ += initiator_flip ? 1 : 0;
+    total_flips_ += responder_flip ? 1 : 0;
+  }
+}
+
+void StateChangeCounter::on_interaction(const InteractionEvent& event,
+                                        const Population&) {
+  if (event.changed()) {
+    ++changes_;
+  } else {
+    ++nulls_;
+  }
+}
+
+}  // namespace circles::pp

@@ -1,0 +1,63 @@
+// Reusable monitors: interaction recording, output-stability tracking, and
+// state-change counting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/monitor.hpp"
+
+namespace circles::pp {
+
+/// Records interaction events up to a cap (tests and debugging).
+class InteractionRecorder final : public Monitor {
+ public:
+  explicit InteractionRecorder(std::size_t max_events = 1 << 20)
+      : max_events_(max_events) {}
+
+  void on_interaction(const InteractionEvent& event,
+                      const Population& population) override;
+
+  const std::vector<InteractionEvent>& events() const { return events_; }
+  bool truncated() const { return truncated_; }
+
+ private:
+  std::size_t max_events_;
+  std::vector<InteractionEvent> events_;
+  bool truncated_ = false;
+};
+
+/// Tracks when agent outputs last changed; convergence-time experiments use
+/// the last step at which any agent's announced output flipped.
+class OutputStabilityMonitor final : public Monitor {
+ public:
+  void on_start(const Population& population,
+                const Protocol& protocol) override;
+  void on_interaction(const InteractionEvent& event,
+                      const Population& population) override;
+
+  /// Step index (+1) of the last output flip; 0 if outputs never changed.
+  std::uint64_t last_output_change() const { return last_output_change_; }
+  std::uint64_t total_output_flips() const { return total_flips_; }
+
+ private:
+  const Protocol* protocol_ = nullptr;
+  std::uint64_t last_output_change_ = 0;
+  std::uint64_t total_flips_ = 0;
+};
+
+/// Counts interactions satisfying a caller-supplied predicate over events.
+class StateChangeCounter final : public Monitor {
+ public:
+  void on_interaction(const InteractionEvent& event,
+                      const Population& population) override;
+
+  std::uint64_t changes() const { return changes_; }
+  std::uint64_t nulls() const { return nulls_; }
+
+ private:
+  std::uint64_t changes_ = 0;
+  std::uint64_t nulls_ = 0;
+};
+
+}  // namespace circles::pp

@@ -1,0 +1,20 @@
+#include "pp/transition_cache.hpp"
+
+#include "util/check.hpp"
+
+namespace circles::pp {
+
+CachedProtocol::CachedProtocol(const Protocol& base, std::uint64_t max_entries)
+    : base_(base), num_states_(base.num_states()) {
+  CIRCLES_CHECK_MSG(num_states_ * num_states_ <= max_entries,
+                    "transition table would exceed the cache budget; pass a "
+                    "larger max_entries if the memory cost is acceptable");
+  table_.reserve(num_states_ * num_states_);
+  for (StateId a = 0; a < num_states_; ++a) {
+    for (StateId b = 0; b < num_states_; ++b) {
+      table_.push_back(base.transition(a, b));
+    }
+  }
+}
+
+}  // namespace circles::pp

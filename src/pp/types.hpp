@@ -1,0 +1,30 @@
+// Fundamental identifier types for the population-protocol substrate.
+#pragma once
+
+#include <cstdint>
+
+namespace circles::pp {
+
+/// Dense protocol-state identifier; each protocol defines its own encoding
+/// over [0, num_states()).
+using StateId = std::uint32_t;
+
+/// Input color in [0, k).
+using ColorId = std::uint32_t;
+
+/// Output symbol. Values in [0, num_colors()) are colors; protocols may
+/// define extra symbols at num_colors() and above (e.g. TieReport's TIE).
+using OutputSymbol = std::uint32_t;
+
+/// Agent index in [0, n).
+using AgentId = std::uint32_t;
+
+/// Result of one ordered interaction.
+struct Transition {
+  StateId initiator;
+  StateId responder;
+
+  bool operator==(const Transition&) const = default;
+};
+
+}  // namespace circles::pp

@@ -1,0 +1,38 @@
+// Lightweight runtime checking macros used across the library.
+//
+// CIRCLES_CHECK is always on (simulation correctness depends on it and the cost
+// is negligible relative to the checked operations); CIRCLES_DCHECK compiles
+// out in NDEBUG builds and guards hot-path internal invariants.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace circles::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace circles::util
+
+#define CIRCLES_CHECK(expr)                                                \
+  do {                                                                     \
+    if (!(expr)) ::circles::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CIRCLES_CHECK_MSG(expr, msg)                                           \
+  do {                                                                         \
+    if (!(expr)) ::circles::util::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define CIRCLES_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#else
+#define CIRCLES_DCHECK(expr) CIRCLES_CHECK(expr)
+#endif

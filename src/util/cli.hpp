@@ -1,0 +1,52 @@
+// Tiny flag parser shared by the experiment binaries.
+//
+// Supports `--name=value`, `--name value` and boolean `--name`. Unknown flags
+// are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace circles::util {
+
+class Cli {
+ public:
+  /// Parses argv; exits with a message on malformed input.
+  Cli(int argc, char** argv);
+
+  /// Declares a flag with a default; returns the parsed or default value.
+  /// Declaration doubles as the "known flag" registry for error checking.
+  std::int64_t int_flag(const std::string& name, std::int64_t def,
+                        const std::string& help);
+  double double_flag(const std::string& name, double def,
+                     const std::string& help);
+  std::string string_flag(const std::string& name, std::string def,
+                          const std::string& help);
+  bool bool_flag(const std::string& name, bool def, const std::string& help);
+
+  /// Call after all flags are declared: errors on unknown flags, handles
+  /// --help by printing usage and exiting.
+  void finish();
+
+  const std::string& program() const { return program_; }
+
+ private:
+  struct HelpEntry {
+    std::string name;
+    std::string help;
+    std::string def;
+  };
+
+  bool lookup(const std::string& name, std::string* value) const;
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> seen_order_;
+  std::vector<HelpEntry> help_;
+  bool help_requested_ = false;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace circles::util

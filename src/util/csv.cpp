@@ -1,0 +1,59 @@
+#include "util/csv.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace circles::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  CIRCLES_CHECK_MSG(cells.size() == columns_, "CSV row width mismatch");
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << escape(cell);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::cell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string CsvWriter::cell(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+std::string CsvWriter::cell(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  return buf;
+}
+
+}  // namespace circles::util

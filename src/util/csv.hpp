@@ -1,0 +1,40 @@
+// Minimal CSV writer for experiment outputs.
+//
+// Benches print human-readable tables to stdout and optionally mirror rows to
+// CSV files so results can be post-processed (plots, regression baselines).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace circles::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends one row; the cell count must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats arithmetic values with full precision.
+  static std::string cell(double v);
+  static std::string cell(std::uint64_t v);
+  static std::string cell(std::int64_t v);
+  static std::string cell(std::string_view v) { return std::string(v); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(std::string_view cell);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace circles::util

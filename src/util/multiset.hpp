@@ -1,0 +1,105 @@
+// A small counted multiset over an ordered key type.
+//
+// The paper works with configurations as multisets (Definition 1.1) and with
+// multiset union / subset / difference generalizations; this type makes those
+// operations explicit and cheap, and keeps deterministic (sorted) iteration
+// order so test failures print stably.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace circles::util {
+
+template <typename Key>
+class CountedMultiset {
+ public:
+  using count_type = std::uint64_t;
+
+  CountedMultiset() = default;
+
+  void add(const Key& key, count_type count = 1) {
+    if (count == 0) return;
+    counts_[key] += count;
+    size_ += count;
+  }
+
+  /// Removes `count` copies; the copies must exist.
+  void remove(const Key& key, count_type count = 1) {
+    if (count == 0) return;
+    auto it = counts_.find(key);
+    CIRCLES_CHECK_MSG(it != counts_.end() && it->second >= count,
+                      "removing elements absent from multiset");
+    it->second -= count;
+    size_ -= count;
+    if (it->second == 0) counts_.erase(it);
+  }
+
+  count_type count(const Key& key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  bool contains(const Key& key) const { return count(key) > 0; }
+  count_type size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t distinct_size() const { return counts_.size(); }
+
+  /// Multiset subset: every key's multiplicity here is <= other's.
+  bool subset_of(const CountedMultiset& other) const {
+    for (const auto& [key, cnt] : counts_) {
+      if (other.count(key) < cnt) return false;
+    }
+    return true;
+  }
+
+  /// Multiset (additive) union, i.e. pointwise sum of multiplicities. The
+  /// paper's ∪ over the disjoint circles f(G_p) is exactly this sum.
+  CountedMultiset union_with(const CountedMultiset& other) const {
+    CountedMultiset out = *this;
+    for (const auto& [key, cnt] : other.counts_) out.add(key, cnt);
+    return out;
+  }
+
+  /// Multiset difference (saturating per key at zero).
+  CountedMultiset difference(const CountedMultiset& other) const {
+    CountedMultiset out;
+    for (const auto& [key, cnt] : counts_) {
+      const count_type o = other.count(key);
+      if (cnt > o) out.add(key, cnt - o);
+    }
+    return out;
+  }
+
+  bool operator==(const CountedMultiset& other) const {
+    return counts_ == other.counts_;
+  }
+
+  auto begin() const { return counts_.begin(); }
+  auto end() const { return counts_.end(); }
+
+  /// Human-readable "{key×count, ...}" rendering (requires streamable Key).
+  std::string to_string() const {
+    std::ostringstream os;
+    os << '{';
+    bool first = true;
+    for (const auto& [key, cnt] : counts_) {
+      if (!first) os << ", ";
+      first = false;
+      os << key;
+      if (cnt != 1) os << "x" << cnt;
+    }
+    os << '}';
+    return os.str();
+  }
+
+ private:
+  std::map<Key, count_type> counts_;
+  count_type size_ = 0;
+};
+
+}  // namespace circles::util

@@ -1,0 +1,91 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace circles::util {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  CIRCLES_CHECK(!sorted.empty());
+  CIRCLES_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  RunningStats rs;
+  for (double x : sorted) rs.add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = quantile_sorted(sorted, 0.50);
+  s.p90 = quantile_sorted(sorted, 0.90);
+  s.p99 = quantile_sorted(sorted, 0.99);
+  return s;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " sd=" << stddev << " min=" << min
+     << " p50=" << p50 << " p90=" << p90 << " p99=" << p99 << " max=" << max;
+  return os.str();
+}
+
+double loglog_slope(std::span<const double> x, std::span<const double> y) {
+  CIRCLES_CHECK(x.size() == y.size());
+  CIRCLES_CHECK(x.size() >= 2);
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const auto n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    CIRCLES_CHECK_MSG(x[i] > 0.0 && y[i] > 0.0,
+                      "loglog_slope requires positive samples");
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  CIRCLES_CHECK_MSG(denom != 0.0, "loglog_slope: degenerate x values");
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace circles::util

@@ -1,0 +1,56 @@
+// Streaming and batch summary statistics for experiment aggregation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace circles::util {
+
+/// Welford-style streaming accumulator for mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary with quantiles (keeps a copy of the samples).
+struct Summary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  std::string to_string() const;
+};
+
+Summary summarize(std::span<const double> samples);
+
+/// Linear-interpolated quantile of a *sorted* sample vector, q in [0,1].
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Least-squares slope of log(y) vs log(x); useful to read off power-law
+/// scaling exponents from sweep results. Requires positive inputs and
+/// matching sizes >= 2.
+double loglog_slope(std::span<const double> x, std::span<const double> y);
+
+}  // namespace circles::util

@@ -1,0 +1,38 @@
+// Console table rendering for bench/experiment output.
+//
+// Every experiment binary prints the rows the paper's (hypothetical) tables
+// would contain; this renderer right-aligns numeric columns and keeps output
+// diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace circles::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Formats helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+  static std::string percent(double fraction, int precision = 1);
+
+  /// Renders with a rule under the header, columns padded to content width.
+  std::string to_string() const;
+
+  /// Renders to stdout with an optional title line.
+  void print(const std::string& title = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace circles::util

@@ -1,0 +1,84 @@
+#include "baselines/state_complexity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/approx_majority_3state.hpp"
+#include "baselines/exact_majority_4state.hpp"
+#include "baselines/pairwise_plurality.hpp"
+#include "core/circles_protocol.hpp"
+#include "extensions/ordering.hpp"
+#include "extensions/tie_report.hpp"
+#include "extensions/unordered_circles.hpp"
+
+namespace circles::baselines {
+namespace {
+
+TEST(StateComplexityTest, ClosedForms) {
+  EXPECT_EQ(circles_states(4), 64u);
+  EXPECT_EQ(tie_report_states(4), 2u * 16 * 5);
+  EXPECT_EQ(ordering_states(4), 32u);
+  EXPECT_EQ(unordered_circles_states(4), 512u);
+  EXPECT_EQ(ghmss_upper_bound(2), 128u);
+  EXPECT_EQ(plurality_lower_bound(9), 81u);
+}
+
+TEST(StateComplexityTest, FormulasMatchImplementations) {
+  for (std::uint32_t k = 1; k <= 6; ++k) {
+    EXPECT_EQ(core::CirclesProtocol(k).num_states(), circles_states(k));
+    EXPECT_EQ(ext::OrderingProtocol(k).num_states(), ordering_states(k));
+    EXPECT_EQ(ext::TieReportProtocol(k).num_states(), tie_report_states(k));
+    EXPECT_EQ(ext::UnorderedCirclesProtocol(k).num_states(),
+              unordered_circles_states(k));
+    EXPECT_EQ(PairwisePlurality(k).num_states(),
+              PairwisePlurality::state_count_formula(k));
+  }
+  EXPECT_EQ(ExactMajority4State().num_states(), 4u);
+  EXPECT_EQ(ApproxMajority3State().num_states(), 3u);
+}
+
+TEST(StateComplexityTest, CirclesBeatsPriorUpperBoundEverywhere) {
+  // The paper's claim: k^3 < O(k^7)'s k^7 for every k >= 2, and it sits
+  // above the Omega(k^2) lower bound.
+  for (std::uint32_t k = 2; k <= 32; ++k) {
+    EXPECT_LT(circles_states(k), ghmss_upper_bound(k));
+    EXPECT_GE(circles_states(k), plurality_lower_bound(k));
+  }
+}
+
+TEST(StateComplexityTest, PairwiseBaselineOvertakesCirclesQuickly) {
+  // The naive deterministic comparator is smaller only at k = 2 (6 < 8);
+  // from k = 3 on it explodes past k^3 — the gap the paper's design closes.
+  EXPECT_LT(PairwisePlurality::state_count_formula(2), circles_states(2));
+  for (std::uint32_t k = 3; k <= 10; ++k) {
+    EXPECT_GT(PairwisePlurality::state_count_formula(k), circles_states(k));
+  }
+}
+
+TEST(StateComplexityTest, TableRowsConsistent) {
+  const auto rows = state_complexity_table(5);
+  ASSERT_GE(rows.size(), 8u);
+  bool found_circles = false;
+  for (const auto& row : rows) {
+    if (row.protocol == "circles") {
+      found_circles = true;
+      EXPECT_EQ(row.states, 125u);
+      EXPECT_TRUE(row.always_correct);
+    }
+    if (row.protocol == "ordering") {
+      EXPECT_EQ(row.states, 50u);
+    }
+  }
+  EXPECT_TRUE(found_circles);
+}
+
+TEST(StateComplexityTest, OverflowSaturatesToZero) {
+  // k^7 overflows uint64 well below k = 1024; the table must not UB.
+  const auto rows = state_complexity_table(1000);
+  for (const auto& row : rows) {
+    (void)row;  // merely constructing the table must be safe
+  }
+  EXPECT_EQ(ghmss_upper_bound(600), 0u);  // 600^7 > 2^64 -> saturated
+}
+
+}  // namespace
+}  // namespace circles::baselines

@@ -1,0 +1,161 @@
+#include "core/braket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace circles::core {
+namespace {
+
+/// Naive transliteration of the paper's weight definition, as an oracle.
+std::uint32_t naive_weight(std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+  if (i == j) return k;
+  const std::int64_t diff = static_cast<std::int64_t>(j) - i;
+  std::int64_t m = diff % static_cast<std::int64_t>(k);
+  if (m < 0) m += k;
+  return static_cast<std::uint32_t>(m);
+}
+
+TEST(WeightTest, MatchesDefinitionExhaustively) {
+  for (std::uint32_t k = 1; k <= 8; ++k) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      for (std::uint32_t j = 0; j < k; ++j) {
+        EXPECT_EQ(weight({i, j}, k), naive_weight(i, j, k))
+            << "k=" << k << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(WeightTest, DiagonalIsMaximal) {
+  for (std::uint32_t k = 1; k <= 10; ++k) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      EXPECT_EQ(weight({i, i}, k), k);
+    }
+  }
+}
+
+TEST(WeightTest, OffDiagonalRange) {
+  // Off-diagonal weights are cyclic distances in [1, k-1].
+  for (std::uint32_t k = 2; k <= 10; ++k) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      for (std::uint32_t j = 0; j < k; ++j) {
+        if (i == j) continue;
+        const std::uint32_t w = weight({i, j}, k);
+        EXPECT_GE(w, 1u);
+        EXPECT_LE(w, k - 1);
+      }
+    }
+  }
+}
+
+TEST(WeightTest, PaperExamples) {
+  // k = 10: w(⟨2|7⟩) = 5, w(⟨8|3⟩) = 5 (wraps), w(⟨4|4⟩) = 10.
+  EXPECT_EQ(weight({2, 7}, 10), 5u);
+  EXPECT_EQ(weight({8, 3}, 10), 5u);
+  EXPECT_EQ(weight({4, 4}, 10), 10u);
+  EXPECT_EQ(weight({7, 2}, 10), 5u);
+  EXPECT_EQ(weight({0, 9}, 10), 9u);
+  EXPECT_EQ(weight({9, 0}, 10), 1u);
+}
+
+TEST(WeightTest, AsymmetricInGeneral) {
+  EXPECT_EQ(weight({1, 4}, 5), 3u);
+  EXPECT_EQ(weight({4, 1}, 5), 2u);
+}
+
+TEST(BraKetTest, DiagonalPredicate) {
+  EXPECT_TRUE((BraKet{3, 3}).diagonal());
+  EXPECT_FALSE((BraKet{3, 4}).diagonal());
+}
+
+TEST(BraKetTest, OrderingAndEquality) {
+  EXPECT_EQ((BraKet{1, 2}), (BraKet{1, 2}));
+  EXPECT_NE((BraKet{1, 2}), (BraKet{2, 1}));
+  EXPECT_LT((BraKet{1, 2}), (BraKet{1, 3}));
+  EXPECT_LT((BraKet{1, 9}), (BraKet{2, 0}));
+}
+
+TEST(BraKetTest, ToStringAndStreaming) {
+  EXPECT_EQ(to_string(BraKet{1, 2}), "<1|2>");
+  std::ostringstream os;
+  os << BraKet{4, 4};
+  EXPECT_EQ(os.str(), "<4|4>");
+}
+
+TEST(ExchangeRuleTest, TwoDiagonalsAlwaysExchange) {
+  // ⟨i|i⟩ + ⟨j|j⟩, i != j: both weights k; post weights are cyclic gaps < k.
+  for (std::uint32_t k = 2; k <= 8; ++k) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      for (std::uint32_t j = 0; j < k; ++j) {
+        if (i == j) continue;
+        EXPECT_TRUE(exchange_decreases_min({i, i}, {j, j}, k))
+            << "k=" << k << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(ExchangeRuleTest, IdenticalBraKetsNeverExchange) {
+  for (std::uint32_t k = 1; k <= 8; ++k) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      for (std::uint32_t j = 0; j < k; ++j) {
+        EXPECT_FALSE(exchange_decreases_min({i, j}, {i, j}, k));
+      }
+    }
+  }
+}
+
+TEST(ExchangeRuleTest, DiagonalPlusAlignedKetIsStable) {
+  // ⟨i|i⟩ + ⟨i|j⟩: swapping produces ⟨i|j⟩ + ⟨i|i⟩ — same weights, no gain.
+  for (std::uint32_t k = 2; k <= 8; ++k) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      for (std::uint32_t j = 0; j < k; ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(exchange_decreases_min({i, i}, {i, j}, k));
+        EXPECT_FALSE(exchange_decreases_min({i, j}, {i, i}, k));
+      }
+    }
+  }
+}
+
+TEST(ExchangeRuleTest, ProofCaseFromLemma36) {
+  // The Lemma 3.6 interaction: ⟨g_l|j⟩ meets ⟨i|g_{l+1}⟩ where i, j lie
+  // outside the modulo range (g_l, g_{l+1}); swapping creates ⟨g_l|g_{l+1}⟩
+  // and must fire. Concrete instance: k = 10, g_l = 2, g_{l+1} = 5,
+  // i = 8, j = 7 (both outside (2,5)_10 = {3,4}).
+  EXPECT_TRUE(exchange_decreases_min({2, 7}, {8, 5}, 10));
+  // And the created bra-ket is the minimal one:
+  EXPECT_EQ(weight({2, 5}, 10), 3u);
+  EXPECT_LT(weight({2, 5}, 10), weight({2, 7}, 10));
+  EXPECT_LT(weight({2, 5}, 10), weight({8, 5}, 10));
+}
+
+TEST(ExchangeRuleTest, DiagonalCreationExample) {
+  // ⟨0|4⟩ + ⟨3|0⟩ (k = 5): post ⟨0|0⟩ (w 5) + ⟨3|4⟩ (w 1); min 1 < min(4, 2).
+  EXPECT_TRUE(exchange_decreases_min({0, 4}, {3, 0}, 5));
+}
+
+TEST(ExchangeRuleTest, CrossPairRefusesWhenMinAlreadyMinimal) {
+  // ⟨0|1⟩ + ⟨1|0⟩ (k = 5): weights (1, 4); post ⟨0|0⟩, ⟨1|1⟩ weights (5, 5).
+  EXPECT_FALSE(exchange_decreases_min({0, 1}, {1, 0}, 5));
+}
+
+TEST(ExchangeRuleTest, SymmetricInArguments) {
+  // The rule only involves the min over both orders of the swap, so it must
+  // be symmetric under swapping the two agents.
+  for (std::uint32_t k = 2; k <= 6; ++k) {
+    for (std::uint32_t a = 0; a < k * k; ++a) {
+      for (std::uint32_t b = 0; b < k * k; ++b) {
+        const BraKet x{a / k, a % k};
+        const BraKet y{b / k, b % k};
+        EXPECT_EQ(exchange_decreases_min(x, y, k),
+                  exchange_decreases_min(y, x, k));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace circles::core

@@ -1,0 +1,204 @@
+#include "core/circles_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace circles::core {
+namespace {
+
+TEST(CirclesProtocolTest, StateCountIsKCubed) {
+  for (std::uint32_t k : {1u, 2u, 3u, 5u, 10u, 32u}) {
+    CirclesProtocol protocol(k);
+    EXPECT_EQ(protocol.num_states(),
+              static_cast<std::uint64_t>(k) * k * k);
+    EXPECT_EQ(protocol.num_colors(), k);
+    EXPECT_EQ(protocol.num_output_symbols(), k);
+  }
+}
+
+TEST(CirclesProtocolTest, EncodeDecodeRoundTripAllStates) {
+  for (std::uint32_t k : {1u, 2u, 3u, 5u}) {
+    CirclesProtocol protocol(k);
+    for (pp::StateId s = 0; s < protocol.num_states(); ++s) {
+      const auto f = protocol.decode(s);
+      EXPECT_LT(f.braket.bra, k);
+      EXPECT_LT(f.braket.ket, k);
+      EXPECT_LT(f.out, k);
+      EXPECT_EQ(protocol.encode(f.braket, f.out), s);
+    }
+  }
+}
+
+TEST(CirclesProtocolTest, InputIsDiagonalWithOwnOutput) {
+  CirclesProtocol protocol(6);
+  for (pp::ColorId c = 0; c < 6; ++c) {
+    const auto f = protocol.decode(protocol.input(c));
+    EXPECT_EQ(f.braket.bra, c);
+    EXPECT_EQ(f.braket.ket, c);
+    EXPECT_EQ(f.out, c);
+    EXPECT_EQ(protocol.output(protocol.input(c)), c);
+  }
+}
+
+TEST(CirclesProtocolTest, OutputReadsOutField) {
+  CirclesProtocol protocol(4);
+  for (pp::ColorId out = 0; out < 4; ++out) {
+    EXPECT_EQ(protocol.output(protocol.encode({1, 2}, out)), out);
+  }
+}
+
+TEST(CirclesProtocolTest, ExchangeSwapsKetsWhenItDecreasesMinWeight) {
+  CirclesProtocol protocol(5);
+  // ⟨0|4⟩ + ⟨3|0⟩ exchanges into ⟨0|0⟩ + ⟨3|4⟩ (diagonal creation example).
+  const pp::StateId a = protocol.encode({0, 4}, 1);
+  const pp::StateId b = protocol.encode({3, 0}, 2);
+  const pp::Transition tr = protocol.transition(a, b);
+  const auto fa = protocol.decode(tr.initiator);
+  const auto fb = protocol.decode(tr.responder);
+  EXPECT_EQ(fa.braket, (BraKet{0, 0}));
+  EXPECT_EQ(fb.braket, (BraKet{3, 4}));
+  // The new diagonal broadcasts its bra to both agents.
+  EXPECT_EQ(fa.out, 0u);
+  EXPECT_EQ(fb.out, 0u);
+}
+
+TEST(CirclesProtocolTest, NoExchangeWhenMinWouldNotDecrease) {
+  CirclesProtocol protocol(5);
+  const pp::StateId a = protocol.encode({0, 1}, 0);
+  const pp::StateId b = protocol.encode({1, 0}, 1);
+  const pp::Transition tr = protocol.transition(a, b);
+  EXPECT_EQ(protocol.decode(tr.initiator).braket, (BraKet{0, 1}));
+  EXPECT_EQ(protocol.decode(tr.responder).braket, (BraKet{1, 0}));
+  // No diagonal present: outputs unchanged.
+  EXPECT_EQ(protocol.decode(tr.initiator).out, 0u);
+  EXPECT_EQ(protocol.decode(tr.responder).out, 1u);
+}
+
+TEST(CirclesProtocolTest, DiagonalBroadcastsToBoth) {
+  CirclesProtocol protocol(4);
+  const pp::StateId diag = protocol.encode({2, 2}, 2);
+  const pp::StateId other = protocol.encode({0, 1}, 3);
+  {
+    const pp::Transition tr = protocol.transition(diag, other);
+    EXPECT_EQ(protocol.decode(tr.initiator).out, 2u);
+    EXPECT_EQ(protocol.decode(tr.responder).out, 2u);
+  }
+  {
+    const pp::Transition tr = protocol.transition(other, diag);
+    EXPECT_EQ(protocol.decode(tr.initiator).out, 2u);
+    EXPECT_EQ(protocol.decode(tr.responder).out, 2u);
+  }
+}
+
+TEST(CirclesProtocolTest, TwoInitialDiagonalsExchangeAndKeepOuts) {
+  CirclesProtocol protocol(3);
+  // ⟨0|0⟩ + ⟨1|1⟩ always exchanges into ⟨0|1⟩ + ⟨1|0⟩ — neither is diagonal
+  // afterwards, so outputs stay what they were.
+  const pp::Transition tr =
+      protocol.transition(protocol.input(0), protocol.input(1));
+  const auto fa = protocol.decode(tr.initiator);
+  const auto fb = protocol.decode(tr.responder);
+  EXPECT_EQ(fa.braket, (BraKet{0, 1}));
+  EXPECT_EQ(fb.braket, (BraKet{1, 0}));
+  EXPECT_EQ(fa.out, 0u);
+  EXPECT_EQ(fb.out, 1u);
+}
+
+TEST(CirclesProtocolTest, BothDiagonalNoExchangeUsesInitiatorPrecedence) {
+  // Craft two diagonal agents that do NOT exchange: impossible for distinct
+  // colors (two diagonals always exchange), so the both-diagonal broadcast
+  // can only trigger with equal bras — in which case precedence is moot —
+  // or after an exchange creating exactly one diagonal. Verify the same-bra
+  // case keeps everything stable except outputs.
+  CirclesProtocol protocol(4);
+  const pp::StateId a = protocol.encode({3, 3}, 0);
+  const pp::StateId b = protocol.encode({3, 3}, 1);
+  const pp::Transition tr = protocol.transition(a, b);
+  const auto fa = protocol.decode(tr.initiator);
+  const auto fb = protocol.decode(tr.responder);
+  EXPECT_EQ(fa.braket, (BraKet{3, 3}));
+  EXPECT_EQ(fb.braket, (BraKet{3, 3}));
+  EXPECT_EQ(fa.out, 3u);
+  EXPECT_EQ(fb.out, 3u);
+}
+
+TEST(CirclesProtocolTest, TransitionNeverChangesBras) {
+  // Lemma 3.3's stronger form: bras are immutable. Exhaustive over all state
+  // pairs for small k.
+  for (std::uint32_t k : {2u, 3u, 4u}) {
+    CirclesProtocol protocol(k);
+    for (pp::StateId a = 0; a < protocol.num_states(); ++a) {
+      for (pp::StateId b = 0; b < protocol.num_states(); ++b) {
+        const pp::Transition tr = protocol.transition(a, b);
+        EXPECT_EQ(protocol.decode(tr.initiator).braket.bra,
+                  protocol.decode(a).braket.bra);
+        EXPECT_EQ(protocol.decode(tr.responder).braket.bra,
+                  protocol.decode(b).braket.bra);
+      }
+    }
+  }
+}
+
+TEST(CirclesProtocolTest, TransitionPreservesKetMultiset) {
+  // Kets are only ever swapped, never rewritten.
+  for (std::uint32_t k : {2u, 3u, 4u}) {
+    CirclesProtocol protocol(k);
+    for (pp::StateId a = 0; a < protocol.num_states(); ++a) {
+      for (pp::StateId b = 0; b < protocol.num_states(); ++b) {
+        const pp::Transition tr = protocol.transition(a, b);
+        const auto before_a = protocol.decode(a).braket.ket;
+        const auto before_b = protocol.decode(b).braket.ket;
+        const auto after_a = protocol.decode(tr.initiator).braket.ket;
+        const auto after_b = protocol.decode(tr.responder).braket.ket;
+        const bool same = after_a == before_a && after_b == before_b;
+        const bool swapped = after_a == before_b && after_b == before_a;
+        EXPECT_TRUE(same || swapped);
+      }
+    }
+  }
+}
+
+TEST(CirclesProtocolTest, ExchangeStrictlyDecreasesMinWeightExhaustively) {
+  // Theorem 3.4's local step, checked against every state pair.
+  for (std::uint32_t k : {2u, 3u, 5u}) {
+    CirclesProtocol protocol(k);
+    for (pp::StateId a = 0; a < protocol.num_states(); ++a) {
+      for (pp::StateId b = 0; b < protocol.num_states(); ++b) {
+        const auto fa = protocol.decode(a);
+        const auto fb = protocol.decode(b);
+        const pp::Transition tr = protocol.transition(a, b);
+        const auto ga = protocol.decode(tr.initiator);
+        const auto gb = protocol.decode(tr.responder);
+        const bool exchanged = ga.braket.ket != fa.braket.ket;
+        if (exchanged) {
+          const std::uint32_t before =
+              std::min(weight(fa.braket, k), weight(fb.braket, k));
+          const std::uint32_t after =
+              std::min(weight(ga.braket, k), weight(gb.braket, k));
+          EXPECT_LT(after, before);
+        }
+      }
+    }
+  }
+}
+
+TEST(CirclesProtocolTest, SingleColorUniverseIsTrivial) {
+  CirclesProtocol protocol(1);
+  EXPECT_EQ(protocol.num_states(), 1u);
+  const pp::Transition tr = protocol.transition(0, 0);
+  EXPECT_EQ(tr.initiator, 0u);
+  EXPECT_EQ(tr.responder, 0u);
+  EXPECT_EQ(protocol.output(0), 0u);
+}
+
+TEST(CirclesProtocolTest, StateNameRendersBraKetAndOut) {
+  CirclesProtocol protocol(4);
+  EXPECT_EQ(protocol.state_name(protocol.encode({1, 2}, 3)), "<1|2>:3");
+  EXPECT_EQ(protocol.name(), "circles");
+}
+
+TEST(CirclesProtocolDeathTest, RejectsOversizedK) {
+  EXPECT_DEATH(CirclesProtocol(2000), "overflow");
+}
+
+}  // namespace
+}  // namespace circles::core

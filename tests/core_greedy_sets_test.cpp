@@ -1,0 +1,197 @@
+#include "core/greedy_sets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace circles::core {
+namespace {
+
+using Counts = std::vector<std::uint64_t>;
+
+TEST(GreedySetsTest, SimpleExample) {
+  // Colors 0,1,2 with counts 3,1,2 -> G1={0,1,2}, G2={0,2}, G3={0}.
+  const Counts counts{3, 1, 2};
+  const auto sets = greedy_sets(counts);
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0], (std::vector<ColorId>{0, 1, 2}));
+  EXPECT_EQ(sets[1], (std::vector<ColorId>{0, 2}));
+  EXPECT_EQ(sets[2], (std::vector<ColorId>{0}));
+}
+
+TEST(GreedySetsTest, EmptyColorsNeverAppear) {
+  const Counts counts{0, 2, 0, 1};
+  const auto sets = greedy_sets(counts);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0], (std::vector<ColorId>{1, 3}));
+  EXPECT_EQ(sets[1], (std::vector<ColorId>{1}));
+}
+
+TEST(GreedySetsTest, AllZeroGivesNoSets) {
+  EXPECT_TRUE(greedy_sets(Counts{0, 0}).empty());
+}
+
+TEST(GreedySetsTest, SetsAreNested) {
+  // G_{p+1} ⊆ G_p for all p (Definition 3.1's monotonicity).
+  util::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    Counts counts(1 + rng.uniform_below(6));
+    for (auto& c : counts) c = rng.uniform_below(7);
+    const auto sets = greedy_sets(counts);
+    for (std::size_t p = 1; p < sets.size(); ++p) {
+      for (const ColorId c : sets[p]) {
+        EXPECT_NE(std::find(sets[p - 1].begin(), sets[p - 1].end(), c),
+                  sets[p - 1].end());
+      }
+    }
+  }
+}
+
+TEST(GreedySetsTest, SetSizesSumToPopulation) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    Counts counts(1 + rng.uniform_below(6));
+    std::uint64_t n = 0;
+    for (auto& c : counts) {
+      c = rng.uniform_below(7);
+      n += c;
+    }
+    const auto sets = greedy_sets(counts);
+    std::uint64_t total = 0;
+    for (const auto& set : sets) total += set.size();
+    EXPECT_EQ(total, n);
+  }
+}
+
+TEST(GreedySetsTest, Lemma32MajorityColorProperties) {
+  // With a unique winner μ: G_q == {μ} and no other G_p is a singleton of a
+  // different color.
+  util::Rng rng(7);
+  int checked = 0;
+  while (checked < 300) {
+    Counts counts(2 + rng.uniform_below(5));
+    for (auto& c : counts) c = rng.uniform_below(9);
+    const auto winner = unique_plurality_winner(counts);
+    if (!winner.has_value()) continue;
+    ++checked;
+    const auto sets = greedy_sets(counts);
+    ASSERT_FALSE(sets.empty());
+    EXPECT_EQ(sets.back(), std::vector<ColorId>{*winner});
+    for (const auto& set : sets) {
+      if (set.size() == 1) {
+        EXPECT_EQ(set[0], *winner);
+      }
+    }
+  }
+}
+
+TEST(GreedySetsTest, TieMeansLastSetNotSingleton) {
+  const Counts counts{3, 3, 1};
+  EXPECT_FALSE(unique_plurality_winner(counts).has_value());
+  const auto sets = greedy_sets(counts);
+  EXPECT_EQ(sets.back(), (std::vector<ColorId>{0, 1}));
+}
+
+TEST(CircleBraketsTest, SingletonMapsToDiagonal) {
+  const std::vector<ColorId> set{4};
+  const auto circle = circle_brakets(set);
+  EXPECT_EQ(circle.size(), 1u);
+  EXPECT_EQ(circle.count({4, 4}), 1u);
+}
+
+TEST(CircleBraketsTest, PairMapsToBothDirections) {
+  const std::vector<ColorId> set{1, 5};
+  const auto circle = circle_brakets(set);
+  EXPECT_EQ(circle.size(), 2u);
+  EXPECT_EQ(circle.count({1, 5}), 1u);
+  EXPECT_EQ(circle.count({5, 1}), 1u);
+}
+
+TEST(CircleBraketsTest, RingOfConsecutiveSortedElements) {
+  const std::vector<ColorId> set{0, 2, 3, 7};
+  const auto circle = circle_brakets(set);
+  EXPECT_EQ(circle.size(), 4u);
+  EXPECT_EQ(circle.count({0, 2}), 1u);
+  EXPECT_EQ(circle.count({2, 3}), 1u);
+  EXPECT_EQ(circle.count({3, 7}), 1u);
+  EXPECT_EQ(circle.count({7, 0}), 1u);
+}
+
+TEST(PredictStableTest, HandComputedExample) {
+  // counts = (3, 1, 2): G1={0,1,2}, G2={0,2}, G3={0}
+  // f(G1) = ⟨0|1⟩⟨1|2⟩⟨2|0⟩; f(G2) = ⟨0|2⟩⟨2|0⟩; f(G3) = ⟨0|0⟩.
+  const Counts counts{3, 1, 2};
+  const auto prediction = predict_stable_brakets(counts);
+  EXPECT_EQ(prediction.size(), 6u);
+  EXPECT_EQ(prediction.count({0, 1}), 1u);
+  EXPECT_EQ(prediction.count({1, 2}), 1u);
+  EXPECT_EQ(prediction.count({2, 0}), 2u);
+  EXPECT_EQ(prediction.count({0, 2}), 1u);
+  EXPECT_EQ(prediction.count({0, 0}), 1u);
+}
+
+TEST(PredictStableTest, SizeAlwaysEqualsPopulation) {
+  util::Rng rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    Counts counts(1 + rng.uniform_below(6));
+    std::uint64_t n = 0;
+    for (auto& c : counts) {
+      c = rng.uniform_below(8);
+      n += c;
+    }
+    EXPECT_EQ(predict_stable_brakets(counts).size(), n);
+  }
+}
+
+TEST(PredictStableTest, BraAndKetCountsMatchInputCounts) {
+  // Lemma 3.3 at the prediction level: each color appears as bra exactly
+  // counts[c] times, ditto for kets.
+  util::Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    Counts counts(2 + rng.uniform_below(5));
+    for (auto& c : counts) c = rng.uniform_below(8);
+    const auto prediction = predict_stable_brakets(counts);
+    Counts bras(counts.size(), 0);
+    Counts kets(counts.size(), 0);
+    for (const auto& [braket, mult] : prediction) {
+      bras[braket.bra] += mult;
+      kets[braket.ket] += mult;
+    }
+    EXPECT_EQ(bras, counts);
+    EXPECT_EQ(kets, counts);
+  }
+}
+
+TEST(PredictStableTest, DiagonalCountMatchesMarginFormula) {
+  util::Rng rng(10);
+  for (int trial = 0; trial < 300; ++trial) {
+    Counts counts(2 + rng.uniform_below(5));
+    for (auto& c : counts) c = rng.uniform_below(9);
+    const auto prediction = predict_stable_brakets(counts);
+    std::uint64_t diagonals = 0;
+    for (const auto& [braket, mult] : prediction) {
+      if (braket.diagonal()) diagonals += mult;
+    }
+    EXPECT_EQ(diagonals, predicted_diagonal_count(counts));
+  }
+}
+
+TEST(PredictStableTest, TieHasNoDiagonals) {
+  EXPECT_EQ(predicted_diagonal_count(Counts{4, 4}), 0u);
+  EXPECT_EQ(predicted_diagonal_count(Counts{2, 2, 1}), 0u);
+  EXPECT_EQ(predicted_diagonal_count(Counts{3, 1}), 2u);
+  EXPECT_EQ(predicted_diagonal_count(Counts{5}), 5u);
+}
+
+TEST(UniqueWinnerTest, BasicCases) {
+  EXPECT_EQ(unique_plurality_winner(Counts{1, 3, 2}), ColorId{1});
+  EXPECT_EQ(unique_plurality_winner(Counts{0, 0, 4}), ColorId{2});
+  EXPECT_FALSE(unique_plurality_winner(Counts{2, 2}).has_value());
+  EXPECT_FALSE(unique_plurality_winner(Counts{0, 0}).has_value());
+  EXPECT_EQ(unique_plurality_winner(Counts{7}), ColorId{0});
+}
+
+}  // namespace
+}  // namespace circles::core

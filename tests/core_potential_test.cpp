@@ -1,0 +1,69 @@
+#include "core/potential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace circles::core {
+namespace {
+
+TEST(WeightVectorTest, OfPopulationSortsAscending) {
+  CirclesProtocol protocol(5);
+  const std::vector<pp::StateId> states{
+      protocol.encode({0, 0}, 0),  // weight 5
+      protocol.encode({0, 3}, 0),  // weight 3
+      protocol.encode({4, 0}, 0),  // weight 1
+  };
+  pp::Population pop(protocol.num_states(), states);
+  const WeightVector wv = WeightVector::of(pop, protocol);
+  EXPECT_EQ(wv.weights(), (std::vector<std::uint32_t>{1, 3, 5}));
+  EXPECT_EQ(wv.min_weight(), 1u);
+  EXPECT_EQ(wv.total_energy(), 9u);
+}
+
+TEST(WeightVectorTest, LexicographicOrderMatchesOrdinalSemantics) {
+  // ω-weighted sums compare by the smallest weights first.
+  const WeightVector a({1, 5, 5});
+  const WeightVector b({2, 2, 2});
+  EXPECT_LT(a, b);  // w1: 1 < 2 dominates everything after it
+  const WeightVector c({1, 5, 6});
+  EXPECT_LT(a, c);
+  EXPECT_GT(c, a);
+  EXPECT_EQ(a, WeightVector({1, 5, 5}));
+}
+
+TEST(WeightVectorTest, PrefixComparison) {
+  // Shorter-is-prefix cases should order by length (not expected in use —
+  // populations have fixed n — but the ordering must still be total).
+  const WeightVector shorter({1, 2});
+  const WeightVector longer({1, 2, 3});
+  EXPECT_LT(shorter, longer);
+}
+
+TEST(WeightVectorTest, ExchangeEffectMatchesTheorem34) {
+  // Simulate the weight change of an exchange: {4, 2} -> {1, 5}; sorted
+  // vectors (2, 4) -> (1, 5): lexicographically smaller even though the
+  // total energy rose from 6 to 6 (equal here) — confirm comparison runs on
+  // the sorted prefix.
+  const WeightVector before({2, 4});
+  const WeightVector after({1, 5});
+  EXPECT_LT(after, before);
+  EXPECT_EQ(after.total_energy(), before.total_energy());
+}
+
+TEST(WeightVectorTest, ScalarEnergyCanIncreaseWhileOrdinalDecreases) {
+  // (2, 3) -> (1, 5): min decreased (valid exchange shape) but Σw grew.
+  const WeightVector before({2, 3});
+  const WeightVector after({1, 5});
+  EXPECT_LT(after, before);
+  EXPECT_GT(after.total_energy(), before.total_energy());
+}
+
+TEST(WeightVectorTest, EmptyVectorEdge) {
+  const WeightVector empty;
+  EXPECT_EQ(empty.total_energy(), 0u);
+  EXPECT_EQ(empty.weights().size(), 0u);
+}
+
+}  // namespace
+}  // namespace circles::core

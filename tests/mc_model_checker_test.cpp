@@ -1,0 +1,248 @@
+#include "mc/model_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/approx_majority_3state.hpp"
+#include "baselines/exact_majority_4state.hpp"
+#include "baselines/pairwise_plurality.hpp"
+#include "core/circles_protocol.hpp"
+#include "extensions/tie_report.hpp"
+
+namespace circles::mc {
+namespace {
+
+std::vector<pp::ColorId> colors_from_counts(
+    const std::vector<std::uint64_t>& counts) {
+  std::vector<pp::ColorId> colors;
+  for (pp::ColorId c = 0; c < counts.size(); ++c) {
+    colors.insert(colors.end(), counts[c], c);
+  }
+  return colors;
+}
+
+/// Simple epidemic used to exercise the checker's plumbing.
+class Epidemic final : public pp::Protocol {
+ public:
+  std::uint64_t num_states() const override { return 2; }
+  std::uint32_t num_colors() const override { return 2; }
+  pp::StateId input(pp::ColorId color) const override { return color; }
+  pp::OutputSymbol output(pp::StateId state) const override { return state; }
+  pp::Transition transition(pp::StateId i, pp::StateId r) const override {
+    if (i == 1 || r == 1) return {1, 1};
+    return {i, r};
+  }
+  std::string name() const override { return "epidemic"; }
+};
+
+/// Pure oscillator: (0,1) swaps forever — a livelock the checker must flag.
+class Oscillator final : public pp::Protocol {
+ public:
+  std::uint64_t num_states() const override { return 2; }
+  std::uint32_t num_colors() const override { return 2; }
+  pp::StateId input(pp::ColorId color) const override { return color; }
+  pp::OutputSymbol output(pp::StateId state) const override { return state; }
+  pp::Transition transition(pp::StateId i, pp::StateId r) const override {
+    if (i != r) return {r, i};
+    return {i, r};
+  }
+  std::string name() const override { return "oscillator"; }
+};
+
+TEST(ModelCheckerTest, EpidemicIsAlwaysCorrect) {
+  Epidemic protocol;
+  const std::vector<pp::ColorId> colors{1, 0, 0, 0};
+  const Result result = check(protocol, colors, 1u);
+  EXPECT_TRUE(result.explored_fully);
+  EXPECT_TRUE(result.always_correct());
+  EXPECT_EQ(result.reachable, 4u);  // one per count of infected agents
+  EXPECT_EQ(result.silent, 1u);
+}
+
+TEST(ModelCheckerTest, OscillatorIsFlaggedAsStuck) {
+  Oscillator protocol;
+  const std::vector<pp::ColorId> colors{0, 1};
+  const Result result = check(protocol, colors, std::nullopt);
+  EXPECT_TRUE(result.explored_fully);
+  EXPECT_FALSE(result.always_correct());
+  EXPECT_GT(result.stuck_count, 0u);  // no silent config is ever reachable
+}
+
+TEST(ModelCheckerTest, MakeConfigCanonicalizes) {
+  const std::vector<pp::StateId> states{3, 1, 3, 1, 1};
+  const Config config = make_config(states);
+  ASSERT_EQ(config.size(), 2u);
+  EXPECT_EQ(config[0], (std::pair<pp::StateId, std::uint32_t>{1, 3}));
+  EXPECT_EQ(config[1], (std::pair<pp::StateId, std::uint32_t>{3, 2}));
+}
+
+TEST(ModelCheckerTest, ConfigToStringReadable) {
+  Epidemic protocol;
+  const Config config{{0, 2}, {1, 1}};
+  EXPECT_EQ(config_to_string(protocol, config), "{s0 x2, s1}");
+}
+
+TEST(ModelCheckerTest, CapTruncatesExploration) {
+  core::CirclesProtocol protocol(3);
+  Options options;
+  options.max_configurations = 10;
+  const Result result =
+      check(protocol, colors_from_counts({3, 2, 1}), 0u, options);
+  EXPECT_FALSE(result.explored_fully);
+  EXPECT_EQ(result.reachable, 10u);
+  EXPECT_FALSE(result.always_correct());  // verdict withheld when truncated
+}
+
+TEST(ModelCheckerCirclesTest, ExhaustiveTwoColors) {
+  core::CirclesProtocol protocol(2);
+  for (std::uint64_t n = 2; n <= 7; ++n) {
+    for (std::uint64_t zeros = 0; zeros <= n; ++zeros) {
+      if (zeros * 2 == n) continue;  // ties: no winner to expect
+      const std::vector<std::uint64_t> counts{zeros, n - zeros};
+      const pp::OutputSymbol expected = zeros > n - zeros ? 0 : 1;
+      const Result result =
+          check(protocol, colors_from_counts(counts), expected);
+      EXPECT_TRUE(result.explored_fully) << "n=" << n << " zeros=" << zeros;
+      EXPECT_TRUE(result.always_correct())
+          << "n=" << n << " zeros=" << zeros << " incorrect="
+          << result.incorrect_silent_count << " stuck=" << result.stuck_count;
+    }
+  }
+}
+
+TEST(ModelCheckerCirclesTest, ExhaustiveThreeColors) {
+  core::CirclesProtocol protocol(3);
+  const std::vector<std::vector<std::uint64_t>> instances{
+      {2, 1, 0}, {2, 1, 1}, {3, 1, 1}, {2, 2, 1}, {3, 2, 1}, {1, 1, 3}};
+  for (const auto& counts : instances) {
+    std::uint64_t top = 0;
+    pp::ColorId winner = 0;
+    bool tied = false;
+    for (pp::ColorId c = 0; c < 3; ++c) {
+      if (counts[c] > top) {
+        top = counts[c];
+        winner = c;
+        tied = false;
+      } else if (counts[c] == top) {
+        tied = true;
+      }
+    }
+    if (tied) continue;
+    const Result result = check(protocol, colors_from_counts(counts), winner);
+    EXPECT_TRUE(result.explored_fully);
+    EXPECT_TRUE(result.always_correct())
+        << counts[0] << "," << counts[1] << "," << counts[2];
+  }
+}
+
+TEST(ModelCheckerCirclesTest, TieInstancesCanAlwaysSilence) {
+  // No expected output on ties (plain Circles does not decide them), but the
+  // run must never livelock: silence stays reachable from everywhere.
+  core::CirclesProtocol protocol(3);
+  for (const auto& counts : std::vector<std::vector<std::uint64_t>>{
+           {2, 2, 0}, {2, 2, 1}, {1, 1, 1}}) {
+    const Result result =
+        check(protocol, colors_from_counts(counts), std::nullopt);
+    EXPECT_TRUE(result.explored_fully);
+    EXPECT_TRUE(result.always_correct());
+  }
+}
+
+TEST(ModelCheckerTieReportTest, ExhaustiveSmallInstances) {
+  // The strongest evidence for the retractor construction: exhaustive
+  // verification over every reachable configuration, ties and non-ties.
+  for (const std::uint32_t k : {2u, 3u}) {
+    ext::TieReportProtocol protocol(k);
+    const std::vector<std::vector<std::uint64_t>> instances =
+        k == 2 ? std::vector<std::vector<std::uint64_t>>{{2, 0},
+                                                         {2, 1},
+                                                         {2, 2},
+                                                         {3, 1},
+                                                         {3, 2},
+                                                         {3, 3}}
+               : std::vector<std::vector<std::uint64_t>>{
+                     {2, 1, 0}, {2, 2, 0}, {1, 1, 1}, {2, 2, 1}, {3, 1, 1}};
+    for (const auto& counts : instances) {
+      std::uint64_t top = 0;
+      pp::ColorId winner = 0;
+      bool tied = false;
+      for (pp::ColorId c = 0; c < k; ++c) {
+        if (counts[c] > top) {
+          top = counts[c];
+          winner = c;
+          tied = false;
+        } else if (counts[c] == top && top > 0) {
+          tied = true;
+        }
+      }
+      const pp::OutputSymbol expected = tied ? protocol.tie_symbol() : winner;
+      const Result result =
+          check(protocol, colors_from_counts(counts), expected);
+      EXPECT_TRUE(result.explored_fully);
+      EXPECT_TRUE(result.always_correct())
+          << "k=" << k << " counts[0]=" << counts[0]
+          << " incorrect=" << result.incorrect_silent_count
+          << " stuck=" << result.stuck_count
+          << (result.incorrect_silent.empty()
+                  ? ""
+                  : " e.g. " + config_to_string(protocol,
+                                                result.incorrect_silent[0]));
+    }
+  }
+}
+
+TEST(ModelCheckerBaselineTest, FourStateMajorityVerified) {
+  baselines::ExactMajority4State protocol;
+  for (std::uint64_t n = 2; n <= 9; ++n) {
+    for (std::uint64_t zeros = 0; zeros <= n; ++zeros) {
+      if (zeros * 2 == n) continue;
+      const pp::OutputSymbol expected = zeros > n - zeros ? 0 : 1;
+      const Result result =
+          check(protocol, colors_from_counts({zeros, n - zeros}), expected);
+      EXPECT_TRUE(result.always_correct()) << "n=" << n << " zeros=" << zeros;
+    }
+  }
+}
+
+TEST(ModelCheckerBaselineTest, ApproxMajorityViolationIsCaught) {
+  // Negative control: the 3-state approximate majority protocol can reach a
+  // silent minority-win configuration; the checker must find it.
+  baselines::ApproxMajority3State protocol;
+  const Result result =
+      check(protocol, colors_from_counts({3, 2}), /*expected=*/0u);
+  EXPECT_TRUE(result.explored_fully);
+  EXPECT_FALSE(result.always_correct());
+  EXPECT_GT(result.incorrect_silent_count, 0u);
+  ASSERT_FALSE(result.incorrect_silent.empty());
+  // The canonical wrong outcome: everyone converted to the minority Y.
+  bool found_all_y = false;
+  for (const auto& config : result.incorrect_silent) {
+    if (config.size() == 1 &&
+        config[0].first == baselines::ApproxMajority3State::kY) {
+      found_all_y = true;
+    }
+  }
+  EXPECT_TRUE(found_all_y);
+}
+
+TEST(ModelCheckerBaselineTest, PairwisePluralityVerifiedSmall) {
+  baselines::PairwisePlurality protocol(3);
+  const Result result =
+      check(protocol, colors_from_counts({2, 1, 1}), /*expected=*/0u);
+  EXPECT_TRUE(result.explored_fully);
+  EXPECT_TRUE(result.always_correct())
+      << "incorrect=" << result.incorrect_silent_count
+      << " stuck=" << result.stuck_count;
+}
+
+TEST(ModelCheckerTest, TransitionsCountedAndSilentConfigsExist) {
+  core::CirclesProtocol protocol(2);
+  const Result result = check(protocol, colors_from_counts({2, 1}), 0u);
+  EXPECT_GT(result.transitions, 0u);
+  EXPECT_GT(result.silent, 0u);
+  EXPECT_GE(result.reachable, result.silent);
+}
+
+}  // namespace
+}  // namespace circles::mc

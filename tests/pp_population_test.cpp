@@ -1,0 +1,116 @@
+#include "pp/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/circles_protocol.hpp"
+
+namespace circles::pp {
+namespace {
+
+/// Minimal protocol for substrate tests: states {0,1}, colors {0,1},
+/// interaction pulls the responder toward the initiator ("copy protocol").
+class CopyProtocol final : public Protocol {
+ public:
+  std::uint64_t num_states() const override { return 2; }
+  std::uint32_t num_colors() const override { return 2; }
+  StateId input(ColorId color) const override { return color; }
+  OutputSymbol output(StateId state) const override { return state; }
+  Transition transition(StateId initiator, StateId responder) const override {
+    return {initiator, initiator == responder ? responder : initiator};
+  }
+  std::string name() const override { return "copy"; }
+};
+
+TEST(PopulationTest, BuildsFromColors) {
+  CopyProtocol protocol;
+  const std::vector<ColorId> colors{0, 1, 1, 0, 1};
+  Population pop(protocol, colors);
+  EXPECT_EQ(pop.size(), 5u);
+  EXPECT_EQ(pop.count(0), 2u);
+  EXPECT_EQ(pop.count(1), 3u);
+  EXPECT_EQ(pop.distinct_states(), 2u);
+  EXPECT_EQ(pop.state(0), 0u);
+  EXPECT_EQ(pop.state(1), 1u);
+}
+
+TEST(PopulationTest, BuildsFromExplicitStates) {
+  const std::vector<StateId> states{3, 3, 1};
+  Population pop(5, states);
+  EXPECT_EQ(pop.size(), 3u);
+  EXPECT_EQ(pop.count(3), 2u);
+  EXPECT_EQ(pop.count(1), 1u);
+  EXPECT_EQ(pop.count(0), 0u);
+}
+
+TEST(PopulationTest, SetStateMaintainsCountsAndPresence) {
+  const std::vector<StateId> states{0, 0, 1};
+  Population pop(3, states);
+  pop.set_state(0, 2);
+  EXPECT_EQ(pop.count(0), 1u);
+  EXPECT_EQ(pop.count(2), 1u);
+  EXPECT_EQ(pop.state(0), 2u);
+  EXPECT_EQ(pop.distinct_states(), 3u);
+  pop.set_state(1, 2);
+  EXPECT_EQ(pop.count(0), 0u);
+  EXPECT_EQ(pop.distinct_states(), 2u);
+  const auto present = pop.present_states();
+  EXPECT_EQ(present, (std::vector<StateId>{1, 2}));
+}
+
+TEST(PopulationTest, SetStateToSameIsNoop) {
+  const std::vector<StateId> states{0, 1};
+  Population pop(2, states);
+  pop.set_state(0, 0);
+  EXPECT_EQ(pop.count(0), 1u);
+  EXPECT_EQ(pop.count(1), 1u);
+}
+
+TEST(PopulationTest, PresentStatesSorted) {
+  const std::vector<StateId> states{4, 0, 2, 4};
+  Population pop(5, states);
+  EXPECT_EQ(pop.present_states(), (std::vector<StateId>{0, 2, 4}));
+}
+
+TEST(PopulationTest, OutputHistogramAndConsensus) {
+  CopyProtocol protocol;
+  const std::vector<ColorId> colors{0, 1, 1};
+  Population pop(protocol, colors);
+  const auto hist = pop.output_histogram(protocol);
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_FALSE(pop.output_consensus(protocol, 0));
+  EXPECT_FALSE(pop.output_consensus(protocol, 1));
+  pop.set_state(0, 1);
+  EXPECT_TRUE(pop.output_consensus(protocol, 1));
+}
+
+TEST(PopulationTest, ToStringListsStates) {
+  CopyProtocol protocol;
+  const std::vector<ColorId> colors{0, 0, 1};
+  Population pop(protocol, colors);
+  const std::string text = pop.to_string(protocol);
+  EXPECT_NE(text.find("s0 x2"), std::string::npos);
+  EXPECT_NE(text.find("s1 x1"), std::string::npos);
+}
+
+TEST(PopulationTest, CirclesStatesRoundTripThroughPopulation) {
+  core::CirclesProtocol protocol(3);
+  const std::vector<ColorId> colors{0, 1, 2, 2};
+  Population pop(protocol, colors);
+  EXPECT_EQ(pop.size(), 4u);
+  EXPECT_EQ(pop.count(protocol.input(2)), 2u);
+  EXPECT_EQ(pop.output_histogram(protocol),
+            (std::vector<std::uint64_t>{1, 1, 2}));
+}
+
+TEST(PopulationDeathTest, RejectsOutOfRangeColor) {
+  CopyProtocol protocol;
+  const std::vector<ColorId> colors{0, 7};
+  EXPECT_DEATH(Population(protocol, colors), "color out of range");
+}
+
+}  // namespace
+}  // namespace circles::pp

@@ -1,0 +1,219 @@
+#include "pp/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/circles_protocol.hpp"
+#include "pp/schedulers/adversarial_delay.hpp"
+#include "pp/schedulers/clustered.hpp"
+#include "pp/schedulers/round_robin.hpp"
+#include "pp/schedulers/shuffled_sweep.hpp"
+#include "pp/schedulers/uniform_random.hpp"
+
+namespace circles::pp {
+namespace {
+
+Population make_population(std::uint32_t n) {
+  std::vector<StateId> states(n, 0);
+  return Population(1, states);
+}
+
+using PairSet = std::set<std::pair<AgentId, AgentId>>;
+
+PairSet collect_pairs(Scheduler& scheduler, const Population& pop,
+                      std::uint64_t steps) {
+  PairSet seen;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    const AgentPair p = scheduler.next(pop);
+    EXPECT_NE(p.initiator, p.responder);
+    EXPECT_LT(p.initiator, pop.size());
+    EXPECT_LT(p.responder, pop.size());
+    seen.insert({p.initiator, p.responder});
+  }
+  return seen;
+}
+
+TEST(RoundRobinSchedulerTest, CoversEveryOrderedPairExactlyOncePerPeriod) {
+  const std::uint32_t n = 7;
+  auto pop = make_population(n);
+  RoundRobinScheduler sched(n);
+  ASSERT_EQ(sched.fairness_period(), n * (n - 1));
+  std::map<std::pair<AgentId, AgentId>, int> hits;
+  for (std::uint64_t i = 0; i < sched.fairness_period(); ++i) {
+    const AgentPair p = sched.next(pop);
+    hits[{p.initiator, p.responder}] += 1;
+  }
+  EXPECT_EQ(hits.size(), n * (n - 1));
+  for (const auto& [pair, count] : hits) {
+    EXPECT_EQ(count, 1) << pair.first << "," << pair.second;
+  }
+}
+
+TEST(RoundRobinSchedulerTest, PeriodRepeatsIdentically) {
+  const std::uint32_t n = 4;
+  auto pop = make_population(n);
+  RoundRobinScheduler sched(n);
+  std::vector<AgentPair> first, second;
+  for (std::uint64_t i = 0; i < sched.fairness_period(); ++i) {
+    first.push_back(sched.next(pop));
+  }
+  for (std::uint64_t i = 0; i < sched.fairness_period(); ++i) {
+    second.push_back(sched.next(pop));
+  }
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].initiator, second[i].initiator);
+    EXPECT_EQ(first[i].responder, second[i].responder);
+  }
+}
+
+TEST(ShuffledSweepSchedulerTest, EachSweepIsAPermutationOfAllPairs) {
+  const std::uint32_t n = 6;
+  const std::uint64_t pairs = n * (n - 1);
+  auto pop = make_population(n);
+  ShuffledSweepScheduler sched(n, 42);
+  // The declared fairness window must cover a full sweep from any offset.
+  ASSERT_EQ(sched.fairness_period(), 2 * pairs - 1);
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    const PairSet seen = collect_pairs(sched, pop, pairs);
+    EXPECT_EQ(seen.size(), pairs) << "sweep " << sweep;
+  }
+}
+
+TEST(ShuffledSweepSchedulerTest, AnyFairnessWindowCoversAllPairs) {
+  // Regression: a window straddling two sweeps is only guaranteed to cover
+  // every ordered pair if it is fairness_period() long.
+  const std::uint32_t n = 5;
+  const std::uint64_t pairs = n * (n - 1);
+  auto pop = make_population(n);
+  ShuffledSweepScheduler sched(n, 9);
+  std::vector<std::pair<AgentId, AgentId>> stream;
+  for (std::uint64_t i = 0; i < 6 * pairs; ++i) {
+    const auto p = sched.next(pop);
+    stream.push_back({p.initiator, p.responder});
+  }
+  for (std::uint64_t start = 0; start + sched.fairness_period() <= stream.size();
+       start += 7) {
+    PairSet window(stream.begin() + start,
+                   stream.begin() + start + sched.fairness_period());
+    EXPECT_EQ(window.size(), pairs) << "window at " << start;
+  }
+}
+
+TEST(ShuffledSweepSchedulerTest, OrderDiffersBetweenSweeps) {
+  const std::uint32_t n = 8;
+  auto pop = make_population(n);
+  ShuffledSweepScheduler sched(n, 7);
+  std::vector<std::pair<AgentId, AgentId>> first, second;
+  for (std::uint64_t i = 0; i < sched.fairness_period(); ++i) {
+    const auto p = sched.next(pop);
+    first.push_back({p.initiator, p.responder});
+  }
+  for (std::uint64_t i = 0; i < sched.fairness_period(); ++i) {
+    const auto p = sched.next(pop);
+    second.push_back({p.initiator, p.responder});
+  }
+  EXPECT_NE(first, second);
+}
+
+TEST(UniformRandomSchedulerTest, ProducesValidPairsAndCoversAll) {
+  const std::uint32_t n = 5;
+  auto pop = make_population(n);
+  UniformRandomScheduler sched(n, 99);
+  const PairSet seen = collect_pairs(sched, pop, 2000);
+  EXPECT_EQ(seen.size(), n * (n - 1));
+}
+
+TEST(UniformRandomSchedulerTest, DeterministicUnderSeed) {
+  const std::uint32_t n = 5;
+  auto pop = make_population(n);
+  UniformRandomScheduler a(n, 3);
+  UniformRandomScheduler b(n, 3);
+  for (int i = 0; i < 100; ++i) {
+    const AgentPair pa = a.next(pop);
+    const AgentPair pb = b.next(pop);
+    EXPECT_EQ(pa.initiator, pb.initiator);
+    EXPECT_EQ(pa.responder, pb.responder);
+  }
+}
+
+TEST(ClusteredSchedulerTest, MostlyIntraClusterPairs) {
+  const std::uint32_t n = 20;
+  auto pop = make_population(n);
+  ClusteredScheduler sched(n, 5, 0.05);
+  int cross = 0;
+  const int kSteps = 20000;
+  for (int i = 0; i < kSteps; ++i) {
+    const AgentPair p = sched.next(pop);
+    ASSERT_NE(p.initiator, p.responder);
+    const bool a_left = p.initiator < n / 2;
+    const bool b_left = p.responder < n / 2;
+    if (a_left != b_left) ++cross;
+  }
+  EXPECT_NEAR(static_cast<double>(cross) / kSteps, 0.05, 0.01);
+}
+
+TEST(ClusteredSchedulerTest, EventuallyCoversCrossPairs) {
+  const std::uint32_t n = 6;
+  auto pop = make_population(n);
+  ClusteredScheduler sched(n, 11, 0.2);
+  const PairSet seen = collect_pairs(sched, pop, 30000);
+  EXPECT_EQ(seen.size(), n * (n - 1));
+}
+
+TEST(AdversarialDelaySchedulerTest, IsWeaklyFairViaForcedSweeps) {
+  // Even while null pairs exist, the round-robin subsequence must cover all
+  // ordered pairs within the declared fairness period.
+  core::CirclesProtocol protocol(2);
+  const std::uint32_t n = 5;
+  std::vector<StateId> states(n, protocol.input(0));  // all same: all null
+  Population pop(protocol.num_states(), states);
+  AdversarialDelayScheduler sched(n, protocol, /*fairness_stride=*/4);
+  const PairSet seen = collect_pairs(sched, pop, sched.fairness_period());
+  EXPECT_EQ(seen.size(), n * (n - 1));
+}
+
+TEST(AdversarialDelaySchedulerTest, PrefersNullInteractions) {
+  core::CirclesProtocol protocol(2);
+  // Two ⟨0|0⟩ and two ⟨1|1⟩ agents: (⟨0|0⟩,⟨0|0⟩) is null, the cross pair
+  // exchanges. The adversary should schedule same-color pairs on non-forced
+  // steps.
+  std::vector<StateId> states{protocol.input(0), protocol.input(0),
+                              protocol.input(1), protocol.input(1)};
+  Population pop(protocol.num_states(), states);
+  AdversarialDelayScheduler sched(4, protocol, /*fairness_stride=*/8);
+  int null_steps = 0;
+  int total = 0;
+  for (int i = 0; i < 64; ++i) {
+    const AgentPair p = sched.next(pop);
+    const StateId si = pop.state(p.initiator);
+    const StateId sr = pop.state(p.responder);
+    const Transition tr = protocol.transition(si, sr);
+    if (tr.initiator == si && tr.responder == sr) ++null_steps;
+    ++total;
+    // Do not apply transitions: the adversary sees a static population.
+  }
+  // At stride 8, at least 7 of 8 steps should be null picks.
+  EXPECT_GE(null_steps * 8, total * 6);
+}
+
+TEST(SchedulerFactoryTest, BuildsEveryKindAndRoundTripsNames) {
+  core::CirclesProtocol protocol(2);
+  for (const SchedulerKind kind : kAllSchedulerKinds) {
+    auto sched = make_scheduler(kind, 8, 5, &protocol);
+    ASSERT_NE(sched, nullptr);
+    EXPECT_EQ(scheduler_kind_from_string(to_string(kind)), kind);
+    EXPECT_EQ(sched->name(), to_string(kind));
+  }
+  EXPECT_THROW(scheduler_kind_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(SchedulerFactoryDeathTest, AdversarialRequiresProtocol) {
+  EXPECT_DEATH(make_scheduler(SchedulerKind::kAdversarialDelay, 8, 5, nullptr),
+               "protocol");
+}
+
+}  // namespace
+}  // namespace circles::pp

@@ -1,0 +1,82 @@
+#include "pp/transition_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/trial.hpp"
+#include "analysis/workload.hpp"
+#include "baselines/pairwise_plurality.hpp"
+#include "core/circles_protocol.hpp"
+#include "extensions/tie_report.hpp"
+
+namespace circles::pp {
+namespace {
+
+template <typename ProtocolT>
+void expect_identical_tables(const ProtocolT& base) {
+  CachedProtocol cached(base);
+  ASSERT_EQ(cached.num_states(), base.num_states());
+  for (StateId a = 0; a < base.num_states(); ++a) {
+    for (StateId b = 0; b < base.num_states(); ++b) {
+      EXPECT_EQ(cached.transition(a, b), base.transition(a, b))
+          << "a=" << a << " b=" << b;
+    }
+    EXPECT_EQ(cached.output(a), base.output(a));
+    EXPECT_EQ(cached.state_name(a), base.state_name(a));
+  }
+}
+
+TEST(CachedProtocolTest, MatchesCirclesExhaustively) {
+  core::CirclesProtocol protocol(4);
+  expect_identical_tables(protocol);
+}
+
+TEST(CachedProtocolTest, MatchesTieReportExhaustively) {
+  ext::TieReportProtocol protocol(3);
+  expect_identical_tables(protocol);
+}
+
+TEST(CachedProtocolTest, MatchesPairwiseExhaustively) {
+  baselines::PairwisePlurality protocol(3);
+  expect_identical_tables(protocol);
+}
+
+TEST(CachedProtocolTest, MetadataPassthrough) {
+  ext::TieReportProtocol base(3);
+  CachedProtocol cached(base);
+  EXPECT_EQ(cached.num_colors(), 3u);
+  EXPECT_EQ(cached.num_output_symbols(), 4u);
+  EXPECT_EQ(cached.name(), "tie_report_cached");
+  EXPECT_EQ(cached.input(2), base.input(2));
+  EXPECT_EQ(cached.output_name(3), "TIE");
+  EXPECT_EQ(&cached.base(), &base);
+}
+
+TEST(CachedProtocolTest, EndToEndRunsAgree) {
+  core::CirclesProtocol base(5);
+  CachedProtocol cached(base);
+  util::Rng rng(7);
+  const analysis::Workload w = analysis::random_unique_winner(rng, 30, 5);
+  analysis::TrialOptions options;
+  options.seed = 99;
+  const auto a = analysis::run_trial(base, w, options);
+  const auto b = analysis::run_trial(cached, w, options);
+  EXPECT_EQ(a.run.interactions, b.run.interactions);
+  EXPECT_EQ(a.run.state_changes, b.run.state_changes);
+  EXPECT_EQ(a.correct, b.correct);
+  EXPECT_TRUE(b.correct);
+}
+
+TEST(CachedProtocolDeathTest, RejectsOversizedTables) {
+  core::CirclesProtocol protocol(16);  // 4096^2 = 16.8M entries > 2^22
+  EXPECT_DEATH(CachedProtocol cached(protocol), "cache budget");
+}
+
+TEST(CachedProtocolTest, ExplicitBudgetOverrideWorks) {
+  core::CirclesProtocol protocol(16);
+  CachedProtocol cached(protocol, /*max_entries=*/1ull << 25);
+  EXPECT_EQ(cached.transition(protocol.input(3), protocol.input(7)),
+            protocol.transition(protocol.input(3), protocol.input(7)));
+}
+
+}  // namespace
+}  // namespace circles::pp

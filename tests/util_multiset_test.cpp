@@ -1,0 +1,141 @@
+#include "util/multiset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+namespace circles::util {
+namespace {
+
+using IntSet = CountedMultiset<int>;
+
+TEST(CountedMultisetTest, StartsEmpty) {
+  IntSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.distinct_size(), 0u);
+  EXPECT_EQ(s.count(5), 0u);
+  EXPECT_FALSE(s.contains(5));
+}
+
+TEST(CountedMultisetTest, AddAccumulates) {
+  IntSet s;
+  s.add(1);
+  s.add(1, 2);
+  s.add(2);
+  EXPECT_EQ(s.count(1), 3u);
+  EXPECT_EQ(s.count(2), 1u);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.distinct_size(), 2u);
+}
+
+TEST(CountedMultisetTest, AddZeroIsNoop) {
+  IntSet s;
+  s.add(1, 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(CountedMultisetTest, RemoveDecrementsAndErases) {
+  IntSet s;
+  s.add(1, 3);
+  s.remove(1);
+  EXPECT_EQ(s.count(1), 2u);
+  s.remove(1, 2);
+  EXPECT_EQ(s.count(1), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.distinct_size(), 0u);
+}
+
+TEST(CountedMultisetDeathTest, RemovingAbsentElementsAborts) {
+  IntSet s;
+  s.add(1, 1);
+  EXPECT_DEATH(s.remove(1, 2), "absent");
+  EXPECT_DEATH(s.remove(2), "absent");
+}
+
+TEST(CountedMultisetTest, SubsetOf) {
+  IntSet small;
+  small.add(1, 2);
+  IntSet big;
+  big.add(1, 3);
+  big.add(2, 1);
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  EXPECT_TRUE(small.subset_of(small));
+  IntSet empty;
+  EXPECT_TRUE(empty.subset_of(small));
+  EXPECT_FALSE(small.subset_of(empty));
+}
+
+TEST(CountedMultisetTest, UnionAddsMultiplicities) {
+  IntSet a;
+  a.add(1, 2);
+  a.add(2, 1);
+  IntSet b;
+  b.add(1, 1);
+  b.add(3, 4);
+  const IntSet u = a.union_with(b);
+  EXPECT_EQ(u.count(1), 3u);
+  EXPECT_EQ(u.count(2), 1u);
+  EXPECT_EQ(u.count(3), 4u);
+  EXPECT_EQ(u.size(), 8u);
+}
+
+TEST(CountedMultisetTest, DifferenceSaturates) {
+  IntSet a;
+  a.add(1, 3);
+  a.add(2, 1);
+  IntSet b;
+  b.add(1, 1);
+  b.add(2, 5);
+  const IntSet d = a.difference(b);
+  EXPECT_EQ(d.count(1), 2u);
+  EXPECT_EQ(d.count(2), 0u);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(CountedMultisetTest, EqualityComparesCounts) {
+  IntSet a;
+  a.add(1, 2);
+  IntSet b;
+  b.add(1);
+  EXPECT_NE(a, b);
+  b.add(1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CountedMultisetTest, IterationIsSortedByKey) {
+  IntSet s;
+  s.add(3);
+  s.add(1, 2);
+  s.add(2);
+  int prev = -1;
+  for (const auto& [key, count] : s) {
+    EXPECT_GT(key, prev);
+    prev = key;
+    EXPECT_GE(count, 1u);
+  }
+}
+
+TEST(CountedMultisetTest, ToStringRendersCounts) {
+  IntSet s;
+  s.add(1, 2);
+  s.add(2);
+  EXPECT_EQ(s.to_string(), "{1x2, 2}");
+  IntSet empty;
+  EXPECT_EQ(empty.to_string(), "{}");
+}
+
+TEST(CountedMultisetTest, WorksWithPairKeys) {
+  CountedMultiset<std::pair<int, int>> s;
+  s.add({1, 2});
+  s.add({1, 2});
+  s.add({2, 1});
+  EXPECT_EQ(s.count({1, 2}), 2u);
+  EXPECT_EQ(s.count({2, 1}), 1u);
+  EXPECT_EQ(s.count({0, 0}), 0u);
+}
+
+}  // namespace
+}  // namespace circles::util

@@ -1,0 +1,107 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace circles::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyAccumulator) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(QuantileTest, InterpolatesSorted) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileTest, SingleElement) {
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 1.0), 42.0);
+}
+
+TEST(SummaryTest, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummaryTest, UnsortedInputHandled) {
+  const std::vector<double> samples{5.0, 1.0, 3.0, 2.0, 4.0};
+  const Summary s = summarize(samples);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(SummaryTest, ToStringMentionsFields) {
+  const Summary s = summarize(std::vector<double>{1.0, 2.0});
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("mean="), std::string::npos);
+  EXPECT_NE(text.find("p50="), std::string::npos);
+}
+
+TEST(LogLogSlopeTest, RecoversExactPowerLaw) {
+  // y = 7 x^2.5
+  std::vector<double> x{1, 2, 4, 8, 16};
+  std::vector<double> y;
+  for (const double v : x) y.push_back(7.0 * std::pow(v, 2.5));
+  EXPECT_NEAR(loglog_slope(x, y), 2.5, 1e-10);
+}
+
+TEST(LogLogSlopeTest, ConstantGivesZeroSlope) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{5, 5, 5};
+  EXPECT_NEAR(loglog_slope(x, y), 0.0, 1e-12);
+}
+
+TEST(LogLogSlopeDeathTest, RejectsNonPositive) {
+  std::vector<double> x{1, 2};
+  std::vector<double> y{0, 1};
+  EXPECT_DEATH(loglog_slope(x, y), "positive");
+}
+
+}  // namespace
+}  // namespace circles::util
