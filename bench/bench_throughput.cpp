@@ -1,156 +1,205 @@
 // E11 — implementation quality: raw transition throughput and end-to-end
-// simulation throughput (interactions/second) for every protocol family.
-// google-benchmark; items processed = interactions, so the report reads
-// directly in interactions/sec.
-#include <benchmark/benchmark.h>
-
+// simulation throughput (interactions/second) for every protocol family,
+// single- and multi-threaded.
+//
+// The end-to-end section runs fixed-budget RunSpecs (silence stop off, so
+// items processed = the budget) through the BatchRunner twice: once with
+// one worker thread and once with --threads (default: hardware). Results
+// are bitwise identical either way; only the wall clock changes. On a
+// >= 4-core machine the multi-threaded pass is expected to be > 2x faster.
+#include <chrono>
+#include <thread>
 #include <vector>
 
-#include "analysis/workload.hpp"
-#include "baselines/approx_majority_3state.hpp"
-#include "baselines/exact_majority_4state.hpp"
-#include "baselines/pairwise_plurality.hpp"
-#include "core/circles_protocol.hpp"
-#include "extensions/tie_report.hpp"
-#include "extensions/unordered_circles.hpp"
-#include "pp/engine.hpp"
-#include "pp/silence.hpp"
+#include "exp_common.hpp"
 #include "pp/transition_cache.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
 
 namespace {
 
 using namespace circles;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 /// Raw transition-function calls over a pseudo-random state stream.
-void run_transition_bench(benchmark::State& state,
-                          const pp::Protocol& protocol) {
+double transitions_per_second(const pp::Protocol& protocol,
+                              std::uint64_t calls) {
   util::Rng rng(1);
   const auto num_states = protocol.num_states();
   std::vector<pp::StateId> stream(4096);
   for (auto& s : stream) {
     s = static_cast<pp::StateId>(rng.uniform_below(num_states));
   }
-  std::size_t i = 0;
-  for (auto _ : state) {
+  // Fold the results into a checksum so the loop cannot be optimized away.
+  volatile std::uint64_t checksum = 0;
+  const auto start = Clock::now();
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < calls; ++i) {
     const pp::StateId a = stream[i & 4095];
     const pp::StateId b = stream[(i + 1) & 4095];
-    benchmark::DoNotOptimize(protocol.transition(a, b));
-    ++i;
+    const pp::Transition t = protocol.transition(a, b);
+    acc += t.initiator + t.responder;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  const double elapsed = seconds_since(start);
+  checksum = acc;
+  (void)checksum;
+  return elapsed > 0 ? static_cast<double>(calls) / elapsed : 0.0;
 }
-
-void BM_TransitionCircles(benchmark::State& state) {
-  core::CirclesProtocol protocol(static_cast<std::uint32_t>(state.range(0)));
-  run_transition_bench(state, protocol);
-}
-BENCHMARK(BM_TransitionCircles)->Arg(4)->Arg(16)->Arg(64);
-
-void BM_TransitionTieReport(benchmark::State& state) {
-  ext::TieReportProtocol protocol(static_cast<std::uint32_t>(state.range(0)));
-  run_transition_bench(state, protocol);
-}
-BENCHMARK(BM_TransitionTieReport)->Arg(4)->Arg(16);
-
-void BM_TransitionPairwise(benchmark::State& state) {
-  baselines::PairwisePlurality protocol(
-      static_cast<std::uint32_t>(state.range(0)));
-  run_transition_bench(state, protocol);
-}
-BENCHMARK(BM_TransitionPairwise)->Arg(3)->Arg(5);
-
-void BM_TransitionUnordered(benchmark::State& state) {
-  ext::UnorderedCirclesProtocol protocol(
-      static_cast<std::uint32_t>(state.range(0)));
-  run_transition_bench(state, protocol);
-}
-BENCHMARK(BM_TransitionUnordered)->Arg(4)->Arg(8);
-
-/// End-to-end engine throughput: fixed interaction budget, silence stop off.
-void run_engine_bench(benchmark::State& state, const pp::Protocol& protocol,
-                      std::uint32_t n) {
-  util::Rng rng(2);
-  analysis::Workload w =
-      analysis::random_unique_winner(rng, n, protocol.num_colors());
-  const auto colors = w.agent_colors(rng);
-  constexpr std::uint64_t kBatch = 1 << 16;
-  for (auto _ : state) {
-    state.PauseTiming();
-    pp::Population population(protocol, colors);
-    auto scheduler =
-        pp::make_scheduler(pp::SchedulerKind::kUniformRandom, n, rng());
-    pp::EngineOptions options;
-    options.max_interactions = kBatch;
-    options.stop_when_silent = false;
-    pp::Engine engine(options);
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(
-        engine.run(protocol, population, *scheduler));
-  }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * kBatch));
-}
-
-void BM_EngineCircles(benchmark::State& state) {
-  core::CirclesProtocol protocol(static_cast<std::uint32_t>(state.range(0)));
-  run_engine_bench(state, protocol,
-                   static_cast<std::uint32_t>(state.range(1)));
-}
-BENCHMARK(BM_EngineCircles)->Args({8, 256})->Args({8, 4096})->Args({32, 1024});
-
-void BM_EngineFourState(benchmark::State& state) {
-  baselines::ExactMajority4State protocol;
-  run_engine_bench(state, protocol,
-                   static_cast<std::uint32_t>(state.range(0)));
-}
-BENCHMARK(BM_EngineFourState)->Arg(1024);
-
-void BM_EngineApproxMajority(benchmark::State& state) {
-  baselines::ApproxMajority3State protocol;
-  run_engine_bench(state, protocol,
-                   static_cast<std::uint32_t>(state.range(0)));
-}
-BENCHMARK(BM_EngineApproxMajority)->Arg(1024);
-
-void BM_EnginePairwise(benchmark::State& state) {
-  baselines::PairwisePlurality protocol(
-      static_cast<std::uint32_t>(state.range(0)));
-  run_engine_bench(state, protocol, 256);
-}
-BENCHMARK(BM_EnginePairwise)->Arg(4);
-
-// Dense transition caching (pp::CachedProtocol): the pairwise baseline's
-// transitions decode O(k^2) digits; the cached variant is one array load.
-void BM_EnginePairwiseCached(benchmark::State& state) {
-  baselines::PairwisePlurality base(
-      static_cast<std::uint32_t>(state.range(0)));
-  pp::CachedProtocol protocol(base);
-  run_engine_bench(state, protocol, 256);
-}
-BENCHMARK(BM_EnginePairwiseCached)->Arg(4);
-
-void BM_EngineCirclesCached(benchmark::State& state) {
-  core::CirclesProtocol base(static_cast<std::uint32_t>(state.range(0)));
-  pp::CachedProtocol protocol(base);
-  run_engine_bench(state, protocol,
-                   static_cast<std::uint32_t>(state.range(1)));
-}
-BENCHMARK(BM_EngineCirclesCached)->Args({8, 256});
-
-/// Silence-check cost in isolation (it gates the engine's stop decision).
-void BM_SilenceCheck(benchmark::State& state) {
-  const auto k = static_cast<std::uint32_t>(state.range(0));
-  core::CirclesProtocol protocol(k);
-  util::Rng rng(3);
-  analysis::Workload w = analysis::random_unique_winner(rng, 512, k);
-  const auto colors = w.agent_colors(rng);
-  pp::Population population(protocol, colors);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pp::is_silent(population, protocol));
-  }
-}
-BENCHMARK(BM_SilenceCheck)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto trials = static_cast<std::uint32_t>(cli.int_flag(
+      "trials", 32, "fixed-budget runs per engine spec"));
+  const auto budget = static_cast<std::uint64_t>(cli.int_flag(
+      "budget", 1 << 16, "interactions per fixed-budget run"));
+  const auto calls = static_cast<std::uint64_t>(cli.int_flag(
+      "transition_calls", 2'000'000, "calls per raw transition benchmark"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 2, "rng seed"));
+  auto batch = bench::batch_options(cli, seed);
+  cli.finish();
+  if (batch.threads == 0) {
+    batch.threads = std::thread::hardware_concurrency();
+    if (batch.threads == 0) batch.threads = 1;
+  }
+
+  bench::print_header("E11",
+                      "implementation quality — transition and engine "
+                      "throughput, single- vs multi-threaded");
+
+  {
+    util::Table table({"protocol", "raw transitions/sec"});
+    const auto& registry = sim::ProtocolRegistry::global();
+    struct RawCase {
+      std::string label;
+      std::string protocol;
+      std::uint32_t k;
+    };
+    const std::vector<RawCase> raw_cases{
+        {"circles k=4", "circles", 4},
+        {"circles k=16", "circles", 16},
+        {"circles k=64", "circles", 64},
+        {"tie_report k=4", "tie_report", 4},
+        {"tie_report k=16", "tie_report", 16},
+        {"pairwise k=3", "pairwise_plurality", 3},
+        {"pairwise k=5", "pairwise_plurality", 5},
+        {"unordered k=4", "unordered_circles", 4},
+        {"unordered k=8", "unordered_circles", 8},
+    };
+    for (const auto& c : raw_cases) {
+      const auto protocol = registry.create(c.protocol, {.k = c.k});
+      table.add_row({c.label,
+                     util::Table::num(transitions_per_second(*protocol, calls),
+                                      0)});
+    }
+    // Dense transition caching: the pairwise baseline's transitions decode
+    // O(k^2) digits; the cached variant is one array load.
+    {
+      const auto base = registry.create("pairwise_plurality", {.k = 4});
+      pp::CachedProtocol cached(*base);
+      table.add_row({"pairwise k=4 (cached)",
+                     util::Table::num(transitions_per_second(cached, calls),
+                                      0)});
+    }
+    table.print("raw transition-function throughput");
+  }
+
+  // End-to-end engine throughput via the BatchRunner.
+  std::vector<sim::RunSpec> specs;
+  struct EngineCase {
+    std::string protocol;
+    std::uint32_t k;
+    std::uint64_t n;
+  };
+  const std::vector<EngineCase> engine_cases{
+      {"circles", 8, 256},        {"circles", 8, 4096},
+      {"circles", 32, 1024},      {"exact_majority_4state", 2, 1024},
+      {"approx_majority_3state", 2, 1024}, {"pairwise_plurality", 4, 256},
+  };
+  for (const auto& c : engine_cases) {
+    sim::RunSpec spec;
+    spec.protocol = c.protocol;
+    spec.params.k = c.k;
+    spec.n = c.n;
+    spec.trials = trials;
+    spec.engine.max_interactions = budget;
+    spec.engine.stop_when_silent = false;
+    specs.push_back(std::move(spec));
+  }
+
+  // Keep per-trial records so the determinism check below can compare
+  // seeds and outcomes trial by trial, not just aggregate means.
+  auto single_options = batch;
+  single_options.threads = 1;
+  auto pooled_options = batch;
+
+  const auto t1 = Clock::now();
+  const auto single = sim::BatchRunner(single_options).run(specs);
+  const double single_seconds = seconds_since(t1);
+
+  const auto t2 = Clock::now();
+  const auto pooled = sim::BatchRunner(pooled_options).run(specs);
+  const double pooled_seconds = seconds_since(t2);
+
+  double total_interactions = 0;
+  bool identical = true;
+  util::Table table({"protocol", "k", "n", "interactions",
+                     "mean state changes"});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const sim::SpecResult& r = pooled[i];
+    identical = identical &&
+                single[i].interactions.mean == r.interactions.mean &&
+                single[i].state_changes.mean == r.state_changes.mean &&
+                single[i].correct == r.correct &&
+                single[i].silent == r.silent &&
+                single[i].consensus == r.consensus &&
+                single[i].trials.size() == r.trials.size();
+    for (std::size_t t = 0; identical && t < r.trials.size(); ++t) {
+      identical =
+          single[i].trials[t].seed == r.trials[t].seed &&
+          single[i].trials[t].outcome.run.interactions ==
+              r.trials[t].outcome.run.interactions &&
+          single[i].trials[t].outcome.run.state_changes ==
+              r.trials[t].outcome.run.state_changes &&
+          single[i].trials[t].outcome.consensus ==
+              r.trials[t].outcome.consensus;
+    }
+    total_interactions += r.interactions.mean * r.trial_count;
+    table.add_row({r.spec.protocol,
+                   util::Table::num(std::uint64_t{r.spec.params.k}),
+                   util::Table::num(r.spec.n),
+                   util::Table::num(r.interactions.mean * r.trial_count, 0),
+                   util::Table::num(r.state_changes.mean, 0)});
+  }
+  table.print("fixed-budget engine workload (" + std::to_string(trials) +
+              " trials x " + std::to_string(budget) + " interactions)");
+
+  const double single_rate =
+      single_seconds > 0 ? total_interactions / single_seconds : 0;
+  const double pooled_rate =
+      pooled_seconds > 0 ? total_interactions / pooled_seconds : 0;
+  const double speedup =
+      pooled_seconds > 0 ? single_seconds / pooled_seconds : 0;
+  std::printf("\n1 thread : %8.2fs  (%12.0f interactions/sec)\n",
+              single_seconds, single_rate);
+  std::printf("%u threads: %8.2fs  (%12.0f interactions/sec)  speedup %.2fx\n",
+              batch.threads, pooled_seconds, pooled_rate, speedup);
+  std::printf("(aggregated results bitwise identical across thread counts: "
+              "%s)\n",
+              identical ? "yes" : "NO");
+
+  // The speedup requirement only binds where the hardware can deliver it.
+  const bool speedup_ok = batch.threads < 4 || speedup > 2.0;
+  const bool pass = identical && single_rate > 0 && speedup_ok;
+  return bench::verdict(
+      pass, pass ? "throughput measured; deterministic results at every "
+                   "thread count"
+                 : (identical ? "multi-threaded speedup below expectation"
+                              : "thread count changed the results"));
+}

@@ -1,22 +1,23 @@
 // E12 — why always-correct matters: the 3-state approximate majority
 // baseline (Angluin–Aspnes–Eisenstat) converges fast but decides the
 // MINORITY with real probability at small margins; Circles never errs on
-// the same instances. Error rate vs margin, k = 2.
-#include "analysis/trial.hpp"
-#include "analysis/workload.hpp"
-#include "baselines/approx_majority_3state.hpp"
-#include "core/circles_protocol.hpp"
+// the same instances. Error rate vs margin, k = 2. Both protocols share
+// per-margin RunSpec seeds, so they face identical schedule streams.
+#include <vector>
+
 #include "exp_common.hpp"
-#include "util/cli.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace circles;
   util::Cli cli(argc, argv);
-  const auto trials = static_cast<int>(cli.int_flag("trials", 200, "trials per margin"));
-  const auto n = static_cast<std::uint64_t>(cli.int_flag("n", 100, "population size"));
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 11, "rng seed"));
+  const auto trials = static_cast<std::uint32_t>(
+      cli.int_flag("trials", 200, "trials per margin"));
+  const auto n = static_cast<std::uint64_t>(
+      cli.int_flag("n", 100, "population size"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 11, "rng seed"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E12",
@@ -24,39 +25,44 @@ int main(int argc, char** argv) {
                       "majority error rate vs margin (k=2, n=" +
                           std::to_string(n) + ")");
 
-  util::Rng rng(seed);
-  baselines::ApproxMajority3State approx;
-  core::CirclesProtocol circles(2);
+  const std::vector<std::uint64_t> margins{2, 6, 10, 20, 40};
+  std::vector<sim::RunSpec> specs;
+  for (const std::uint64_t margin : margins) {
+    const std::vector<std::uint64_t> counts{(n + margin) / 2,
+                                            n - (n + margin) / 2};
+    for (const char* protocol :
+         {"approx_majority_3state", "circles"}) {
+      sim::RunSpec spec;
+      spec.protocol = protocol;
+      spec.params.k = 2;
+      spec.workload = sim::WorkloadSpec::explicit_counts(counts);
+      spec.trials = trials;
+      spec.seed = sim::mix_seed(seed, margin);  // shared per margin
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  const auto results = sim::BatchRunner(batch).run(specs);
 
   util::Table table({"margin", "approx errors", "approx error rate",
                      "approx mean interactions", "circles errors",
                      "circles mean interactions"});
   bool circles_perfect = true;
   bool approx_errs_somewhere = false;
-
-  for (const std::uint64_t margin : {2ull, 6ull, 10ull, 20ull, 40ull}) {
-    analysis::Workload w;
-    w.counts = {(n + margin) / 2, n - (n + margin) / 2};
-    int approx_errors = 0, circles_errors = 0;
-    double approx_inter = 0, circles_inter = 0;
-    for (int t = 0; t < trials; ++t) {
-      analysis::TrialOptions options;
-      options.seed = rng();
-      const auto a = analysis::run_trial(approx, w, options);
-      if (!a.correct) ++approx_errors;
-      approx_inter += static_cast<double>(a.run.interactions);
-      const auto c = analysis::run_trial(circles, w, options);
-      if (!c.correct) ++circles_errors;
-      circles_inter += static_cast<double>(c.run.interactions);
-    }
+  for (std::size_t i = 0; i < margins.size(); ++i) {
+    const sim::SpecResult& approx = results[2 * i];
+    const sim::SpecResult& circles = results[2 * i + 1];
+    const std::uint32_t approx_errors = approx.trial_count - approx.correct;
+    const std::uint32_t circles_errors = circles.trial_count - circles.correct;
     circles_perfect = circles_perfect && circles_errors == 0;
     approx_errs_somewhere = approx_errs_somewhere || approx_errors > 0;
-    table.add_row({util::Table::num(margin),
-                   util::Table::num(std::int64_t{approx_errors}),
-                   util::Table::percent(double(approx_errors) / trials, 1),
-                   util::Table::num(approx_inter / trials, 0),
-                   util::Table::num(std::int64_t{circles_errors}),
-                   util::Table::num(circles_inter / trials, 0)});
+    table.add_row({util::Table::num(margins[i]),
+                   util::Table::num(std::uint64_t{approx_errors}),
+                   util::Table::percent(
+                       double(approx_errors) / approx.trial_count, 1),
+                   util::Table::num(approx.interactions.mean, 0),
+                   util::Table::num(std::uint64_t{circles_errors}),
+                   util::Table::num(circles.interactions.mean, 0)});
   }
   table.print("error rate vs margin (expected: approx errs at small margins, "
               "decays with margin; Circles: zero errors)");

@@ -4,10 +4,18 @@
 // one or more tables, and a PASS/FAIL verdict line that EXPERIMENTS.md
 // references. Binaries accept --trials/--seed style flags for deeper runs
 // but default to settings that finish in seconds.
+//
+// All experiments run through the circles::sim session API: protocols are
+// constructed by the ProtocolRegistry, sweeps are RunSpec grids, and the
+// BatchRunner executes them across a thread pool (--threads). Results are
+// bitwise identical for any thread count.
 #pragma once
 
 #include <cstdio>
 #include <string>
+
+#include "sim/sim.hpp"
+#include "util/cli.hpp"
 
 namespace circles::bench {
 
@@ -20,6 +28,16 @@ inline void print_header(const std::string& id, const std::string& claim) {
 inline int verdict(bool pass, const std::string& summary) {
   std::printf("\n[%s] %s\n", pass ? "PASS" : "FAIL", summary.c_str());
   return pass ? 0 : 1;
+}
+
+/// Declares the standard --threads flag and builds the BatchRunner options.
+inline sim::BatchOptions batch_options(util::Cli& cli,
+                                       std::uint64_t base_seed) {
+  sim::BatchOptions options;
+  options.threads = static_cast<std::uint32_t>(cli.int_flag(
+      "threads", 0, "worker threads for the batch runner (0 = hardware)"));
+  options.base_seed = base_seed;
+  return options;
 }
 
 }  // namespace circles::bench

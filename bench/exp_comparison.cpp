@@ -1,24 +1,24 @@
 // E6 — Circles vs the deterministic comparators: same correctness contract,
 // wildly different state budgets; how do interactions-to-silence compare?
 // At k = 2 the dedicated 4-state majority protocol also joins the table.
-#include <memory>
+//
+// Protocols within a (k, n) cell share the same RunSpec seed, so the
+// BatchRunner gives them identical per-trial workloads and schedule streams
+// — the comparison is apples to apples by construction.
 #include <vector>
 
-#include "analysis/trial.hpp"
-#include "analysis/workload.hpp"
-#include "baselines/exact_majority_4state.hpp"
-#include "baselines/pairwise_plurality.hpp"
-#include "core/circles_protocol.hpp"
 #include "exp_common.hpp"
-#include "util/cli.hpp"
-#include "util/stats.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace circles;
   util::Cli cli(argc, argv);
-  const auto trials = static_cast<int>(cli.int_flag("trials", 5, "trials per cell"));
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 6, "rng seed"));
+  const auto trials = static_cast<std::uint32_t>(
+      cli.int_flag("trials", 5, "trials per cell"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 6, "rng seed"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E6",
@@ -26,49 +26,39 @@ int main(int argc, char** argv) {
                       "interactions to silent consensus (uniform scheduler)");
 
   util::Rng rng(seed);
+  std::vector<sim::RunSpec> specs;
+  for (const std::uint32_t k : {2u, 3u, 4u, 5u}) {
+    std::vector<std::string> protocols{"circles", "pairwise_plurality"};
+    if (k == 2) protocols.push_back("exact_majority_4state");
+    for (const std::uint64_t n : {16ull, 64ull}) {
+      const std::uint64_t cell_seed = rng();  // shared inside the cell
+      for (const auto& protocol : protocols) {
+        sim::RunSpec spec;
+        spec.protocol = protocol;
+        spec.params.k = k;
+        spec.n = n;
+        spec.trials = trials;
+        spec.seed = cell_seed;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+
+  const auto results = sim::BatchRunner(batch).run(specs);
+
   util::Table table({"k", "n", "protocol", "states", "correct",
                      "mean interactions", "p90 interactions"});
   bool all_correct = true;
-
-  for (const std::uint32_t k : {2u, 3u, 4u, 5u}) {
-    core::CirclesProtocol circles(k);
-    baselines::PairwisePlurality pairwise(k);
-    baselines::ExactMajority4State majority;
-
-    std::vector<pp::Protocol*> protocols{&circles, &pairwise};
-    if (k == 2) protocols.push_back(&majority);
-
-    for (const std::uint64_t n : {16ull, 64ull}) {
-      // One shared workload set per (k, n) cell so protocols face identical
-      // inputs.
-      std::vector<analysis::Workload> workloads;
-      std::vector<std::uint64_t> seeds;
-      for (int t = 0; t < trials; ++t) {
-        workloads.push_back(analysis::random_unique_winner(rng, n, k));
-        seeds.push_back(rng());
-      }
-      for (pp::Protocol* protocol : protocols) {
-        int correct = 0;
-        std::vector<double> interactions;
-        for (int t = 0; t < trials; ++t) {
-          analysis::TrialOptions options;
-          options.seed = seeds[t];
-          const auto outcome =
-              analysis::run_trial(*protocol, workloads[t], options);
-          correct += outcome.correct ? 1 : 0;
-          interactions.push_back(
-              static_cast<double>(outcome.run.interactions));
-        }
-        all_correct = all_correct && correct == trials;
-        const auto s = util::summarize(interactions);
-        table.add_row({util::Table::num(std::uint64_t{k}),
-                       util::Table::num(n), protocol->name(),
-                       util::Table::num(protocol->num_states()),
-                       util::Table::percent(double(correct) / trials, 0),
-                       util::Table::num(s.mean, 0),
-                       util::Table::num(s.p90, 0)});
-      }
-    }
+  for (const sim::SpecResult& r : results) {
+    all_correct = all_correct && r.all_correct();
+    const auto protocol =
+        sim::ProtocolRegistry::global().create(r.spec.protocol, r.spec.params);
+    table.add_row({util::Table::num(std::uint64_t{r.spec.params.k}),
+                   util::Table::num(r.spec.n), protocol->name(),
+                   util::Table::num(protocol->num_states()),
+                   util::Table::percent(r.correct_rate(), 0),
+                   util::Table::num(r.interactions.mean, 0),
+                   util::Table::num(r.interactions.p90, 0)});
   }
   table.print("interactions to silence (identical workloads per cell)");
   std::printf("\nshape to check: all protocols 100%% correct; Circles' state "

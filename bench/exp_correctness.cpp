@@ -3,32 +3,28 @@
 // Sweeps population size, color count and scheduler kind over random
 // unique-winner workloads; every cell must be 100% correct with an exact
 // silence certificate. This is the paper's headline correctness claim run
-// as a measurement rather than a proof.
+// as a measurement rather than a proof. The sweep is a RunSpec grid
+// executed by the parallel BatchRunner.
 #include <vector>
 
-#include "analysis/trial.hpp"
-#include "analysis/workload.hpp"
-#include "core/circles_protocol.hpp"
 #include "exp_common.hpp"
-#include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace circles;
   util::Cli cli(argc, argv);
-  const auto trials = static_cast<int>(cli.int_flag("trials", 5, "trials per cell"));
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 1, "rng seed"));
+  const auto trials = static_cast<std::uint32_t>(
+      cli.int_flag("trials", 5, "trials per cell"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 1, "rng seed"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E1",
                       "Theorem 3.7 — always-correct relative majority under "
                       "weakly fair schedulers");
 
-  util::Rng rng(seed);
-  util::Table table({"scheduler", "k", "n", "trials", "correct", "silent",
-                     "mean interactions"});
-  std::uint64_t failures = 0;
-
+  std::vector<sim::RunSpec> specs;
   for (const pp::SchedulerKind kind : pp::kAllSchedulerKinds) {
     // The adversarial scheduler does O(n)-ish work per step; keep it small.
     const std::vector<std::uint64_t> sizes =
@@ -36,31 +32,32 @@ int main(int argc, char** argv) {
             ? std::vector<std::uint64_t>{8, 16, 24}
             : std::vector<std::uint64_t>{8, 32, 128};
     for (const std::uint32_t k : {2u, 4u, 8u, 16u}) {
-      core::CirclesProtocol protocol(k);
       for (const std::uint64_t n : sizes) {
-        int correct = 0;
-        int silent = 0;
-        double interactions = 0;
-        for (int t = 0; t < trials; ++t) {
-          const analysis::Workload w =
-              analysis::random_unique_winner(rng, n, k);
-          analysis::TrialOptions options;
-          options.scheduler = kind;
-          options.seed = rng();
-          const auto outcome = analysis::run_trial(protocol, w, options);
-          correct += outcome.correct ? 1 : 0;
-          silent += outcome.run.silent ? 1 : 0;
-          interactions += static_cast<double>(outcome.run.interactions);
-        }
-        failures += static_cast<std::uint64_t>(trials - correct);
-        table.add_row({pp::to_string(kind), util::Table::num(std::uint64_t{k}),
-                       util::Table::num(n),
-                       util::Table::num(std::int64_t{trials}),
-                       util::Table::percent(double(correct) / trials, 0),
-                       util::Table::percent(double(silent) / trials, 0),
-                       util::Table::num(interactions / trials, 0)});
+        sim::RunSpec spec;
+        spec.protocol = "circles";
+        spec.params.k = k;
+        spec.n = n;
+        spec.scheduler = kind;
+        spec.trials = trials;
+        specs.push_back(std::move(spec));
       }
     }
+  }
+
+  const auto results = sim::BatchRunner(batch).run(specs);
+
+  util::Table table({"scheduler", "k", "n", "trials", "correct", "silent",
+                     "mean interactions"});
+  std::uint64_t failures = 0;
+  for (const sim::SpecResult& r : results) {
+    failures += r.trial_count - r.correct;
+    table.add_row({pp::to_string(r.spec.scheduler),
+                   util::Table::num(std::uint64_t{r.spec.params.k}),
+                   util::Table::num(r.spec.n),
+                   util::Table::num(std::uint64_t{r.trial_count}),
+                   util::Table::percent(r.correct_rate(), 0),
+                   util::Table::percent(r.silent_rate(), 0),
+                   util::Table::num(r.interactions.mean, 0)});
   }
   table.print("correctness sweep (expected: 100% everywhere)");
   return bench::verdict(failures == 0,

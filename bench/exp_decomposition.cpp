@@ -4,59 +4,66 @@
 // experiment verifies exact multiset equality across schedulers, color
 // counts and workload shapes, including tied inputs (the lemma does not
 // need a unique winner).
-#include "analysis/trial.hpp"
-#include "analysis/workload.hpp"
-#include "core/circles_protocol.hpp"
+#include <vector>
+
 #include "exp_common.hpp"
-#include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace circles;
   util::Cli cli(argc, argv);
-  const auto trials = static_cast<int>(cli.int_flag("trials", 8, "trials per cell"));
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 3, "rng seed"));
+  const auto trials = static_cast<std::uint32_t>(
+      cli.int_flag("trials", 8, "trials per cell"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 3, "rng seed"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E3",
                       "Lemma 3.6 — the stable bra-ket multiset equals the "
                       "greedy-set circles, schedule-independently");
 
-  util::Rng rng(seed);
-  util::Table table({"scheduler", "k", "workload", "trials", "exact matches"});
-  std::uint64_t mismatches = 0;
+  const std::vector<std::pair<const char*, sim::WorkloadSpec>> shapes{
+      {"random", sim::WorkloadSpec::unique_winner()},
+      {"tied", sim::WorkloadSpec::exact_tie(2)},
+      {"zipf", sim::WorkloadSpec::zipf(1.4)},
+  };
 
+  std::vector<sim::RunSpec> specs;
   for (const pp::SchedulerKind kind : pp::kAllSchedulerKinds) {
     const std::uint64_t n =
         kind == pp::SchedulerKind::kAdversarialDelay ? 14 : 48;
     for (const std::uint32_t k : {3u, 6u, 12u}) {
-      core::CirclesProtocol protocol(k);
-      for (const char* shape : {"random", "tied", "zipf"}) {
-        int matches = 0;
-        for (int t = 0; t < trials; ++t) {
-          analysis::Workload w;
-          if (std::string(shape) == "random") {
-            w = analysis::random_unique_winner(rng, n, k);
-          } else if (std::string(shape) == "tied") {
-            w = analysis::exact_tie(rng, n, k, 2);
-          } else {
-            w = analysis::zipf(rng, n, k, 1.4);
-          }
-          analysis::TrialOptions options;
-          options.scheduler = kind;
-          options.seed = rng();
-          const auto outcome =
-              analysis::run_circles_trial(protocol, w, options);
-          if (outcome.decomposition_matches && outcome.trial.run.silent) {
-            ++matches;
-          }
-        }
-        mismatches += static_cast<std::uint64_t>(trials - matches);
-        table.add_row({pp::to_string(kind), util::Table::num(std::uint64_t{k}),
-                       shape, util::Table::num(std::int64_t{trials}),
-                       util::Table::percent(double(matches) / trials, 0)});
+      for (const auto& [label, workload] : shapes) {
+        sim::RunSpec spec;
+        spec.protocol = "circles";
+        spec.params.k = k;
+        spec.n = n;
+        spec.workload = workload;
+        spec.scheduler = kind;
+        spec.trials = trials;
+        spec.circles_stats = true;
+        spec.label = label;
+        specs.push_back(std::move(spec));
       }
     }
+  }
+
+  const auto results = sim::BatchRunner(batch).run(specs);
+
+  util::Table table({"scheduler", "k", "workload", "trials", "exact matches"});
+  std::uint64_t mismatches = 0;
+  for (const sim::SpecResult& r : results) {
+    std::uint32_t matches = 0;
+    for (const auto& rec : r.trials) {
+      matches += (rec.decomposition_matches && rec.outcome.run.silent) ? 1 : 0;
+    }
+    mismatches += r.trial_count - matches;
+    table.add_row({pp::to_string(r.spec.scheduler),
+                   util::Table::num(std::uint64_t{r.spec.params.k}),
+                   r.spec.label,
+                   util::Table::num(std::uint64_t{r.trial_count}),
+                   util::Table::percent(double(matches) / r.trial_count, 0)});
   }
   table.print("decomposition verification (expected: 100% everywhere)");
   return bench::verdict(

@@ -5,65 +5,59 @@
 //    exchanges may raise it. The ordinal potential is not a stylistic
 //    choice in the paper; this experiment shows a plain energy argument
 //    would be unsound.
-#include <array>
+#include <vector>
 
-#include "analysis/workload.hpp"
-#include "core/circles_protocol.hpp"
-#include "core/invariants.hpp"
 #include "exp_common.hpp"
-#include "pp/engine.hpp"
-#include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace circles;
   util::Cli cli(argc, argv);
-  const auto trials = static_cast<int>(cli.int_flag("trials", 10, "trials per k"));
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 4, "rng seed"));
+  const auto trials = static_cast<std::uint32_t>(
+      cli.int_flag("trials", 10, "trials per k"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 4, "rng seed"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E4",
                       "Theorem 3.4 mechanism — ordinal potential descends at "
                       "every exchange; scalar energy does not");
 
-  util::Rng rng(seed);
+  std::vector<sim::RunSpec> specs;
+  for (const std::uint32_t k : {4u, 8u, 16u}) {
+    sim::RunSpec spec;
+    spec.protocol = "circles";
+    spec.params.k = k;
+    spec.n = 96;
+    spec.trials = trials;
+    spec.circles_stats = true;
+    specs.push_back(std::move(spec));
+  }
+
+  const auto results = sim::BatchRunner(batch).run(specs);
+
   util::Table table({"k", "n", "exchanges", "ordinal violations",
                      "exchanges raising total energy", "share raising"});
   std::uint64_t total_violations = 0;
   std::uint64_t total_increases = 0;
   std::uint64_t total_exchanges = 0;
-
-  for (const std::uint32_t k : {4u, 8u, 16u}) {
-    core::CirclesProtocol protocol(k);
-    core::CirclesBraKetView view(protocol);
-    std::uint64_t exchanges = 0, violations = 0, increases = 0;
-    const std::uint64_t n = 96;
-    for (int t = 0; t < trials; ++t) {
-      const analysis::Workload w = analysis::random_unique_winner(rng, n, k);
-      core::PotentialDescentMonitor monitor(view);
-      std::array<pp::Monitor*, 1> monitors{&monitor};
-      util::Rng trial_rng(rng());
-      const auto colors = w.agent_colors(trial_rng);
-      pp::Population population(protocol, colors);
-      auto scheduler = pp::make_scheduler(
-          pp::SchedulerKind::kUniformRandom,
-          static_cast<std::uint32_t>(colors.size()), trial_rng());
-      pp::Engine engine;
-      engine.run(protocol, population, *scheduler,
-                 std::span<pp::Monitor* const>(monitors.data(), 1));
-      exchanges += monitor.exchanges();
-      violations += monitor.descent_violations();
-      increases += monitor.scalar_energy_increases();
-    }
-    total_violations += violations;
-    total_increases += increases;
+  for (const sim::SpecResult& r : results) {
+    std::uint64_t exchanges = 0;
+    for (const auto& rec : r.trials) exchanges += rec.ket_exchanges;
+    total_violations += r.potential_descent_violations;
+    total_increases += r.scalar_energy_increases;
     total_exchanges += exchanges;
-    table.add_row({util::Table::num(std::uint64_t{k}), util::Table::num(n),
-                   util::Table::num(exchanges), util::Table::num(violations),
-                   util::Table::num(increases),
-                   util::Table::percent(
-                       exchanges ? double(increases) / double(exchanges) : 0.0,
-                       1)});
+    table.add_row(
+        {util::Table::num(std::uint64_t{r.spec.params.k}),
+         util::Table::num(r.spec.n), util::Table::num(exchanges),
+         util::Table::num(r.potential_descent_violations),
+         util::Table::num(r.scalar_energy_increases),
+         util::Table::percent(
+             exchanges
+                 ? double(r.scalar_energy_increases) / double(exchanges)
+                 : 0.0,
+             1)});
   }
   table.print("potential descent audit");
 

@@ -6,81 +6,56 @@
 // color), but the reset rewrites the agent's ket, so the global bra-ket
 // conservation of Lemma 3.3 — an initialization invariant — is violated
 // from that point on. Theorem 3.4 still guarantees stabilization from any
-// configuration; what is lost, and how often, is correctness. This
-// experiment injects j faults at random times and measures survival.
+// configuration; what is lost, and how often, is correctness. Fault
+// injection is first-class in RunSpec (reboot_faults), so this experiment
+// is a plain spec grid.
 #include <vector>
 
-#include "analysis/workload.hpp"
-#include "core/circles_protocol.hpp"
 #include "exp_common.hpp"
-#include "pp/engine.hpp"
-#include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace circles;
   util::Cli cli(argc, argv);
-  const auto trials = static_cast<int>(cli.int_flag("trials", 30, "trials per cell"));
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 17, "rng seed"));
+  const auto trials = static_cast<std::uint32_t>(
+      cli.int_flag("trials", 30, "trials per cell"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 17, "rng seed"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E17",
                       "fault injection (beyond the paper) — reboot-to-input "
                       "faults vs correctness");
 
-  util::Rng rng(seed);
-  const std::uint32_t k = 4;
-  const std::uint32_t n = 32;
-  core::CirclesProtocol protocol(k);
+  std::vector<sim::RunSpec> specs;
+  for (const std::uint32_t faults : {0u, 1u, 2u, 4u, 8u}) {
+    sim::RunSpec spec;
+    spec.protocol = "circles";
+    spec.params.k = 4;
+    spec.n = 32;
+    spec.trials = trials;
+    spec.reboot_faults = faults;
+    specs.push_back(std::move(spec));
+  }
+
+  const auto results = sim::BatchRunner(batch).run(specs);
 
   util::Table table({"faults injected", "trials", "silent", "correct",
                      "wrong consensus", "split outputs"});
   bool zero_fault_perfect = true;
-
-  for (const std::uint32_t faults : {0u, 1u, 2u, 4u, 8u}) {
-    int silent = 0, correct = 0, wrong = 0, split = 0;
-    for (int t = 0; t < trials; ++t) {
-      const analysis::Workload w = analysis::random_unique_winner(rng, n, k);
-      util::Rng trial_rng(rng());
-      const auto colors = w.agent_colors(trial_rng);
-      pp::Population population(protocol, colors);
-      auto scheduler = pp::make_scheduler(pp::SchedulerKind::kUniformRandom,
-                                          n, trial_rng());
-
-      // Run in bursts; between bursts, reboot one random agent to its input.
-      pp::EngineOptions burst;
-      burst.max_interactions = 200 + trial_rng.uniform_below(400);
-      burst.stop_when_silent = false;
-      for (std::uint32_t f = 0; f < faults; ++f) {
-        pp::Engine engine(burst);
-        engine.run(protocol, population, *scheduler);
-        const auto victim =
-            static_cast<pp::AgentId>(trial_rng.uniform_below(n));
-        population.set_state(victim, protocol.input(colors[victim]));
-      }
-      pp::Engine engine;  // now run to silence
-      const auto result = engine.run(protocol, population, *scheduler);
-      silent += result.silent ? 1 : 0;
-      if (result.silent &&
-          population.output_consensus(protocol, *w.winner())) {
-        ++correct;
-      } else if (result.silent) {
-        bool consensus_on_other = false;
-        for (pp::OutputSymbol c = 0; c < k; ++c) {
-          if (c != *w.winner() && population.output_consensus(protocol, c)) {
-            consensus_on_other = true;
-          }
-        }
-        (consensus_on_other ? wrong : split) += 1;
-      }
-    }
-    if (faults == 0) zero_fault_perfect = correct == trials;
-    table.add_row({util::Table::num(std::uint64_t{faults}),
-                   util::Table::num(std::int64_t{trials}),
-                   util::Table::percent(double(silent) / trials, 0),
-                   util::Table::percent(double(correct) / trials, 0),
-                   util::Table::percent(double(wrong) / trials, 0),
-                   util::Table::percent(double(split) / trials, 0)});
+  for (const sim::SpecResult& r : results) {
+    // silent runs decompose into: correct consensus, consensus on a wrong
+    // color, or frozen with split outputs.
+    const std::uint32_t wrong = r.consensus - r.correct;
+    const std::uint32_t split = r.silent - r.consensus;
+    if (r.spec.reboot_faults == 0) zero_fault_perfect = r.all_correct();
+    table.add_row({util::Table::num(std::uint64_t{r.spec.reboot_faults}),
+                   util::Table::num(std::uint64_t{r.trial_count}),
+                   util::Table::percent(r.silent_rate(), 0),
+                   util::Table::percent(r.correct_rate(), 0),
+                   util::Table::percent(double(wrong) / r.trial_count, 0),
+                   util::Table::percent(double(split) / r.trial_count, 0)});
   }
   table.print("reboot faults vs outcome (k=4, n=32, uniform scheduler)");
   std::printf("\nStabilization survives every fault load (Theorem 3.4 is "

@@ -4,60 +4,62 @@
 // framing implies. Expected shape: stabilization time in chemical units
 // tracks interactions/n (the PP literature's "parallel time"), i.e. the
 // protocol converges in O(polylog)-ish parallel time on random schedules
-// while total interactions grow ~n·polylog(n).
+// while total interactions grow ~n·polylog(n). Chemical-time runs are
+// RunSpecs with chemical_time set.
 #include <vector>
 
-#include "analysis/workload.hpp"
-#include "core/circles_protocol.hpp"
-#include "crn/gillespie.hpp"
 #include "exp_common.hpp"
-#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace circles;
   util::Cli cli(argc, argv);
-  const auto trials = static_cast<int>(cli.int_flag("trials", 5, "trials per n"));
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 14, "rng seed"));
+  const auto trials = static_cast<std::uint32_t>(
+      cli.int_flag("trials", 5, "trials per n"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 14, "rng seed"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E15",
                       "chemical kinetics — Circles in continuous time "
                       "(Gillespie); parallel vs chemical clocks");
 
-  util::Rng rng(seed);
   const std::uint32_t k = 5;
-  core::CirclesProtocol protocol(k);
+  std::vector<sim::RunSpec> specs;
+  for (const std::uint64_t n : {16ull, 32ull, 64ull, 128ull, 256ull, 512ull}) {
+    sim::RunSpec spec;
+    spec.protocol = "circles";
+    spec.params.k = k;
+    spec.n = n;
+    spec.trials = trials;
+    spec.chemical_time = true;
+    specs.push_back(std::move(spec));
+  }
+
+  const auto results = sim::BatchRunner(batch).run(specs);
 
   util::Table table({"n", "mean interactions", "parallel time (inter/n)",
                      "chemical stabilization time", "chemical convergence time",
                      "chem/parallel"});
   bool all_silent = true;
   std::vector<double> xs, ys;
-
-  for (const std::uint64_t n : {16ull, 32ull, 64ull, 128ull, 256ull, 512ull}) {
-    std::vector<double> inter, chem, conv;
-    for (int t = 0; t < trials; ++t) {
-      const analysis::Workload w = analysis::random_unique_winner(rng, n, k);
-      util::Rng trial_rng(rng());
-      const auto colors = w.agent_colors(trial_rng);
-      const auto result = crn::run_gillespie(protocol, colors, trial_rng());
-      all_silent = all_silent && result.run.silent;
-      inter.push_back(static_cast<double>(result.run.interactions));
-      chem.push_back(result.stabilization_time);
-      conv.push_back(result.convergence_time);
-    }
-    const auto si = util::summarize(inter);
-    const auto sc = util::summarize(chem);
-    const auto sv = util::summarize(conv);
-    const double parallel = si.mean / static_cast<double>(n);
-    xs.push_back(static_cast<double>(n));
-    ys.push_back(sc.mean > 0 ? sc.mean : 0.01);
-    table.add_row({util::Table::num(n), util::Table::num(si.mean, 0),
+  for (const sim::SpecResult& r : results) {
+    all_silent = all_silent && r.all_silent();
+    const double parallel =
+        r.interactions.mean / static_cast<double>(r.spec.n);
+    xs.push_back(static_cast<double>(r.spec.n));
+    ys.push_back(r.stabilization_time.mean > 0 ? r.stabilization_time.mean
+                                               : 0.01);
+    table.add_row({util::Table::num(r.spec.n),
+                   util::Table::num(r.interactions.mean, 0),
                    util::Table::num(parallel, 2),
-                   util::Table::num(sc.mean, 2), util::Table::num(sv.mean, 2),
-                   util::Table::num(parallel > 0 ? sc.mean / parallel : 0, 2)});
+                   util::Table::num(r.stabilization_time.mean, 2),
+                   util::Table::num(r.convergence_time.mean, 2),
+                   util::Table::num(
+                       parallel > 0 ? r.stabilization_time.mean / parallel : 0,
+                       2)});
   }
   table.print("continuous-time convergence (k=5, uniform kinetics)");
   std::printf("\nlog-log slope of chemical stabilization time vs n: %.2f\n",

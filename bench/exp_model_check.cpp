@@ -4,20 +4,15 @@
 // the safety (all silent configs correct) + liveness (correct silence
 // always reachable) analysis. The approximate-majority row is the negative
 // control: the checker must FIND its minority-win silent configuration.
+// Protocols are constructed through the registry; the exact-vs-simulated
+// cross-check runs its sampled trials through the BatchRunner.
+#include <memory>
 #include <optional>
 #include <vector>
 
-#include "baselines/approx_majority_3state.hpp"
-#include "baselines/exact_majority_4state.hpp"
-#include "baselines/pairwise_plurality.hpp"
-#include "core/circles_protocol.hpp"
 #include "exp_common.hpp"
-#include "extensions/tie_report.hpp"
 #include "mc/hitting_time.hpp"
 #include "mc/model_checker.hpp"
-#include "pp/engine.hpp"
-#include "util/cli.hpp"
-#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -48,6 +43,7 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto cap = static_cast<std::uint64_t>(
       cli.int_flag("max_configs", 500000, "configuration exploration cap"));
+  const auto batch = bench::batch_options(cli, 123);
   cli.finish();
 
   bench::print_header("E16",
@@ -62,40 +58,41 @@ int main(int argc, char** argv) {
   bool pass = true;
 
   struct Case {
-    std::string protocol_name;
-    const pp::Protocol* protocol;
+    std::string label;
+    std::string protocol;
+    std::uint32_t k;
     std::vector<std::uint64_t> counts;
     std::optional<pp::OutputSymbol> expected;
     bool expect_correct;
     std::string expected_label;
   };
 
-  core::CirclesProtocol circles2(2), circles3(3), circles4(4);
-  ext::TieReportProtocol tie2(2), tie3(3);
-  baselines::ExactMajority4State majority;
-  baselines::ApproxMajority3State approx;
-  baselines::PairwisePlurality pairwise3(3);
-
+  // tie symbol for tie_report at k colors is k itself.
   const std::vector<Case> cases{
-      {"circles", &circles2, {5, 3}, 0u, true, "c0"},
-      {"circles", &circles2, {2, 6}, 1u, true, "c1"},
-      {"circles", &circles3, {3, 2, 1}, 0u, true, "c0"},
-      {"circles", &circles3, {1, 2, 4}, 2u, true, "c2"},
-      {"circles", &circles4, {2, 1, 2, 3}, 3u, true, "c3"},
-      {"circles (tie)", &circles3, {2, 2, 1}, std::nullopt, true, "silence"},
-      {"tie_report", &tie2, {3, 2}, 0u, true, "c0"},
-      {"tie_report", &tie2, {3, 3}, tie2.tie_symbol(), true, "TIE"},
-      {"tie_report", &tie3, {2, 2, 1}, tie3.tie_symbol(), true, "TIE"},
-      {"tie_report", &tie3, {3, 1, 1}, 0u, true, "c0"},
-      {"exact_majority_4state", &majority, {5, 4}, 0u, true, "c0"},
-      {"approx_majority_3state (neg ctrl)", &approx, {3, 2}, 0u, false, "c0"},
-      {"pairwise_plurality", &pairwise3, {2, 1, 1}, 0u, true, "c0"},
+      {"circles", "circles", 2, {5, 3}, 0u, true, "c0"},
+      {"circles", "circles", 2, {2, 6}, 1u, true, "c1"},
+      {"circles", "circles", 3, {3, 2, 1}, 0u, true, "c0"},
+      {"circles", "circles", 3, {1, 2, 4}, 2u, true, "c2"},
+      {"circles", "circles", 4, {2, 1, 2, 3}, 3u, true, "c3"},
+      {"circles (tie)", "circles", 3, {2, 2, 1}, std::nullopt, true,
+       "silence"},
+      {"tie_report", "tie_report", 2, {3, 2}, 0u, true, "c0"},
+      {"tie_report", "tie_report", 2, {3, 3}, 2u, true, "TIE"},
+      {"tie_report", "tie_report", 3, {2, 2, 1}, 3u, true, "TIE"},
+      {"tie_report", "tie_report", 3, {3, 1, 1}, 0u, true, "c0"},
+      {"exact_majority_4state", "exact_majority_4state", 2, {5, 4}, 0u, true,
+       "c0"},
+      {"approx_majority_3state (neg ctrl)", "approx_majority_3state", 2,
+       {3, 2}, 0u, false, "c0"},
+      {"pairwise_plurality", "pairwise_plurality", 3, {2, 1, 1}, 0u, true,
+       "c0"},
   };
 
+  const auto& registry = sim::ProtocolRegistry::global();
   for (const auto& c : cases) {
-    const auto result =
-        mc::check(*c.protocol, colors_from_counts(c.counts), c.expected,
-                  options);
+    const auto protocol = registry.create(c.protocol, {.k = c.k});
+    const auto result = mc::check(*protocol, colors_from_counts(c.counts),
+                                  c.expected, options);
     const bool correct = result.always_correct();
     const bool row_ok = result.explored_fully && correct == c.expect_correct;
     pass = pass && row_ok;
@@ -110,7 +107,7 @@ int main(int argc, char** argv) {
                      " wrong-silent, " + std::to_string(result.stuck_count) +
                      " stuck" + (c.expect_correct ? "" : " (expected!)");
     }
-    table.add_row({c.protocol_name, counts_str(c.counts), c.expected_label,
+    table.add_row({c.label, counts_str(c.counts), c.expected_label,
                    util::Table::num(result.reachable),
                    util::Table::num(result.silent),
                    util::Table::num(result.transitions), verdict_text});
@@ -122,42 +119,43 @@ int main(int argc, char** argv) {
 
   // Exact expected convergence times: the absorbing-chain linear system
   // gives the number the E2/E6 simulations estimate, with no sampling error.
+  // The simulated side runs through the BatchRunner.
   {
     util::Table exact_table({"protocol", "counts", "configs",
                              "exact E[interactions to silence]",
                              "simulated mean (200 runs)"});
     struct ExactCase {
-      std::string name;
-      const pp::Protocol* protocol;
+      std::string protocol;
+      std::uint32_t k;
       std::vector<std::uint64_t> counts;
     };
     const std::vector<ExactCase> exact_cases{
-        {"circles", &circles2, {3, 2}},
-        {"circles", &circles2, {4, 1}},
-        {"circles", &circles3, {2, 2, 1}},
-        {"exact_majority_4state", &majority, {3, 2}},
+        {"circles", 2, {3, 2}},
+        {"circles", 2, {4, 1}},
+        {"circles", 3, {2, 2, 1}},
+        {"exact_majority_4state", 2, {3, 2}},
     };
     for (const auto& c : exact_cases) {
+      const auto protocol = registry.create(c.protocol, {.k = c.k});
       const auto colors = colors_from_counts(c.counts);
-      const auto exact = mc::expected_interactions_to_silence(*c.protocol,
-                                                              colors);
+      const auto exact =
+          mc::expected_interactions_to_silence(*protocol, colors);
       if (!exact.computed) continue;
-      util::Rng rng(123);
+
+      sim::RunSpec spec;
+      spec.protocol = c.protocol;
+      spec.params.k = c.k;
+      spec.workload = sim::WorkloadSpec::explicit_counts(c.counts);
+      spec.trials = 200;
+      const auto result = sim::BatchRunner(batch).run_one(spec);
       double total = 0.0;
-      const int runs = 200;
-      for (int t = 0; t < runs; ++t) {
-        pp::Population population(*c.protocol, colors);
-        auto scheduler = pp::make_scheduler(
-            pp::SchedulerKind::kUniformRandom,
-            static_cast<std::uint32_t>(colors.size()), rng());
-        pp::Engine engine;
-        const auto run = engine.run(*c.protocol, population, *scheduler);
-        total += static_cast<double>(run.last_change_step + 1);
+      for (const auto& rec : result.trials) {
+        total += static_cast<double>(rec.outcome.run.last_change_step + 1);
       }
-      exact_table.add_row({c.name, counts_str(c.counts),
+      exact_table.add_row({c.protocol, counts_str(c.counts),
                            util::Table::num(exact.reachable),
                            util::Table::num(exact.expected_interactions, 2),
-                           util::Table::num(total / runs, 2)});
+                           util::Table::num(total / result.trial_count, 2)});
     }
     exact_table.print("exact vs simulated expected interactions "
                       "(uniform scheduler, absorbing-chain solve)");

@@ -1,16 +1,14 @@
 // E9 — paper §4 ordering protocol: per-color leader election plus label
 // bumping generates an injective color -> label map with 2k^2 states, using
 // only color-equality comparisons. Measures stabilization cost and verifies
-// the invariants (one leader per color, distinct labels, synced followers).
+// the invariants (one leader per color, distinct labels, synced followers)
+// through a RunSpec grader.
 #include <map>
 #include <set>
+#include <vector>
 
-#include "analysis/workload.hpp"
 #include "exp_common.hpp"
 #include "extensions/ordering.hpp"
-#include "pp/engine.hpp"
-#include "util/cli.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -47,45 +45,52 @@ bool ordering_valid(const ext::OrderingProtocol& protocol,
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const auto trials = static_cast<int>(cli.int_flag("trials", 6, "trials per cell"));
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 9, "rng seed"));
+  const auto trials = static_cast<std::uint32_t>(
+      cli.int_flag("trials", 6, "trials per cell"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 9, "rng seed"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E9",
                       "paper §4 — ordering protocol: injective labels from "
                       "equality-only color comparisons, 2k^2 states");
 
-  util::Rng rng(seed);
+  std::vector<sim::RunSpec> specs;
+  for (const std::uint32_t k : {2u, 4u, 8u, 16u}) {
+    for (const std::uint64_t n : {16ull, 64ull}) {
+      sim::RunSpec spec;
+      spec.protocol = "ordering";
+      spec.params.k = k;
+      spec.n = n;
+      spec.workload = sim::WorkloadSpec::random_counts();
+      spec.trials = trials;
+      spec.grader = [](const pp::Protocol& protocol, const analysis::Workload&,
+                       std::span<const pp::ColorId>,
+                       const pp::Population& population,
+                       const pp::RunResult& run) {
+        const auto* ordering =
+            dynamic_cast<const ext::OrderingProtocol*>(&protocol);
+        return ordering != nullptr && run.silent &&
+               ordering_valid(*ordering, population);
+      };
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  const auto results = sim::BatchRunner(batch).run(specs);
+
   util::Table table({"k", "n", "states 2k^2", "valid orderings",
                      "mean interactions", "p90 interactions"});
   bool all_valid = true;
-
-  for (const std::uint32_t k : {2u, 4u, 8u, 16u}) {
-    ext::OrderingProtocol protocol(k);
-    for (const std::uint64_t n : {16ull, 64ull}) {
-      int valid = 0;
-      std::vector<double> interactions;
-      for (int t = 0; t < trials; ++t) {
-        const analysis::Workload w = analysis::random_counts(rng, n, k);
-        util::Rng trial_rng(rng());
-        const auto colors = w.agent_colors(trial_rng);
-        pp::Population population(protocol, colors);
-        auto scheduler = pp::make_scheduler(
-            pp::SchedulerKind::kUniformRandom,
-            static_cast<std::uint32_t>(colors.size()), trial_rng());
-        pp::Engine engine;
-        const auto result = engine.run(protocol, population, *scheduler);
-        if (result.silent && ordering_valid(protocol, population)) ++valid;
-        interactions.push_back(static_cast<double>(result.interactions));
-      }
-      all_valid = all_valid && valid == trials;
-      const auto s = util::summarize(interactions);
-      table.add_row({util::Table::num(std::uint64_t{k}), util::Table::num(n),
-                     util::Table::num(protocol.num_states()),
-                     util::Table::percent(double(valid) / trials, 0),
-                     util::Table::num(s.mean, 0),
-                     util::Table::num(s.p90, 0)});
-    }
+  for (const sim::SpecResult& r : results) {
+    all_valid = all_valid && r.all_correct();
+    const std::uint64_t states = 2ull * r.spec.params.k * r.spec.params.k;
+    table.add_row({util::Table::num(std::uint64_t{r.spec.params.k}),
+                   util::Table::num(r.spec.n), util::Table::num(states),
+                   util::Table::percent(r.correct_rate(), 0),
+                   util::Table::num(r.interactions.mean, 0),
+                   util::Table::num(r.interactions.p90, 0)});
   }
   table.print("ordering stabilization (uniform scheduler)");
   std::printf("\n(the label-bump move graph is proven acyclic for <= k "

@@ -3,23 +3,24 @@
 // count multiset, permuted ids) changes the energy landscape and thus the
 // work performed — but never the correctness or the (relabeled) winner.
 // This probes how load-bearing the "numeric representation" assumption is,
-// which is exactly what §4's unordered extension must replace.
+// which is exactly what §4's unordered extension must replace. Each
+// relabeling is one explicit-counts RunSpec sharing the same pinned seed,
+// so every relabeling faces the identical schedule stream.
 #include <vector>
 
-#include "analysis/trial.hpp"
-#include "analysis/workload.hpp"
-#include "core/circles_protocol.hpp"
 #include "exp_common.hpp"
-#include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace circles;
   util::Cli cli(argc, argv);
-  const auto permutations =
-      static_cast<int>(cli.int_flag("permutations", 20, "relabelings per workload"));
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 12, "rng seed"));
+  const auto permutations = static_cast<int>(
+      cli.int_flag("permutations", 20, "relabelings per workload"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 12, "rng seed"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E13",
@@ -34,19 +35,29 @@ int main(int argc, char** argv) {
   bool spread_observed = false;
 
   for (const std::uint32_t k : {6u, 12u}) {
-    core::CirclesProtocol protocol(k);
     const std::uint64_t n = 60;
     const analysis::Workload base = analysis::zipf(rng, n, k, 1.3);
+
+    std::vector<sim::RunSpec> specs;
+    for (int p = 0; p < permutations; ++p) {
+      const analysis::Workload workload =
+          p == 0 ? base : analysis::permute_colors(rng, base);
+      sim::RunSpec spec;
+      spec.protocol = "circles";
+      spec.params.k = k;
+      spec.workload = sim::WorkloadSpec::explicit_counts(workload.counts);
+      spec.trials = 1;
+      spec.seed = 777;  // same schedule stream for every relabeling
+      spec.circles_stats = true;
+      specs.push_back(std::move(spec));
+    }
+    const auto results = sim::BatchRunner(batch).run(specs);
+
     std::vector<double> exchanges;
     int correct = 0;
-    for (int p = 0; p < permutations; ++p) {
-      const analysis::Workload w =
-          p == 0 ? base : analysis::permute_colors(rng, base);
-      analysis::TrialOptions options;
-      options.seed = 777;  // same schedule stream for every relabeling
-      const auto outcome = analysis::run_circles_trial(protocol, w, options);
-      correct += outcome.trial.correct ? 1 : 0;
-      exchanges.push_back(static_cast<double>(outcome.ket_exchanges));
+    for (const sim::SpecResult& r : results) {
+      correct += r.correct;
+      exchanges.push_back(r.ket_exchanges.mean);
     }
     all_correct = all_correct && correct == permutations;
     const auto s = util::summarize(exchanges);

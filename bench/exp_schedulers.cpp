@@ -3,59 +3,60 @@
 // the winner and the stable decomposition must be identical everywhere,
 // while time-to-silence varies by orders of magnitude (the scheduler owns
 // the clock, not the correctness).
-#include "analysis/trial.hpp"
-#include "analysis/workload.hpp"
-#include "core/circles_protocol.hpp"
+#include <vector>
+
 #include "exp_common.hpp"
-#include "util/cli.hpp"
-#include "util/stats.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace circles;
   util::Cli cli(argc, argv);
-  const auto trials = static_cast<int>(cli.int_flag("trials", 5, "trials per scheduler"));
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 7, "rng seed"));
+  const auto trials = static_cast<std::uint32_t>(
+      cli.int_flag("trials", 5, "trials per scheduler"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 7, "rng seed"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E7",
                       "scheduler robustness — same answer under every weakly "
                       "fair scheduler, different clocks");
 
-  util::Rng rng(seed);
   const std::uint32_t k = 6;
-  core::CirclesProtocol protocol(k);
+  util::Rng rng(seed);
+  std::vector<sim::RunSpec> specs;
+  for (const pp::SchedulerKind kind : pp::kAllSchedulerKinds) {
+    const std::uint64_t n =
+        kind == pp::SchedulerKind::kAdversarialDelay ? 16 : 48;
+    // One fixed workload per scheduler; trials only vary the schedule.
+    const analysis::Workload workload = analysis::random_unique_winner(rng, n, k);
+    sim::RunSpec spec;
+    spec.protocol = "circles";
+    spec.params.k = k;
+    spec.workload = sim::WorkloadSpec::explicit_counts(workload.counts);
+    spec.scheduler = kind;
+    spec.trials = trials;
+    spec.circles_stats = true;
+    specs.push_back(std::move(spec));
+  }
+
+  const auto results = sim::BatchRunner(batch).run(specs);
 
   util::Table table({"scheduler", "n", "correct", "decomposition",
                      "mean interactions", "p90 interactions",
                      "mean exchanges"});
   bool all_ok = true;
-
-  for (const pp::SchedulerKind kind : pp::kAllSchedulerKinds) {
-    const std::uint64_t n =
-        kind == pp::SchedulerKind::kAdversarialDelay ? 16 : 48;
-    const analysis::Workload w = analysis::random_unique_winner(rng, n, k);
-    int correct = 0, matches = 0;
-    std::vector<double> interactions;
-    double exchanges = 0;
-    for (int t = 0; t < trials; ++t) {
-      analysis::TrialOptions options;
-      options.scheduler = kind;
-      options.seed = rng();
-      const auto outcome = analysis::run_circles_trial(protocol, w, options);
-      correct += outcome.trial.correct ? 1 : 0;
-      matches += outcome.decomposition_matches ? 1 : 0;
-      interactions.push_back(
-          static_cast<double>(outcome.trial.run.interactions));
-      exchanges += static_cast<double>(outcome.ket_exchanges);
-    }
-    all_ok = all_ok && correct == trials && matches == trials;
-    const auto s = util::summarize(interactions);
-    table.add_row({pp::to_string(kind), util::Table::num(n),
-                   util::Table::percent(double(correct) / trials, 0),
-                   util::Table::percent(double(matches) / trials, 0),
-                   util::Table::num(s.mean, 0), util::Table::num(s.p90, 0),
-                   util::Table::num(exchanges / trials, 1)});
+  for (const sim::SpecResult& r : results) {
+    all_ok = all_ok && r.all_correct() &&
+             r.decomposition_matches == r.trial_count;
+    table.add_row({pp::to_string(r.spec.scheduler),
+                   util::Table::num(r.spec.effective_n()),
+                   util::Table::percent(r.correct_rate(), 0),
+                   util::Table::percent(r.decomposition_rate(), 0),
+                   util::Table::num(r.interactions.mean, 0),
+                   util::Table::num(r.interactions.p90, 0),
+                   util::Table::num(r.ket_exchanges.mean, 1)});
   }
   table.print("one protocol, five schedulers (k=6)");
   return bench::verdict(all_ok,

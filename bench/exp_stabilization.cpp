@@ -5,63 +5,56 @@
 // log-log slope of the scaling.
 #include <vector>
 
-#include "analysis/trial.hpp"
-#include "analysis/workload.hpp"
-#include "core/circles_protocol.hpp"
 #include "exp_common.hpp"
-#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace circles;
   util::Cli cli(argc, argv);
-  const auto trials = static_cast<int>(cli.int_flag("trials", 5, "trials per cell"));
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 2, "rng seed"));
+  const auto trials = static_cast<std::uint32_t>(
+      cli.int_flag("trials", 5, "trials per cell"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 2, "rng seed"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E2",
                       "Theorem 3.4 — stabilization: ket exchanges are finite; "
                       "empirical scaling in n and k");
 
-  util::Rng rng(seed);
-  bool all_silent = true;
-
-  auto run_cell = [&](std::uint32_t k, std::uint64_t n, double* mean_exch,
-                      double* mean_inter) {
-    core::CirclesProtocol protocol(k);
-    std::vector<double> exchanges;
-    std::vector<double> interactions;
-    for (int t = 0; t < trials; ++t) {
-      const analysis::Workload w = analysis::random_unique_winner(rng, n, k);
-      analysis::TrialOptions options;
-      options.seed = rng();
-      const auto outcome = analysis::run_circles_trial(protocol, w, options);
-      all_silent = all_silent && outcome.trial.run.silent;
-      exchanges.push_back(static_cast<double>(outcome.ket_exchanges));
-      interactions.push_back(
-          static_cast<double>(outcome.trial.run.interactions));
-    }
-    const auto ex = util::summarize(exchanges);
-    const auto in = util::summarize(interactions);
-    *mean_exch = ex.mean;
-    *mean_inter = in.mean;
-    return std::pair{ex, in};
+  const auto make_spec = [&](std::uint32_t k, std::uint64_t n) {
+    sim::RunSpec spec;
+    spec.protocol = "circles";
+    spec.params.k = k;
+    spec.n = n;
+    spec.trials = trials;
+    spec.circles_stats = true;
+    return spec;
   };
+
+  const std::vector<std::uint64_t> n_axis{8, 16, 32, 64, 128, 256, 512};
+  const std::vector<std::uint32_t> k_axis{2, 4, 8, 16, 32};
+  std::vector<sim::RunSpec> specs;
+  for (const std::uint64_t n : n_axis) specs.push_back(make_spec(8, n));
+  for (const std::uint32_t k : k_axis) specs.push_back(make_spec(k, 128));
+
+  const auto results = sim::BatchRunner(batch).run(specs);
+  bool all_silent = true;
+  for (const auto& r : results) all_silent = all_silent && r.all_silent();
 
   {
     util::Table table({"n (k=8)", "mean exchanges", "p90 exchanges",
                        "mean interactions to silence"});
     std::vector<double> xs, ys;
-    for (const std::uint64_t n : {8ull, 16ull, 32ull, 64ull, 128ull, 256ull,
-                                  512ull}) {
-      double me = 0, mi = 0;
-      const auto [ex, in] = run_cell(8, n, &me, &mi);
-      xs.push_back(static_cast<double>(n));
-      ys.push_back(me > 0 ? me : 0.1);
-      table.add_row({util::Table::num(n), util::Table::num(ex.mean, 1),
-                     util::Table::num(ex.p90, 1),
-                     util::Table::num(in.mean, 0)});
+    for (std::size_t i = 0; i < n_axis.size(); ++i) {
+      const sim::SpecResult& r = results[i];
+      xs.push_back(static_cast<double>(n_axis[i]));
+      ys.push_back(r.ket_exchanges.mean > 0 ? r.ket_exchanges.mean : 0.1);
+      table.add_row({util::Table::num(n_axis[i]),
+                     util::Table::num(r.ket_exchanges.mean, 1),
+                     util::Table::num(r.ket_exchanges.p90, 1),
+                     util::Table::num(r.interactions.mean, 0)});
     }
     table.print("exchanges vs population size");
     std::printf("log-log slope of exchanges vs n: %.2f "
@@ -74,15 +67,14 @@ int main(int argc, char** argv) {
     util::Table table({"k (n=128)", "mean exchanges", "p90 exchanges",
                        "mean interactions to silence"});
     std::vector<double> xs, ys;
-    for (const std::uint32_t k : {2u, 4u, 8u, 16u, 32u}) {
-      double me = 0, mi = 0;
-      const auto [ex, in] = run_cell(k, 128, &me, &mi);
-      xs.push_back(static_cast<double>(k));
-      ys.push_back(me > 0 ? me : 0.1);
-      table.add_row({util::Table::num(std::uint64_t{k}),
-                     util::Table::num(ex.mean, 1),
-                     util::Table::num(ex.p90, 1),
-                     util::Table::num(in.mean, 0)});
+    for (std::size_t i = 0; i < k_axis.size(); ++i) {
+      const sim::SpecResult& r = results[n_axis.size() + i];
+      xs.push_back(static_cast<double>(k_axis[i]));
+      ys.push_back(r.ket_exchanges.mean > 0 ? r.ket_exchanges.mean : 0.1);
+      table.add_row({util::Table::num(std::uint64_t{k_axis[i]}),
+                     util::Table::num(r.ket_exchanges.mean, 1),
+                     util::Table::num(r.ket_exchanges.p90, 1),
+                     util::Table::num(r.interactions.mean, 0)});
     }
     table.print("exchanges vs number of colors");
     std::printf("log-log slope of exchanges vs k: %.2f\n",

@@ -2,44 +2,17 @@
 // Circles' k^3 against the prior O(k^7) upper bound [Gąsieniec et al. 2017],
 // the Ω(k^2) lower bound [Natale & Ramezani 2019], this repository's
 // baselines/extensions, and — as a reality check — the number of distinct
-// states a real execution actually occupies.
-#include <set>
-
-#include "analysis/workload.hpp"
+// states a real execution actually occupies (RunSpec::track_used_states).
 #include "baselines/state_complexity.hpp"
-#include "core/circles_protocol.hpp"
 #include "exp_common.hpp"
-#include "pp/engine.hpp"
-#include "util/cli.hpp"
 #include "util/table.hpp"
 
-namespace {
-
-using namespace circles;
-
-/// Counts distinct states ever occupied during one run.
-class UsedStatesMonitor final : public pp::Monitor {
- public:
-  void on_start(const pp::Population& population,
-                const pp::Protocol&) override {
-    for (const pp::StateId s : population.present_states()) seen_.insert(s);
-  }
-  void on_interaction(const pp::InteractionEvent& event,
-                      const pp::Population&) override {
-    seen_.insert(event.initiator_after);
-    seen_.insert(event.responder_after);
-  }
-  std::size_t used() const { return seen_.size(); }
-
- private:
-  std::set<pp::StateId> seen_;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace circles;
   util::Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 5, "rng seed"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 5, "rng seed"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E5",
@@ -74,33 +47,33 @@ int main(int argc, char** argv) {
   // agent's bra is fixed and outputs trail the winner — context for why the
   // definition-level count is the right metric (worst case over inputs).
   {
+    std::vector<sim::RunSpec> specs;
+    for (const std::uint32_t k : {4u, 8u, 16u}) {
+      sim::RunSpec spec;
+      spec.protocol = "circles";
+      spec.params.k = k;
+      spec.n = 128;
+      spec.trials = 1;
+      spec.track_used_states = true;
+      specs.push_back(std::move(spec));
+    }
+    const auto results = sim::BatchRunner(batch).run(specs);
+
     util::Table table({"k", "n", "k^3", "states occupied in one run",
                        "occupancy"});
-    util::Rng rng(seed);
     bool sane = true;
-    for (const std::uint32_t k : {4u, 8u, 16u}) {
-      core::CirclesProtocol protocol(k);
-      const std::uint64_t n = 128;
-      const analysis::Workload w = analysis::random_unique_winner(rng, n, k);
-      UsedStatesMonitor used;
-      pp::Monitor* monitors[] = {&used};
-      util::Rng trial_rng(rng());
-      const auto colors = w.agent_colors(trial_rng);
-      pp::Population population(protocol, colors);
-      auto scheduler = pp::make_scheduler(
-          pp::SchedulerKind::kUniformRandom,
-          static_cast<std::uint32_t>(colors.size()), trial_rng());
-      pp::Engine engine;
-      engine.run(protocol, population, *scheduler,
-                 std::span<pp::Monitor* const>(monitors, 1));
-      sane = sane && used.used() <= protocol.num_states();
-      table.add_row(
-          {util::Table::num(std::uint64_t{k}), util::Table::num(n),
-           util::Table::num(protocol.num_states()),
-           util::Table::num(static_cast<std::uint64_t>(used.used())),
-           util::Table::percent(double(used.used()) /
-                                    double(protocol.num_states()),
-                                1)});
+    for (const sim::SpecResult& r : results) {
+      const std::uint64_t num_states =
+          sim::ProtocolRegistry::global()
+              .create(r.spec.protocol, r.spec.params)
+              ->num_states();
+      const std::uint64_t used = r.trials.front().used_states;
+      sane = sane && used <= num_states;
+      table.add_row({util::Table::num(std::uint64_t{r.spec.params.k}),
+                     util::Table::num(r.spec.n),
+                     util::Table::num(num_states), util::Table::num(used),
+                     util::Table::percent(double(used) / double(num_states),
+                                          1)});
     }
     table.print("state-space occupancy of actual runs");
     if (!sane) return bench::verdict(false, "occupancy exceeded k^3?!");

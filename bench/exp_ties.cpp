@@ -2,123 +2,139 @@
 // ties exactly (all agents output TIE iff the input is tied) while staying
 // correct and silent on unique-winner inputs — including margin-1 inputs,
 // the closest non-ties. The pairwise prototypes cross-check break/share
-// semantics at small k.
-#include "analysis/trial.hpp"
-#include "analysis/workload.hpp"
+// semantics at small k, graded per agent through a RunSpec grader.
+#include <algorithm>
+#include <vector>
+
 #include "exp_common.hpp"
 #include "extensions/tie_aware_pairwise.hpp"
-#include "extensions/tie_report.hpp"
-#include "pp/engine.hpp"
-#include "util/cli.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+using namespace circles;
+
+/// Per-agent grading for the pairwise prototypes: each agent's expected
+/// output depends on the semantics and (for share) its own input color.
+bool grade_tie_semantics(const pp::Protocol& protocol,
+                         const analysis::Workload& workload,
+                         std::span<const pp::ColorId> colors,
+                         const pp::Population& population,
+                         const pp::RunResult& run) {
+  const auto* pairwise = dynamic_cast<const ext::TieAwarePairwise*>(&protocol);
+  if (pairwise == nullptr || !run.silent) return false;
+  const std::uint32_t k = pairwise->k();
+  std::uint64_t top = 0;
+  for (const auto c : workload.counts) top = std::max(top, c);
+  std::vector<pp::ColorId> winners;
+  for (pp::ColorId c = 0; c < k; ++c) {
+    if (workload.counts[c] == top) winners.push_back(c);
+  }
+  for (std::uint32_t i = 0; i < population.size(); ++i) {
+    pp::OutputSymbol expected = winners[0];
+    if (pairwise->semantics() == ext::TieSemantics::kReport &&
+        winners.size() > 1) {
+      expected = pairwise->tie_symbol();
+    } else if (pairwise->semantics() == ext::TieSemantics::kShare) {
+      for (const pp::ColorId c : winners) {
+        if (c == colors[i]) expected = c;
+      }
+    }
+    if (protocol.output(population.state(i)) != expected) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace circles;
   util::Cli cli(argc, argv);
-  const auto trials = static_cast<int>(cli.int_flag("trials", 8, "trials per cell"));
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 8, "rng seed"));
+  const auto trials = static_cast<std::uint32_t>(
+      cli.int_flag("trials", 8, "trials per cell"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 8, "rng seed"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E8",
                       "paper §4 — tie report / break / share semantics, "
                       "exact on ties and near-ties");
 
-  util::Rng rng(seed);
   bool all_ok = true;
 
   {
-    util::Table table({"k", "workload", "trials", "correct", "silent"});
+    struct Shape {
+      const char* label;
+      sim::WorkloadSpec workload;
+      std::uint64_t n;
+    };
+    std::vector<sim::RunSpec> specs;
     for (const std::uint32_t k : {3u, 5u, 8u}) {
-      ext::TieReportProtocol protocol(k);
-      for (const char* shape :
-           {"unique winner", "margin-1", "2-way tie", "k-way tie"}) {
-        int correct = 0, silent = 0;
-        for (int t = 0; t < trials; ++t) {
-          analysis::Workload w;
-          const std::string s = shape;
-          if (s == "unique winner") {
-            w = analysis::random_unique_winner(rng, 24, k);
-          } else if (s == "margin-1") {
-            w = analysis::close_margin(rng, 25, k);
-          } else if (s == "2-way tie") {
-            w = analysis::exact_tie(rng, 24, k, 2);
-          } else {
-            // A k-way tie leaves no spare colors, so n must divide evenly.
-            w = analysis::exact_tie(rng, (24 / k) * k, k, k);
-          }
-          const auto winner = w.winner();
-          const pp::OutputSymbol expected =
-              winner.has_value() ? *winner : protocol.tie_symbol();
-          analysis::TrialOptions options;
-          options.seed = rng();
-          const auto outcome =
-              analysis::run_trial(protocol, w, options, {}, expected);
-          correct += outcome.correct ? 1 : 0;
-          silent += outcome.run.silent ? 1 : 0;
-        }
-        all_ok = all_ok && correct == trials;
-        table.add_row({util::Table::num(std::uint64_t{k}), shape,
-                       util::Table::num(std::int64_t{trials}),
-                       util::Table::percent(double(correct) / trials, 0),
-                       util::Table::percent(double(silent) / trials, 0)});
+      const std::vector<Shape> shapes{
+          {"unique winner", sim::WorkloadSpec::unique_winner(), 24},
+          {"margin-1", sim::WorkloadSpec::close_margin(), 25},
+          {"2-way tie", sim::WorkloadSpec::exact_tie(2), 24},
+          // A k-way tie leaves no spare colors, so n must divide evenly.
+          {"k-way tie", sim::WorkloadSpec::exact_tie(k), (24 / k) * k},
+      };
+      for (const Shape& shape : shapes) {
+        sim::RunSpec spec;
+        spec.protocol = "tie_report";
+        spec.params.k = k;
+        spec.n = shape.n;
+        spec.workload = shape.workload;
+        spec.grading = sim::Grading::kTieAware;
+        spec.trials = trials;
+        spec.label = shape.label;
+        specs.push_back(std::move(spec));
       }
+    }
+    const auto results = sim::BatchRunner(batch).run(specs);
+
+    util::Table table({"k", "workload", "trials", "correct", "silent"});
+    for (const sim::SpecResult& r : results) {
+      all_ok = all_ok && r.all_correct();
+      table.add_row({util::Table::num(std::uint64_t{r.spec.params.k}),
+                     r.spec.label,
+                     util::Table::num(std::uint64_t{r.trial_count}),
+                     util::Table::percent(r.correct_rate(), 0),
+                     util::Table::percent(r.silent_rate(), 0)});
     }
     table.print("TieReport (retractor layer, 2k^2(k+1) states)");
   }
 
   {
-    util::Table table({"semantics", "k", "workload", "trials",
-                       "all agents correct"});
+    std::vector<sim::RunSpec> specs;
     for (const auto semantics : {ext::TieSemantics::kReport,
                                  ext::TieSemantics::kBreak,
                                  ext::TieSemantics::kShare}) {
       for (const std::uint32_t k : {3u, 4u}) {
-        ext::TieAwarePairwise protocol(k, semantics);
         for (const bool tied : {false, true}) {
-          int ok = 0;
-          for (int t = 0; t < trials; ++t) {
-            const analysis::Workload w =
-                tied ? analysis::exact_tie(rng, 16, k, 2)
-                     : analysis::random_unique_winner(rng, 16, k);
-            // Grade per agent (share semantics differ by input color).
-            util::Rng trial_rng(rng());
-            const auto colors = w.agent_colors(trial_rng);
-            pp::Population population(protocol, colors);
-            auto scheduler = pp::make_scheduler(
-                pp::SchedulerKind::kUniformRandom,
-                static_cast<std::uint32_t>(colors.size()), trial_rng());
-            pp::Engine engine;
-            const auto result = engine.run(protocol, population, *scheduler);
-            std::uint64_t top = 0;
-            for (const auto c : w.counts) top = std::max(top, c);
-            bool agents_ok = result.silent;
-            for (std::uint32_t i = 0; i < population.size() && agents_ok;
-                 ++i) {
-              std::vector<pp::ColorId> winners;
-              for (pp::ColorId c = 0; c < k; ++c) {
-                if (w.counts[c] == top) winners.push_back(c);
-              }
-              pp::OutputSymbol expected = winners[0];
-              if (semantics == ext::TieSemantics::kReport &&
-                  winners.size() > 1) {
-                expected = protocol.tie_symbol();
-              } else if (semantics == ext::TieSemantics::kShare) {
-                for (const pp::ColorId c : winners) {
-                  if (c == colors[i]) expected = c;
-                }
-              }
-              agents_ok = protocol.output(population.state(i)) == expected;
-            }
-            ok += agents_ok ? 1 : 0;
-          }
-          all_ok = all_ok && ok == trials;
-          table.add_row({to_string(semantics),
-                         util::Table::num(std::uint64_t{k}),
-                         tied ? "2-way tie" : "unique winner",
-                         util::Table::num(std::int64_t{trials}),
-                         util::Table::percent(double(ok) / trials, 0)});
+          sim::RunSpec spec;
+          spec.protocol = "tie_aware_pairwise";
+          spec.params.k = k;
+          spec.params.semantics = semantics;
+          spec.n = 16;
+          spec.workload = tied ? sim::WorkloadSpec::exact_tie(2)
+                               : sim::WorkloadSpec::unique_winner();
+          spec.trials = trials;
+          spec.grader = grade_tie_semantics;
+          spec.label = tied ? "2-way tie" : "unique winner";
+          specs.push_back(std::move(spec));
         }
       }
+    }
+    const auto results = sim::BatchRunner(batch).run(specs);
+
+    util::Table table({"semantics", "k", "workload", "trials",
+                       "all agents correct"});
+    for (const sim::SpecResult& r : results) {
+      all_ok = all_ok && r.all_correct();
+      table.add_row({to_string(r.spec.params.semantics),
+                     util::Table::num(std::uint64_t{r.spec.params.k}),
+                     r.spec.label,
+                     util::Table::num(std::uint64_t{r.trial_count}),
+                     util::Table::percent(r.correct_rate(), 0)});
     }
     table.print("pairwise prototypes (report/break/share)");
   }

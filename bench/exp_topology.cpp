@@ -13,74 +13,78 @@
 //   correct at cutoff — unanimous correct outputs when the budget ends
 //                       (outputs may still be flipping).
 // Complete-graph cells reproduce the paper's model and must be 100%.
+// Each topology is a RunSpec with a scheduler_factory building the
+// graph-restricted scheduler.
 #include <vector>
 
-#include "analysis/workload.hpp"
-#include "core/circles_protocol.hpp"
 #include "exp_common.hpp"
-#include "pp/engine.hpp"
 #include "pp/graph.hpp"
-#include "util/cli.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace circles;
   util::Cli cli(argc, argv);
-  const auto trials = static_cast<int>(cli.int_flag("trials", 8, "trials per cell"));
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 13, "rng seed"));
+  const auto trials = static_cast<std::uint32_t>(
+      cli.int_flag("trials", 8, "trials per cell"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 13, "rng seed"));
   const auto budget = static_cast<std::uint64_t>(
       cli.int_flag("budget", 2'000'000, "interaction budget per trial"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E14",
                       "beyond the paper — Circles on restricted interaction "
                       "topologies (edge-fairness only)");
 
-  util::Rng rng(seed);
   const std::uint32_t k = 4;
   const std::uint32_t n = 24;
-  core::CirclesProtocol protocol(k);
-
-  util::Table table({"topology", "edges", "edge-silent", "silent&correct",
-                     "correct at cutoff", "mean interactions"});
-  bool complete_ok = true;
 
   const std::vector<pp::InteractionGraph> graphs{
       pp::InteractionGraph::complete(n), pp::InteractionGraph::ring(n),
       pp::InteractionGraph::star(n), pp::InteractionGraph::grid(4, 6),
       pp::InteractionGraph::random_regular(n, 3, seed)};
 
+  std::vector<sim::RunSpec> specs;
   for (const auto& graph : graphs) {
-    int silent = 0, silent_correct = 0, correct_at_end = 0;
-    std::vector<double> interactions;
-    for (int t = 0; t < trials; ++t) {
-      const analysis::Workload w = analysis::random_unique_winner(rng, n, k);
-      util::Rng trial_rng(rng());
-      const auto colors = w.agent_colors(trial_rng);
-      pp::Population population(protocol, colors);
-      pp::GraphScheduler scheduler(graph,
-                                   pp::GraphSchedulerMode::kShuffledSweep,
-                                   trial_rng());
-      pp::EngineOptions options;
-      options.max_interactions = budget;
-      pp::Engine engine(options);
-      const auto result = engine.run(protocol, population, scheduler);
-      const bool consensus =
-          population.output_consensus(protocol, *w.winner());
-      silent += result.silent ? 1 : 0;
-      silent_correct += (result.silent && consensus) ? 1 : 0;
-      correct_at_end += consensus ? 1 : 0;
-      interactions.push_back(static_cast<double>(result.interactions));
+    sim::RunSpec spec;
+    spec.protocol = "circles";
+    spec.params.k = k;
+    spec.n = n;
+    spec.trials = trials;
+    spec.engine.max_interactions = budget;
+    spec.label = graph.name;
+    spec.scheduler_factory = [graph](std::uint32_t,
+                                     std::uint64_t scheduler_seed) {
+      return std::make_unique<pp::GraphScheduler>(
+          graph, pp::GraphSchedulerMode::kShuffledSweep, scheduler_seed);
+    };
+    specs.push_back(std::move(spec));
+  }
+
+  const auto results = sim::BatchRunner(batch).run(specs);
+
+  util::Table table({"topology", "edges", "edge-silent", "silent&correct",
+                     "correct at cutoff", "mean interactions"});
+  bool complete_ok = true;
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    const sim::SpecResult& r = results[g];
+    std::uint32_t correct_at_end = 0;
+    for (const auto& rec : r.trials) {
+      // Unanimous winner outputs at cutoff, silent or not.
+      if (rec.workload.winner().has_value() &&
+          rec.outcome.consensus == rec.workload.winner()) {
+        ++correct_at_end;
+      }
     }
-    if (graph.name == "complete") complete_ok = silent_correct == trials;
-    const auto s = util::summarize(interactions);
-    table.add_row({graph.name,
-                   util::Table::num(static_cast<std::uint64_t>(graph.edges.size())),
-                   util::Table::percent(double(silent) / trials, 0),
-                   util::Table::percent(double(silent_correct) / trials, 0),
-                   util::Table::percent(double(correct_at_end) / trials, 0),
-                   util::Table::num(s.mean, 0)});
+    if (graphs[g].name == "complete") complete_ok = r.all_correct();
+    table.add_row(
+        {graphs[g].name,
+         util::Table::num(static_cast<std::uint64_t>(graphs[g].edges.size())),
+         util::Table::percent(r.silent_rate(), 0),
+         util::Table::percent(r.correct_rate(), 0),
+         util::Table::percent(double(correct_at_end) / r.trial_count, 0),
+         util::Table::num(r.interactions.mean, 0)});
   }
   table.print("Circles on graphs (k=4, n=24, budget " +
               std::to_string(budget) + ")");

@@ -4,57 +4,58 @@
 // this experiment MEASURES the gap honestly instead of asserting it away:
 // per cell it reports correct consensus, wrong consensus, and unresolved
 // (budget-exhausted / non-silent) rates.
-#include "analysis/trial.hpp"
-#include "analysis/workload.hpp"
+#include <algorithm>
+#include <vector>
+
 #include "exp_common.hpp"
-#include "extensions/unordered_circles.hpp"
-#include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace circles;
   util::Cli cli(argc, argv);
-  const auto trials = static_cast<int>(cli.int_flag("trials", 20, "trials per cell"));
-  const auto seed = static_cast<std::uint64_t>(cli.int_flag("seed", 10, "rng seed"));
+  const auto trials = static_cast<std::uint32_t>(
+      cli.int_flag("trials", 20, "trials per cell"));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 10, "rng seed"));
   const auto budget = static_cast<std::uint64_t>(
       cli.int_flag("budget", 3'000'000, "interaction budget per trial"));
+  const auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
   bench::print_header("E10",
                       "paper §4 — unordered Circles (restart composition, "
                       "2k^4 states): measured correctness, not a claim");
 
-  util::Rng rng(seed);
+  std::vector<sim::RunSpec> specs;
+  for (const std::uint32_t k : {2u, 3u, 4u}) {
+    for (const std::uint64_t n : {10ull, 20ull, 40ull}) {
+      sim::RunSpec spec;
+      spec.protocol = "unordered_circles";
+      spec.params.k = k;
+      spec.n = n;
+      spec.trials = trials;
+      spec.engine.max_interactions = budget;
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  const auto results = sim::BatchRunner(batch).run(specs);
+
   util::Table table({"k", "n", "trials", "correct", "wrong consensus",
                      "unresolved"});
   double worst_correct_rate = 1.0;
-
-  for (const std::uint32_t k : {2u, 3u, 4u}) {
-    ext::UnorderedCirclesProtocol protocol(k);
-    for (const std::uint64_t n : {10ull, 20ull, 40ull}) {
-      int correct = 0, wrong = 0, unresolved = 0;
-      for (int t = 0; t < trials; ++t) {
-        const analysis::Workload w = analysis::random_unique_winner(rng, n, k);
-        analysis::TrialOptions options;
-        options.seed = rng();
-        options.engine.max_interactions = budget;
-        const auto outcome = analysis::run_trial(protocol, w, options);
-        if (outcome.correct) {
-          ++correct;
-        } else if (outcome.run.silent && outcome.consensus.has_value()) {
-          ++wrong;
-        } else {
-          ++unresolved;
-        }
-      }
-      worst_correct_rate =
-          std::min(worst_correct_rate, double(correct) / trials);
-      table.add_row({util::Table::num(std::uint64_t{k}), util::Table::num(n),
-                     util::Table::num(std::int64_t{trials}),
-                     util::Table::percent(double(correct) / trials, 0),
-                     util::Table::percent(double(wrong) / trials, 0),
-                     util::Table::percent(double(unresolved) / trials, 0)});
-    }
+  for (const sim::SpecResult& r : results) {
+    // wrong = silent consensus on a non-winner; unresolved = the rest.
+    const std::uint32_t wrong = r.consensus - r.correct;
+    const std::uint32_t unresolved = r.trial_count - r.consensus;
+    worst_correct_rate = std::min(worst_correct_rate, r.correct_rate());
+    table.add_row({util::Table::num(std::uint64_t{r.spec.params.k}),
+                   util::Table::num(r.spec.n),
+                   util::Table::num(std::uint64_t{r.trial_count}),
+                   util::Table::percent(r.correct_rate(), 0),
+                   util::Table::percent(double(wrong) / r.trial_count, 0),
+                   util::Table::percent(double(unresolved) / r.trial_count,
+                                        0)});
   }
   table.print("restart-composition outcomes (uniform scheduler)");
   std::printf("\nfailure modes are stale kets surviving a label change "

@@ -11,15 +11,17 @@
 //    which is exactly why the paper needs the ordinal potential;
 //  * the final mixture is the unique minimum-energy configuration predicted
 //    by the greedy independent sets (Lemma 3.6).
+//
+// It drives the engine directly with a custom monitor stack (the layer the
+// sim API builds on): registry-constructed protocol + sim::run_trial with
+// an EnergyTraceMonitor plugged in.
 #include <array>
 #include <cstdio>
 #include <vector>
 
-#include "analysis/workload.hpp"
-#include "core/circles_protocol.hpp"
 #include "core/decomposition.hpp"
 #include "core/invariants.hpp"
-#include "pp/engine.hpp"
+#include "sim/sim.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -27,32 +29,32 @@ int main() {
 
   const std::uint32_t k = 8;       // molecular species
   const std::uint64_t n = 120;     // molecules in the vessel
-  core::CirclesProtocol protocol(k);
+  const auto protocol =
+      sim::ProtocolRegistry::global().create("circles", {.k = k});
+  const auto& circles =
+      dynamic_cast<const core::CirclesProtocol&>(*protocol);
 
   util::Rng rng(7);
   const analysis::Workload mix = analysis::zipf(rng, n, k, 1.2);
   std::printf("species abundances: %s (plurality species: %u)\n",
               mix.to_string().c_str(), *mix.winner());
 
-  const auto colors = mix.agent_colors(rng);
-  pp::Population vessel(protocol, colors);
-
-  core::CirclesBraKetView view(protocol);
+  core::CirclesBraKetView view(circles);
   core::EnergyTraceMonitor energy(view);
   core::PotentialDescentMonitor potential(view);
   std::array<pp::Monitor*, 2> monitors{&energy, &potential};
 
-  auto scheduler =
-      pp::make_scheduler(pp::SchedulerKind::kUniformRandom,
-                         static_cast<std::uint32_t>(n), rng());
-  pp::Engine engine;
-  const auto result = engine.run(
-      protocol, vessel, *scheduler,
-      std::span<pp::Monitor* const>(monitors.data(), monitors.size()));
+  sim::TrialOptions options;
+  options.seed = rng();
+  std::unique_ptr<pp::Population> vessel;
+  const sim::TrialOutcome outcome = sim::run_trial_keep_population(
+      circles, mix, options,
+      std::span<pp::Monitor* const>(monitors.data(), monitors.size()),
+      std::nullopt, &vessel);
 
   std::printf("reactions (ket exchanges): %llu; collisions simulated: %llu\n",
               static_cast<unsigned long long>(potential.exchanges()),
-              static_cast<unsigned long long>(result.interactions));
+              static_cast<unsigned long long>(outcome.run.interactions));
   std::printf("ordinal potential violations: %llu (Theorem 3.4 says 0)\n",
               static_cast<unsigned long long>(
                   potential.descent_violations()));
@@ -78,10 +80,10 @@ int main() {
   }
   table.print("energy trajectory");
 
-  const auto check = core::verify_decomposition(vessel, protocol, mix.counts);
+  const auto check = core::verify_decomposition(*vessel, circles, mix.counts);
   std::printf("\nfinal mixture is the predicted minimum-energy state: %s\n",
               check.matches ? "yes" : "NO");
   std::printf("stable conformations: %s\n",
-              core::braket_multiset(vessel, protocol).to_string().c_str());
-  return check.matches && result.silent ? 0 : 1;
+              core::braket_multiset(*vessel, circles).to_string().c_str());
+  return check.matches && outcome.run.silent ? 0 : 1;
 }

@@ -1,16 +1,15 @@
 // Using the library as a population-protocol framework: implement your own
-// protocol against pp::Protocol and get the scheduler zoo, the exact
-// silence detection, monitors and the trial harness for free.
+// protocol against pp::Protocol, register it in a ProtocolRegistry, and get
+// the scheduler zoo, exact silence detection, per-agent grading and the
+// parallel trial harness for free.
 //
 // The protocol here is a textbook leader-election-with-token dynamics:
 // every agent starts as a leader; when two leaders meet the responder is
 // demoted. We verify the classic invariant (exactly one leader survives)
-// using only public library APIs.
+// with a RunSpec grader over many trials at once.
 #include <cstdio>
 
-#include "pp/engine.hpp"
-#include "pp/scheduler.hpp"
-#include "pp/trace.hpp"
+#include "sim/sim.hpp"
 
 namespace {
 
@@ -24,9 +23,7 @@ class LeaderElection final : public pp::Protocol {
   std::uint64_t num_states() const override { return 2; }
   std::uint32_t num_colors() const override { return 1; }
   pp::StateId input(pp::ColorId) const override { return kLeader; }
-  pp::OutputSymbol output(pp::StateId state) const override {
-    return state == kLeader ? 0 : 0;
-  }
+  pp::OutputSymbol output(pp::StateId) const override { return 0; }
   pp::Transition transition(pp::StateId initiator,
                             pp::StateId responder) const override {
     if (initiator == kLeader && responder == kLeader) {
@@ -45,29 +42,38 @@ class LeaderElection final : public pp::Protocol {
 int main() {
   using namespace circles;
 
-  LeaderElection protocol;
+  // A registry with the builtins plus our own protocol.
+  sim::ProtocolRegistry registry = sim::ProtocolRegistry::with_builtins();
+  registry.register_protocol("leader_election", [](const sim::ProtocolParams&) {
+    return std::make_unique<LeaderElection>();
+  });
+
   const std::uint32_t n = 64;
-  std::vector<pp::ColorId> colors(n, 0);
-  pp::Population population(protocol, colors);
+  sim::RunSpec spec = sim::SessionBuilder()
+                          .protocol("leader_election")
+                          .k(1)
+                          .counts({n})
+                          .trials(10)
+                          .seed(9)
+                          .build();
+  // Custom invariant: exactly one leader must survive, in every trial.
+  spec.grader = [](const pp::Protocol&, const analysis::Workload&,
+                   std::span<const pp::ColorId>,
+                   const pp::Population& population, const pp::RunResult& run) {
+    return run.silent && population.count(LeaderElection::kLeader) == 1;
+  };
 
-  auto scheduler =
-      pp::make_scheduler(pp::SchedulerKind::kUniformRandom, n, /*seed=*/9);
+  const sim::SpecResult result = sim::BatchRunner({}, registry).run_one(spec);
 
-  pp::StateChangeCounter counter;
-  pp::Monitor* monitors[] = {&counter};
-  pp::Engine engine;
-  const auto result = engine.run(protocol, population, *scheduler,
-                                 std::span<pp::Monitor* const>(monitors, 1));
-
-  std::printf("silent: %s after %llu interactions\n",
-              result.silent ? "yes" : "no",
-              static_cast<unsigned long long>(result.interactions));
-  std::printf("demotions observed: %llu (must be n-1 = %u)\n",
-              static_cast<unsigned long long>(counter.changes()), n - 1);
-  std::printf("final leaders: %llu (must be 1)\n",
-              static_cast<unsigned long long>(
-                  population.count(LeaderElection::kLeader)));
-  std::printf("final configuration: %s\n",
-              population.to_string(protocol).c_str());
-  return population.count(LeaderElection::kLeader) == 1 ? 0 : 1;
+  std::printf("protocol: leader_election over n=%u agents, %u trials\n", n,
+              result.trial_count);
+  std::printf("silent runs: %u/%u\n", result.silent, result.trial_count);
+  std::printf("one-leader invariant held: %u/%u\n", result.correct,
+              result.trial_count);
+  std::printf("mean demotions per run: %.0f (must be n-1 = %u)\n",
+              result.state_changes.mean, n - 1);
+  return result.all_correct() &&
+                 result.state_changes.mean == static_cast<double>(n - 1)
+             ? 0
+             : 1;
 }

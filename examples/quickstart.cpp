@@ -1,62 +1,47 @@
-// Quickstart: run the Circles protocol on a small population and watch it
-// elect the plurality color.
+// Quickstart: run the Circles protocol through the circles::sim session
+// API and watch it elect the plurality color.
 //
 //   $ ./build/examples/quickstart
 //
-// This is the README example; every public API it touches is documented in
-// the corresponding header.
+// This is the README example. The SessionBuilder names a protocol from the
+// ProtocolRegistry, describes the workload declaratively, and runs the
+// trials through the BatchRunner — the same path every experiment binary
+// uses.
 #include <cstdio>
-#include <vector>
 
-#include "core/circles_protocol.hpp"
-#include "core/decomposition.hpp"
-#include "pp/engine.hpp"
-#include "pp/scheduler.hpp"
+#include "sim/sim.hpp"
 
 int main() {
   using namespace circles;
 
   // Three colors; color 2 has the strict plurality (3 of 7 votes).
-  const std::uint32_t k = 3;
-  const std::vector<pp::ColorId> votes{0, 0, 1, 2, 2, 2, 1};
-
   // The paper's protocol: k^3 states, always correct under weak fairness.
-  core::CirclesProtocol protocol(k);
-  std::printf("Circles with k=%u colors: %llu states (k^3)\n", k,
-              static_cast<unsigned long long>(protocol.num_states()));
+  const sim::SpecResult result = sim::SessionBuilder()
+                                     .protocol("circles")
+                                     .counts({2, 2, 3})
+                                     .scheduler("uniform")
+                                     .trials(5)
+                                     .seed(42)
+                                     .circles_stats()
+                                     .run();
 
-  // Every agent starts in ⟨i|i⟩ with output i.
-  pp::Population population(protocol, votes);
-  std::printf("initial configuration: %s\n",
-              population.to_string(protocol).c_str());
-
-  // The classic uniform-random scheduler (weakly fair with probability 1).
-  auto scheduler = pp::make_scheduler(pp::SchedulerKind::kUniformRandom,
-                                      static_cast<std::uint32_t>(votes.size()),
-                                      /*seed=*/42);
-
-  // Run until the configuration is provably silent: no pair of agents can
-  // change any state, so outputs are stable forever.
-  pp::Engine engine;
-  const pp::RunResult result = engine.run(protocol, population, *scheduler);
-
-  std::printf("silent after %llu interactions (%llu state changes)\n",
-              static_cast<unsigned long long>(result.interactions),
-              static_cast<unsigned long long>(result.state_changes));
-  std::printf("final configuration:   %s\n",
-              population.to_string(protocol).c_str());
-
-  for (pp::OutputSymbol c = 0; c < k; ++c) {
-    if (result.consensus_on(c)) {
-      std::printf("=> every agent outputs color %u (expected winner: 2)\n", c);
-    }
-  }
+  std::printf("spec: %s\n", result.spec.to_string().c_str());
+  std::printf("correct trials: %u/%u (silent: %u)\n", result.correct,
+              result.trial_count, result.silent);
+  std::printf("mean interactions to silence: %.0f (p90 %.0f)\n",
+              result.interactions.mean, result.interactions.p90);
+  std::printf("mean ket exchanges: %.1f\n", result.ket_exchanges.mean);
 
   // Lemma 3.6: the stable bra-kets are exactly the greedy-set circles —
-  // a pure function of the vote counts, independent of the schedule.
-  const std::vector<std::uint64_t> counts{2, 2, 3};
-  const auto check = core::verify_decomposition(population, protocol, counts);
-  std::printf("Lemma 3.6 decomposition check: %s\n",
-              check.matches ? "exact match" : check.describe().c_str());
-  return check.matches ? 0 : 1;
+  // a pure function of the vote counts, independent of the schedule. The
+  // circles_stats instrumentation verified that in every trial:
+  std::printf("Lemma 3.6 decomposition verified in %u/%u trials\n",
+              result.decomposition_matches, result.trial_count);
+
+  for (const auto& rec : result.trials) {
+    std::printf("  trial seed %llu -> every agent announces c%u\n",
+                static_cast<unsigned long long>(rec.seed),
+                rec.outcome.consensus.value_or(999));
+  }
+  return result.all_correct() ? 0 : 1;
 }

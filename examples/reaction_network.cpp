@@ -6,54 +6,61 @@
 // collides at rate 1/n, so the chemical clock advances by Exp(n−1) between
 // collisions. The embedded jump chain is exactly the uniform scheduler, so
 // all of the paper's guarantees carry over verbatim — the CRN view only adds
-// physical time.
+// physical time. The vessel run is a chemical_time RunSpec.
 #include <cstdio>
 
-#include "analysis/workload.hpp"
-#include "core/circles_protocol.hpp"
 #include "crn/gillespie.hpp"
+#include "sim/sim.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace circles;
 
   // A tiny universe so the network is printable.
-  core::CirclesProtocol protocol(2);
+  const auto tiny =
+      sim::ProtocolRegistry::global().create("circles", {.k = 2});
   const std::vector<pp::ColorId> inputs{0, 1};
   std::printf("reaction network reachable from {⟨0|0⟩, ⟨1|1⟩} (k=2):\n");
-  for (const auto& reaction : crn::reactions(protocol, inputs)) {
-    std::printf("  %s\n", reaction.to_string(protocol).c_str());
+  for (const auto& reaction : crn::reactions(*tiny, inputs)) {
+    std::printf("  %s\n", reaction.to_string(*tiny).c_str());
   }
 
   // Now a real vessel in continuous time.
   const std::uint32_t k = 6;
   const std::uint64_t n = 300;
-  core::CirclesProtocol big(k);
   util::Rng rng(11);
   const analysis::Workload mix = analysis::zipf(rng, n, k, 1.25);
-  const auto colors = mix.agent_colors(rng);
 
   std::printf("\nsimulating n=%llu molecules, k=%u species, counts=%s\n",
               static_cast<unsigned long long>(n), k,
               mix.to_string().c_str());
-  const crn::GillespieResult result = crn::run_gillespie(big, colors, rng());
+  const sim::SpecResult result = sim::SessionBuilder()
+                                     .protocol("circles")
+                                     .counts(mix.counts)
+                                     .chemical_time()
+                                     .seed(rng())
+                                     .run();
+  const auto& rec = result.trials.front();
 
   util::Table table({"quantity", "value"});
   table.add_row({"collisions simulated",
-                 util::Table::num(result.run.interactions)});
+                 util::Table::num(rec.outcome.run.interactions)});
   table.add_row({"reactions (state changes)",
-                 util::Table::num(result.run.state_changes)});
+                 util::Table::num(rec.outcome.run.state_changes)});
   table.add_row({"chemical stabilization time",
-                 util::Table::num(result.stabilization_time, 3)});
+                 util::Table::num(rec.stabilization_time, 3)});
   table.add_row({"chemical convergence time (outputs settled)",
-                 util::Table::num(result.convergence_time, 3)});
+                 util::Table::num(rec.convergence_time, 3)});
   table.add_row({"parallel time (interactions / n)",
-                 util::Table::num(result.parallel_time, 3)});
+                 util::Table::num(
+                     static_cast<double>(rec.outcome.run.interactions) /
+                         static_cast<double>(n),
+                     3)});
   table.add_row({"silent (outputs frozen forever)",
-                 result.run.silent ? "yes" : "no"});
+                 rec.outcome.run.silent ? "yes" : "no"});
   table.add_row({"winner announced by all molecules",
                  "c" + std::to_string(*mix.winner())});
   table.print("continuous-time run");
 
-  return result.run.silent && result.run.consensus_on(*mix.winner()) ? 0 : 1;
+  return result.all_correct() ? 0 : 1;
 }

@@ -5,44 +5,48 @@
 //   (a) every run converges to the same winner, and
 //   (b) every run stabilizes to the *identical* bra-ket multiset
 //       (Lemma 3.6: the stable configuration depends only on the counts).
+// The sweep is one RunSpec per scheduler through the BatchRunner.
 #include <cstdio>
+#include <vector>
 
-#include "analysis/trial.hpp"
-#include "analysis/workload.hpp"
-#include "core/circles_protocol.hpp"
 #include "core/decomposition.hpp"
 #include "core/greedy_sets.hpp"
+#include "sim/sim.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace circles;
 
-  const std::uint32_t k = 4;
-  core::CirclesProtocol protocol(k);
-  analysis::Workload w;
-  w.counts = {7, 5, 6, 2};  // winner: color 0
+  const std::vector<std::uint64_t> counts{7, 5, 6, 2};  // winner: color 0
+  std::printf("counts=(7,5,6,2); predicted stable bra-kets: %s\n\n",
+              core::predict_stable_brakets(counts).to_string().c_str());
 
-  std::printf("counts=%s; predicted stable bra-kets: %s\n\n",
-              w.to_string().c_str(),
-              core::predict_stable_brakets(w.counts).to_string().c_str());
+  std::vector<sim::RunSpec> specs;
+  for (const pp::SchedulerKind kind : pp::kAllSchedulerKinds) {
+    specs.push_back(sim::SessionBuilder()
+                        .protocol("circles")
+                        .counts(counts)
+                        .scheduler(kind)
+                        .seed(4242)
+                        .circles_stats()
+                        .build());
+  }
+  const auto results = sim::BatchRunner().run(specs);
 
   util::Table table({"scheduler", "winner", "interactions", "ket exchanges",
                      "decomposition"});
   bool all_ok = true;
-  for (const pp::SchedulerKind kind : pp::kAllSchedulerKinds) {
-    analysis::TrialOptions options;
-    options.scheduler = kind;
-    options.seed = 4242;
-    const auto outcome = analysis::run_circles_trial(protocol, w, options);
-    all_ok = all_ok && outcome.trial.correct && outcome.decomposition_matches;
+  for (const sim::SpecResult& r : results) {
+    const auto& rec = r.trials.front();
+    all_ok = all_ok && r.all_correct() && rec.decomposition_matches;
     table.add_row(
-        {pp::to_string(kind),
-         outcome.trial.consensus.has_value()
-             ? "c" + std::to_string(*outcome.trial.consensus)
+        {pp::to_string(r.spec.scheduler),
+         rec.outcome.consensus.has_value()
+             ? "c" + std::to_string(*rec.outcome.consensus)
              : "<none>",
-         util::Table::num(outcome.trial.run.interactions),
-         util::Table::num(outcome.ket_exchanges),
-         outcome.decomposition_matches ? "exact" : "MISMATCH"});
+         util::Table::num(rec.outcome.run.interactions),
+         util::Table::num(rec.ket_exchanges),
+         rec.decomposition_matches ? "exact" : "MISMATCH"});
   }
   table.print("one election, five schedulers");
   std::printf("\nThe adversarial scheduler prefers null interactions and only "

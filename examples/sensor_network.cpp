@@ -9,11 +9,10 @@
 //               cross the corridor (clustered scheduler). Information mixes
 //               slowly, but weak fairness still holds, so Circles still
 //               converges to the right answer — it just takes longer.
+// Both deployments are RunSpecs on the same explicit workload.
 #include <cstdio>
 
-#include "analysis/trial.hpp"
-#include "analysis/workload.hpp"
-#include "core/circles_protocol.hpp"
+#include "sim/sim.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -21,30 +20,38 @@ int main() {
 
   const std::uint32_t k = 5;
   const std::uint64_t n = 200;
-  core::CirclesProtocol protocol(k);
 
   util::Rng rng(2025);
   const analysis::Workload readings = analysis::zipf(rng, n, k, 1.1);
   std::printf("failure-code histogram: %s\n", readings.to_string().c_str());
   std::printf("ground-truth plurality code: %u\n", *readings.winner());
   std::printf("per-sensor memory: %llu states (= k^3)\n\n",
-              static_cast<unsigned long long>(protocol.num_states()));
+              static_cast<unsigned long long>(std::uint64_t{k} * k * k));
+
+  std::vector<sim::RunSpec> specs;
+  for (const auto kind : {pp::SchedulerKind::kUniformRandom,
+                          pp::SchedulerKind::kClustered}) {
+    specs.push_back(sim::SessionBuilder()
+                        .protocol("circles")
+                        .counts(readings.counts)
+                        .scheduler(kind)
+                        .seed(rng())
+                        .circles_stats()
+                        .build());
+  }
+  const auto results = sim::BatchRunner().run(specs);
 
   util::Table table({"deployment", "correct", "interactions to silence",
                      "ket exchanges"});
-  for (const auto kind : {pp::SchedulerKind::kUniformRandom,
-                          pp::SchedulerKind::kClustered}) {
-    analysis::TrialOptions options;
-    options.scheduler = kind;
-    options.seed = rng();
-    const auto outcome = analysis::run_circles_trial(protocol, readings,
-                                                     options);
-    table.add_row({kind == pp::SchedulerKind::kUniformRandom ? "well-mixed"
-                                                             : "two-room",
-                   outcome.trial.correct ? "yes" : "NO",
-                   util::Table::num(outcome.trial.run.interactions),
-                   util::Table::num(outcome.ket_exchanges)});
-    if (!outcome.trial.correct) return 1;
+  for (const sim::SpecResult& r : results) {
+    const auto& rec = r.trials.front();
+    table.add_row({r.spec.scheduler == pp::SchedulerKind::kUniformRandom
+                       ? "well-mixed"
+                       : "two-room",
+                   r.all_correct() ? "yes" : "NO",
+                   util::Table::num(rec.outcome.run.interactions),
+                   util::Table::num(rec.ket_exchanges)});
+    if (!r.all_correct()) return 1;
   }
   table.print("sensor-network plurality consensus");
   std::printf("\nNote: Lemma 3.6 fixes the stable configuration regardless of "

@@ -2,37 +2,39 @@
 // tie report, tie break, tie share. This example demonstrates all three:
 //
 //  * TieReportProtocol — the O(k^3) retractor construction layered on
-//    Circles (our concretization of the paper's "special state" sketch);
+//    Circles (our concretization of the paper's "special state" sketch),
+//    run declaratively with tie-aware grading;
 //  * TieAwarePairwise  — exact pairwise-game prototypes for report/break/
-//    share semantics (exponential states, small k; see DESIGN.md).
+//    share semantics (exponential states, small k; see DESIGN.md), graded
+//    per input color via sim::run_trial_keep_population.
 #include <cstdio>
 #include <vector>
 
-#include "analysis/trial.hpp"
-#include "analysis/workload.hpp"
 #include "extensions/tie_aware_pairwise.hpp"
 #include "extensions/tie_report.hpp"
-#include "pp/engine.hpp"
-#include "util/table.hpp"
+#include "sim/sim.hpp"
 
 namespace {
 
 using namespace circles;
 
-void demo_tie_report(const analysis::Workload& w, const char* label) {
-  ext::TieReportProtocol protocol(w.k());
-  analysis::TrialOptions options;
-  options.seed = 31337;
-  const auto winner = w.winner();
-  const pp::OutputSymbol expected =
-      winner.has_value() ? *winner : protocol.tie_symbol();
-  const auto outcome = analysis::run_trial(protocol, w, options, {}, expected);
+void demo_tie_report(const std::vector<std::uint64_t>& counts,
+                     const char* label) {
+  const sim::SpecResult result = sim::SessionBuilder()
+                                     .protocol("tie_report")
+                                     .counts(counts)
+                                     .grading(sim::Grading::kTieAware)
+                                     .seed(31337)
+                                     .run();
+  const auto& rec = result.trials.front();
+  const auto protocol = sim::ProtocolRegistry::global().create(
+      "tie_report", {.k = static_cast<std::uint32_t>(counts.size())});
   std::printf("  %-28s counts=%s -> all agents output %s (%s)\n", label,
-              w.to_string().c_str(),
-              outcome.consensus.has_value()
-                  ? protocol.output_name(*outcome.consensus).c_str()
+              rec.workload.to_string().c_str(),
+              rec.outcome.consensus.has_value()
+                  ? protocol->output_name(*rec.outcome.consensus).c_str()
                   : "<no consensus>",
-              outcome.correct ? "correct" : "WRONG");
+              rec.outcome.correct ? "correct" : "WRONG");
 }
 
 void demo_semantics(const analysis::Workload& w) {
@@ -40,15 +42,21 @@ void demo_semantics(const analysis::Workload& w) {
   for (const auto semantics : {ext::TieSemantics::kReport,
                                ext::TieSemantics::kBreak,
                                ext::TieSemantics::kShare}) {
-    ext::TieAwarePairwise protocol(w.k(), semantics);
-    util::Rng rng(99);
-    const auto colors = w.agent_colors(rng);
-    pp::Population population(protocol, colors);
-    auto scheduler = pp::make_scheduler(
-        pp::SchedulerKind::kUniformRandom,
-        static_cast<std::uint32_t>(colors.size()), rng());
-    pp::Engine engine;
-    engine.run(protocol, population, *scheduler);
+    sim::ProtocolParams params;
+    params.k = w.k();
+    params.semantics = semantics;
+    const auto protocol =
+        sim::ProtocolRegistry::global().create("tie_aware_pairwise", params);
+
+    // Grade per agent (share semantics differ by input color), so keep the
+    // final population and the color assignment the trial used.
+    sim::TrialOptions options;
+    options.seed = 99;
+    std::unique_ptr<pp::Population> population;
+    std::vector<pp::ColorId> colors;
+    sim::run_trial_keep_population(*protocol, w, options, {}, std::nullopt,
+                                   &population, &colors);
+
     // Summarize what each input color's agents now announce.
     std::printf("    %-7s:", to_string(semantics).c_str());
     for (pp::ColorId c = 0; c < w.k(); ++c) {
@@ -57,8 +65,8 @@ void demo_semantics(const analysis::Workload& w) {
       for (std::size_t i = 0; i < colors.size(); ++i) {
         if (colors[i] == c) {
           std::printf("  c%u agents say %s", c,
-                      protocol.output_name(
-                          protocol.output(population.state(
+                      protocol->output_name(
+                          protocol->output(population->state(
                               static_cast<pp::AgentId>(i)))).c_str());
           break;
         }
@@ -75,24 +83,12 @@ int main() {
   util::Rng rng(1);
 
   std::printf("== TieReport: Circles + retractors, 2k^2(k+1) states ==\n");
-  {
-    analysis::Workload no_tie;
-    no_tie.counts = {5, 3, 2};
-    demo_tie_report(no_tie, "unique winner");
-  }
-  {
-    analysis::Workload two_way;
-    two_way.counts = {4, 4, 2};
-    demo_tie_report(two_way, "two-way tie");
-  }
-  {
-    analysis::Workload all_tied;
-    all_tied.counts = {3, 3, 3};
-    demo_tie_report(all_tied, "three-way tie");
-  }
+  demo_tie_report({5, 3, 2}, "unique winner");
+  demo_tie_report({4, 4, 2}, "two-way tie");
+  demo_tie_report({3, 3, 3}, "three-way tie");
   {
     const analysis::Workload near = analysis::close_margin(rng, 11, 3);
-    demo_tie_report(near, "margin-1 near-tie (no tie!)");
+    demo_tie_report(near.counts, "margin-1 near-tie (no tie!)");
   }
 
   std::printf("\n== Tie semantics on a two-way tie (pairwise prototypes) ==\n");

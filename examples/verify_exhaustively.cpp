@@ -6,14 +6,14 @@
 // configurations are correct) and liveness (correct silence stays reachable)
 // exactly. This example verifies Circles and the TieReport layer on small
 // instances — and then shows the checker refuting the 3-state approximate
-// majority protocol, which can stabilize on the minority.
+// majority protocol, which can stabilize on the minority. Protocols come
+// from the registry, so swapping the protocol under verification is a
+// one-string change.
 #include <cstdio>
 #include <vector>
 
-#include "baselines/approx_majority_3state.hpp"
-#include "core/circles_protocol.hpp"
-#include "extensions/tie_report.hpp"
 #include "mc/model_checker.hpp"
+#include "sim/sim.hpp"
 
 namespace {
 
@@ -32,12 +32,13 @@ std::vector<pp::ColorId> colors_from_counts(
 
 int main() {
   using namespace circles;
+  const auto& registry = sim::ProtocolRegistry::global();
   bool ok = true;
 
   {
-    core::CirclesProtocol protocol(3);
+    const auto protocol = registry.create("circles", {.k = 3});
     const auto result =
-        mc::check(protocol, colors_from_counts({3, 2, 1}), /*expected=*/0u);
+        mc::check(*protocol, colors_from_counts({3, 2, 1}), /*expected=*/0u);
     std::printf("Circles, counts (3,2,1): %llu reachable configurations, "
                 "%llu silent -> %s\n",
                 static_cast<unsigned long long>(result.reachable),
@@ -48,9 +49,9 @@ int main() {
   }
 
   {
-    ext::TieReportProtocol protocol(3);
-    const auto result = mc::check(protocol, colors_from_counts({2, 2, 1}),
-                                  protocol.tie_symbol());
+    const auto protocol = registry.create("tie_report", {.k = 3});
+    const auto result = mc::check(*protocol, colors_from_counts({2, 2, 1}),
+                                  /*expected=*/3u);  // TIE symbol = k
     std::printf("TieReport, tied counts (2,2,1): %llu configurations -> %s\n",
                 static_cast<unsigned long long>(result.reachable),
                 result.always_correct() ? "VERIFIED: all agents report TIE"
@@ -59,14 +60,14 @@ int main() {
   }
 
   {
-    baselines::ApproxMajority3State protocol;
+    const auto protocol = registry.create("approx_majority_3state", {.k = 2});
     const auto result =
-        mc::check(protocol, colors_from_counts({3, 2}), /*expected=*/0u);
+        mc::check(*protocol, colors_from_counts({3, 2}), /*expected=*/0u);
     std::printf("ApproxMajority, counts (3,2): %llu configurations -> ",
                 static_cast<unsigned long long>(result.reachable));
     if (result.incorrect_silent_count > 0) {
       std::printf("REFUTED as expected; e.g. reachable wrong outcome %s\n",
-                  mc::config_to_string(protocol, result.incorrect_silent[0])
+                  mc::config_to_string(*protocol, result.incorrect_silent[0])
                       .c_str());
     } else {
       std::printf("unexpectedly verified?!\n");

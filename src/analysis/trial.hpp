@@ -1,58 +1,20 @@
 // Single-trial runners shared by tests, examples and experiment binaries.
+//
+// The implementation lives in the circles::sim session layer (sim/trial.hpp);
+// these aliases keep the historical analysis:: spelling working. New code
+// should prefer sim::SessionBuilder / sim::BatchRunner (sim/sim.hpp) for
+// sweeps and sim::run_trial for one-off runs.
 #pragma once
 
-#include <cstdint>
-#include <optional>
-
-#include "analysis/workload.hpp"
-#include "core/circles_protocol.hpp"
-#include "pp/engine.hpp"
-#include "pp/scheduler.hpp"
+#include "sim/trial.hpp"
 
 namespace circles::analysis {
 
-struct TrialOptions {
-  pp::SchedulerKind scheduler = pp::SchedulerKind::kUniformRandom;
-  std::uint64_t seed = 1;
-  pp::EngineOptions engine = {};
-};
+using sim::CirclesTrialOutcome;
+using sim::TrialOptions;
+using sim::TrialOutcome;
 
-/// Outcome of running any plurality protocol on a workload.
-struct TrialOutcome {
-  pp::RunResult run;
-  std::optional<pp::ColorId> expected_winner;
-  /// Silent final configuration with every agent announcing the winner.
-  bool correct = false;
-  /// Final configuration reached consensus on some symbol (maybe wrong).
-  std::optional<pp::OutputSymbol> consensus;
-};
-
-/// Builds the population from the workload (shuffled assignment), runs the
-/// protocol to silence/budget, and grades the outcome. `expected_symbol`
-/// overrides the graded target (used by tie semantics where the correct
-/// output is not the plurality winner); by default the workload's unique
-/// winner is the target.
-TrialOutcome run_trial(const pp::Protocol& protocol, const Workload& workload,
-                       const TrialOptions& options,
-                       std::span<pp::Monitor* const> monitors = {},
-                       std::optional<pp::OutputSymbol> expected_symbol = {});
-
-/// Circles-specific trial with the paper's instrumentation attached:
-/// exchange counting, invariant checking and the Lemma 3.6 decomposition
-/// verdict.
-struct CirclesTrialOutcome {
-  TrialOutcome trial;
-  std::uint64_t ket_exchanges = 0;
-  std::uint64_t diagonal_creations = 0;
-  std::uint64_t diagonal_destructions = 0;
-  std::uint64_t braket_invariant_violations = 0;
-  std::uint64_t potential_descent_violations = 0;
-  std::uint64_t scalar_energy_increases = 0;
-  bool decomposition_matches = false;
-};
-
-CirclesTrialOutcome run_circles_trial(const core::CirclesProtocol& protocol,
-                                      const Workload& workload,
-                                      const TrialOptions& options);
+using sim::run_circles_trial;
+using sim::run_trial;
 
 }  // namespace circles::analysis

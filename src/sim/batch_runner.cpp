@@ -1,0 +1,295 @@
+#include "sim/batch_runner.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+
+#include "core/decomposition.hpp"
+#include "core/invariants.hpp"
+#include "crn/gillespie.hpp"
+#include "util/check.hpp"
+
+namespace circles::sim {
+
+namespace {
+
+/// ASCII "WORKLOAD": salt separating the workload-materialization stream
+/// from the population/scheduler stream of the same trial.
+constexpr std::uint64_t kWorkloadSalt = 0x574f524b4c4f4144ULL;
+
+/// Counts distinct states ever occupied during one run.
+class UsedStatesMonitor final : public pp::Monitor {
+ public:
+  void on_start(const pp::Population& population,
+                const pp::Protocol&) override {
+    for (const pp::StateId s : population.present_states()) seen_.insert(s);
+  }
+  void on_interaction(const pp::InteractionEvent& event,
+                      const pp::Population&) override {
+    seen_.insert(event.initiator_after);
+    seen_.insert(event.responder_after);
+  }
+  std::uint64_t used() const { return seen_.size(); }
+
+ private:
+  std::unordered_set<pp::StateId> seen_;
+};
+
+void aggregate(SpecResult& result, bool keep_trials) {
+  result.trial_count = static_cast<std::uint32_t>(result.trials.size());
+  std::vector<double> interactions, state_changes, exchanges, stabilization,
+      convergence;
+  interactions.reserve(result.trials.size());
+  for (const TrialRecord& rec : result.trials) {
+    result.correct += rec.outcome.correct ? 1 : 0;
+    result.silent += rec.outcome.run.silent ? 1 : 0;
+    result.budget_exhausted += rec.outcome.run.budget_exhausted ? 1 : 0;
+    result.consensus +=
+        (rec.outcome.run.silent && rec.outcome.consensus.has_value()) ? 1 : 0;
+    result.decomposition_matches += rec.decomposition_matches ? 1 : 0;
+    result.braket_invariant_violations += rec.braket_invariant_violations;
+    result.potential_descent_violations += rec.potential_descent_violations;
+    result.scalar_energy_increases += rec.scalar_energy_increases;
+    interactions.push_back(static_cast<double>(rec.outcome.run.interactions));
+    state_changes.push_back(static_cast<double>(rec.outcome.run.state_changes));
+    exchanges.push_back(static_cast<double>(rec.ket_exchanges));
+    stabilization.push_back(rec.stabilization_time);
+    convergence.push_back(rec.convergence_time);
+  }
+  result.interactions = util::summarize(interactions);
+  result.state_changes = util::summarize(state_changes);
+  result.ket_exchanges = util::summarize(exchanges);
+  result.stabilization_time = util::summarize(stabilization);
+  result.convergence_time = util::summarize(convergence);
+  if (!keep_trials) {
+    result.trials.clear();
+    result.trials.shrink_to_fit();
+  }
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(BatchOptions options, const ProtocolRegistry& registry)
+    : options_(options), registry_(&registry) {}
+
+TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
+                                       const RunSpec& spec,
+                                       std::uint64_t trial_seed) {
+  TrialRecord rec;
+  rec.seed = trial_seed;
+  util::Rng workload_rng(mix_seed(trial_seed, kWorkloadSalt));
+  rec.workload =
+      spec.workload.materialize(workload_rng, spec.n, protocol.num_colors());
+  CIRCLES_CHECK_MSG(rec.workload.k() == protocol.num_colors(),
+                    "workload color count does not match the protocol");
+
+  std::optional<pp::OutputSymbol> expected;
+  if (spec.grading == Grading::kTieAware) {
+    const auto winner = rec.workload.winner();
+    // Tie-handling protocols place their TIE symbol at index k.
+    expected = winner.has_value() ? *winner : protocol.num_colors();
+  }
+
+  // The RNG consumption order below (colors, then one split for the
+  // scheduler/gillespie seed) matches sim::run_trial exactly, so a RunSpec
+  // trial with seed s reproduces run_trial(..., {.seed = s}) bit for bit.
+  util::Rng rng(trial_seed);
+  const auto colors = rec.workload.agent_colors(rng);
+  CIRCLES_CHECK_MSG(colors.size() >= 2, "trials need at least two agents");
+  const auto n = static_cast<std::uint32_t>(colors.size());
+  const std::uint64_t derived_seed = rng.split()();
+
+  if (spec.chemical_time) {
+    const crn::GillespieResult result =
+        crn::run_gillespie(protocol, colors, derived_seed, spec.engine);
+    rec.outcome = grade_run(result.run, rec.workload, expected);
+    rec.stabilization_time = result.stabilization_time;
+    rec.convergence_time = result.convergence_time;
+    return rec;
+  }
+
+  const auto* circles =
+      spec.circles_stats
+          ? dynamic_cast<const core::CirclesProtocol*>(&protocol)
+          : nullptr;
+  CIRCLES_CHECK_MSG(!spec.circles_stats || circles != nullptr,
+                    "circles_stats requires the circles protocol");
+
+  std::optional<core::CirclesBraKetView> view;
+  std::optional<core::KetExchangeCounter> exchange_counter;
+  std::optional<core::BraKetInvariantMonitor> invariant;
+  std::optional<core::PotentialDescentMonitor> potential;
+  UsedStatesMonitor used_states;
+  std::vector<pp::Monitor*> monitors;
+  if (circles != nullptr) {
+    view.emplace(*circles);
+    exchange_counter.emplace(*view);
+    invariant.emplace(*view);
+    potential.emplace(*view);
+    monitors.insert(monitors.end(),
+                    {&*exchange_counter, &*invariant, &*potential});
+  }
+  if (spec.track_used_states) monitors.push_back(&used_states);
+  const std::span<pp::Monitor* const> monitor_span(monitors.data(),
+                                                   monitors.size());
+
+  pp::Population population(protocol, colors);
+  auto scheduler =
+      spec.scheduler_factory
+          ? spec.scheduler_factory(n, derived_seed)
+          : pp::make_scheduler(spec.scheduler, n, derived_seed, &protocol);
+
+  // Transient-fault injection: run in bursts; after each burst reboot one
+  // random agent to its input state (it keeps its reading, loses its
+  // working memory).
+  for (std::uint32_t f = 0; f < spec.reboot_faults; ++f) {
+    pp::EngineOptions burst = spec.engine;
+    burst.max_interactions =
+        spec.fault_burst_min +
+        (spec.fault_burst_span ? rng.uniform_below(spec.fault_burst_span) : 0);
+    burst.stop_when_silent = false;
+    pp::Engine(burst).run(protocol, population, *scheduler, monitor_span);
+    const auto victim = static_cast<pp::AgentId>(rng.uniform_below(n));
+    population.set_state(victim, protocol.input(colors[victim]));
+  }
+
+  pp::Engine engine(spec.engine);
+  const pp::RunResult run =
+      engine.run(protocol, population, *scheduler, monitor_span);
+  rec.outcome = grade_run(run, rec.workload, expected);
+  if (spec.grader) {
+    rec.outcome.correct =
+        spec.grader(protocol, rec.workload,
+                    std::span<const pp::ColorId>(colors), population, run);
+  }
+
+  if (circles != nullptr) {
+    rec.ket_exchanges = exchange_counter->exchanges();
+    rec.diagonal_creations = exchange_counter->diagonal_creations();
+    rec.diagonal_destructions = exchange_counter->diagonal_destructions();
+    rec.braket_invariant_violations = invariant->violations();
+    rec.potential_descent_violations = potential->descent_violations();
+    rec.scalar_energy_increases = potential->scalar_energy_increases();
+    rec.decomposition_matches =
+        core::verify_decomposition(population, *circles, rec.workload.counts)
+            .matches;
+  }
+  if (spec.track_used_states) rec.used_states = used_states.used();
+  return rec;
+}
+
+std::vector<SpecResult> BatchRunner::run(
+    std::span<const RunSpec> specs) const {
+  std::vector<SpecResult> results(specs.size());
+  std::vector<std::unique_ptr<pp::Protocol>> protocols;
+  protocols.reserve(specs.size());
+  std::vector<std::uint64_t> spec_seeds(specs.size());
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const RunSpec& spec = specs[i];
+    if (spec.trials == 0) {
+      throw std::invalid_argument("RunSpec '" + spec.to_string() +
+                                  "' needs trials >= 1");
+    }
+    if (spec.effective_n() < 2) {
+      throw std::invalid_argument("RunSpec '" + spec.to_string() +
+                                  "' needs a population of >= 2 agents");
+    }
+    auto protocol = registry_->create(spec.protocol, spec.params);
+    if (spec.workload.family == WorkloadSpec::Family::kExplicit &&
+        spec.workload.counts.size() != protocol->num_colors()) {
+      throw std::invalid_argument(
+          "RunSpec '" + spec.to_string() + "' fixes " +
+          std::to_string(spec.workload.counts.size()) +
+          " per-color counts but protocol '" + spec.protocol + "' has k=" +
+          std::to_string(protocol->num_colors()) + " colors");
+    }
+    if (spec.circles_stats &&
+        dynamic_cast<const core::CirclesProtocol*>(protocol.get()) ==
+            nullptr) {
+      throw std::invalid_argument(
+          "circles_stats requested for non-circles protocol '" +
+          spec.protocol + "'");
+    }
+    if (spec.chemical_time &&
+        (spec.circles_stats || spec.track_used_states ||
+         spec.reboot_faults > 0 || spec.grader || spec.scheduler_factory)) {
+      throw std::invalid_argument(
+          "RunSpec '" + spec.to_string() +
+          "' combines chemical_time with engine-only features "
+          "(circles_stats / track_used_states / reboot_faults / grader / "
+          "scheduler_factory)");
+    }
+    protocols.push_back(std::move(protocol));
+    spec_seeds[i] = spec_seed(spec, options_.base_seed, i);
+    results[i].spec = spec;
+    results[i].trials.resize(spec.trials);
+  }
+
+  struct Job {
+    std::uint32_t spec;
+    std::uint32_t trial;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (std::uint32_t t = 0; t < specs[i].trials; ++t) {
+      jobs.push_back({static_cast<std::uint32_t>(i), t});
+    }
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  const auto worker = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t index = cursor.fetch_add(1);
+      if (index >= jobs.size()) break;
+      const Job job = jobs[index];
+      try {
+        results[job.spec].trials[job.trial] =
+            execute_trial(*protocols[job.spec], specs[job.spec],
+                          trial_seed(spec_seeds[job.spec], job.trial));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed = true;
+      }
+    }
+  };
+
+  std::uint32_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  threads = static_cast<std::uint32_t>(
+      std::min<std::size_t>(threads, jobs.size()));
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+  if (error) std::rethrow_exception(error);
+
+  for (SpecResult& result : results) aggregate(result, options_.keep_trials);
+  return results;
+}
+
+std::vector<SpecResult> BatchRunner::run(
+    std::initializer_list<RunSpec> specs) const {
+  return run(std::span<const RunSpec>(specs.begin(), specs.size()));
+}
+
+SpecResult BatchRunner::run_one(const RunSpec& spec) const {
+  auto results = run(std::span<const RunSpec>(&spec, 1));
+  return std::move(results.front());
+}
+
+}  // namespace circles::sim

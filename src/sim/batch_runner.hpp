@@ -1,0 +1,114 @@
+// BatchRunner: execute a vector of RunSpecs across a std::thread pool.
+//
+// Every (spec, trial) pair is an independent job whose RNG stream is a pure
+// function of (spec seed, trial index) — see run_spec.hpp — so the results
+// are bitwise identical regardless of thread count or scheduling order.
+// Trials are executed work-stealing style over a flattened job list; the
+// per-spec aggregation runs sequentially afterwards, in trial order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/run_spec.hpp"
+#include "util/stats.hpp"
+
+namespace circles::sim {
+
+/// One trial's full record.
+struct TrialRecord {
+  std::uint64_t seed = 0;  // derived trial seed actually used
+  analysis::Workload workload;
+  TrialOutcome outcome;
+
+  // Circles instrumentation (valid iff spec.circles_stats).
+  std::uint64_t ket_exchanges = 0;
+  std::uint64_t diagonal_creations = 0;
+  std::uint64_t diagonal_destructions = 0;
+  std::uint64_t braket_invariant_violations = 0;
+  std::uint64_t potential_descent_violations = 0;
+  std::uint64_t scalar_energy_increases = 0;
+  bool decomposition_matches = false;
+
+  // Valid iff spec.track_used_states.
+  std::uint64_t used_states = 0;
+
+  // Valid iff spec.chemical_time.
+  double stabilization_time = 0.0;
+  double convergence_time = 0.0;
+};
+
+/// Aggregated result of one spec's trials.
+struct SpecResult {
+  RunSpec spec;
+  std::vector<TrialRecord> trials;  // cleared when keep_trials is off
+
+  std::uint32_t trial_count = 0;
+  std::uint32_t correct = 0;
+  std::uint32_t silent = 0;
+  std::uint32_t budget_exhausted = 0;
+  std::uint32_t consensus = 0;  // silent consensus on *some* symbol
+  std::uint32_t decomposition_matches = 0;
+
+  std::uint64_t braket_invariant_violations = 0;
+  std::uint64_t potential_descent_violations = 0;
+  std::uint64_t scalar_energy_increases = 0;
+
+  util::Summary interactions;
+  util::Summary state_changes;
+  util::Summary ket_exchanges;       // all-zero unless circles_stats
+  util::Summary stabilization_time;  // all-zero unless chemical_time
+  util::Summary convergence_time;    // all-zero unless chemical_time
+
+  double correct_rate() const {
+    return trial_count ? double(correct) / trial_count : 0.0;
+  }
+  double silent_rate() const {
+    return trial_count ? double(silent) / trial_count : 0.0;
+  }
+  double decomposition_rate() const {
+    return trial_count ? double(decomposition_matches) / trial_count : 0.0;
+  }
+  bool all_correct() const { return correct == trial_count; }
+  bool all_silent() const { return silent == trial_count; }
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::uint32_t threads = 0;
+
+  /// Base seed feeding specs that do not fix their own seed.
+  std::uint64_t base_seed = 1;
+
+  /// Retain per-trial records in the SpecResult (memory vs detail).
+  bool keep_trials = true;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {},
+                       const ProtocolRegistry& registry =
+                           ProtocolRegistry::global());
+
+  /// Executes all specs; result i corresponds to specs[i]. Throws
+  /// std::invalid_argument up front for unknown protocols / bad params.
+  std::vector<SpecResult> run(std::span<const RunSpec> specs) const;
+  std::vector<SpecResult> run(std::initializer_list<RunSpec> specs) const;
+
+  SpecResult run_one(const RunSpec& spec) const;
+
+  const BatchOptions& options() const { return options_; }
+
+  /// Executes a single (spec, trial) job. Exposed for tests; `protocol`
+  /// must match spec.protocol/params.
+  static TrialRecord execute_trial(const pp::Protocol& protocol,
+                                   const RunSpec& spec,
+                                   std::uint64_t trial_seed);
+
+ private:
+  BatchOptions options_;
+  const ProtocolRegistry* registry_;
+};
+
+}  // namespace circles::sim

@@ -1,0 +1,125 @@
+#include "sim/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/approx_majority_3state.hpp"
+#include "baselines/exact_majority_4state.hpp"
+#include "baselines/pairwise_plurality.hpp"
+#include "core/circles_protocol.hpp"
+#include "extensions/ordering.hpp"
+#include "extensions/tie_report.hpp"
+#include "extensions/unordered_circles.hpp"
+
+namespace circles::sim {
+
+namespace {
+
+void require_k(const std::string& name, const ProtocolParams& params,
+               std::uint32_t lo, std::uint32_t hi) {
+  if (params.k < lo || params.k > hi) {
+    throw std::invalid_argument(
+        "protocol '" + name + "' requires k in [" + std::to_string(lo) + ", " +
+        std::to_string(hi) + "], got k=" + std::to_string(params.k));
+  }
+}
+
+}  // namespace
+
+void ProtocolRegistry::register_protocol(const std::string& name,
+                                         Factory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("protocol name must not be empty");
+  }
+  if (!factories_.emplace(name, std::move(factory)).second) {
+    throw std::invalid_argument("protocol '" + name + "' already registered");
+  }
+}
+
+std::unique_ptr<pp::Protocol> ProtocolRegistry::create(
+    const std::string& name, const ProtocolParams& params) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [key, factory] : factories_) {
+      (void)factory;
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    throw std::invalid_argument("unknown protocol '" + name +
+                                "' (known: " + known + ")");
+  }
+  return it->second(params);
+}
+
+bool ProtocolRegistry::contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> ProtocolRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, factory] : factories_) {
+    (void)factory;
+    out.push_back(key);
+  }
+  return out;  // std::map iterates sorted
+}
+
+ProtocolRegistry ProtocolRegistry::with_builtins() {
+  ProtocolRegistry registry;
+  registry.register_protocol(
+      "circles", [](const ProtocolParams& p) -> std::unique_ptr<pp::Protocol> {
+        require_k("circles", p, 1, 1024);
+        return std::make_unique<core::CirclesProtocol>(p.k);
+      });
+  registry.register_protocol(
+      "tie_report",
+      [](const ProtocolParams& p) -> std::unique_ptr<pp::Protocol> {
+        require_k("tie_report", p, 1, 812);
+        return std::make_unique<ext::TieReportProtocol>(p.k);
+      });
+  registry.register_protocol(
+      "tie_aware_pairwise",
+      [](const ProtocolParams& p) -> std::unique_ptr<pp::Protocol> {
+        require_k("tie_aware_pairwise", p, 2, 5);
+        return std::make_unique<ext::TieAwarePairwise>(p.k, p.semantics);
+      });
+  registry.register_protocol(
+      "unordered_circles",
+      [](const ProtocolParams& p) -> std::unique_ptr<pp::Protocol> {
+        require_k("unordered_circles", p, 1, 215);
+        return std::make_unique<ext::UnorderedCirclesProtocol>(p.k);
+      });
+  registry.register_protocol(
+      "ordering", [](const ProtocolParams& p) -> std::unique_ptr<pp::Protocol> {
+        require_k("ordering", p, 1, 32768);
+        return std::make_unique<ext::OrderingProtocol>(p.k);
+      });
+  registry.register_protocol(
+      "pairwise_plurality",
+      [](const ProtocolParams& p) -> std::unique_ptr<pp::Protocol> {
+        require_k("pairwise_plurality", p, 2, 6);
+        return std::make_unique<baselines::PairwisePlurality>(p.k);
+      });
+  registry.register_protocol(
+      "exact_majority_4state",
+      [](const ProtocolParams& p) -> std::unique_ptr<pp::Protocol> {
+        require_k("exact_majority_4state", p, 2, 2);
+        return std::make_unique<baselines::ExactMajority4State>();
+      });
+  registry.register_protocol(
+      "approx_majority_3state",
+      [](const ProtocolParams& p) -> std::unique_ptr<pp::Protocol> {
+        require_k("approx_majority_3state", p, 2, 2);
+        return std::make_unique<baselines::ApproxMajority3State>();
+      });
+  return registry;
+}
+
+ProtocolRegistry& ProtocolRegistry::global() {
+  static ProtocolRegistry registry = with_builtins();
+  return registry;
+}
+
+}  // namespace circles::sim

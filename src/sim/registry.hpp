@@ -1,0 +1,72 @@
+// ProtocolRegistry: construct any protocol in the tree by name + params.
+//
+// The registry is the first layer of the circles::sim session API. Drivers
+// (experiment binaries, examples, the BatchRunner) never name concrete
+// protocol classes; they ask the registry for "circles", "tie_report",
+// "pairwise_plurality", ... and receive a pp::Protocol. That makes every
+// sweep generic over the protocol axis: adding a protocol to the repo is
+// one register_protocol() call, after which every existing driver can run
+// it.
+//
+// Errors (unknown name, invalid parameters such as k != 2 for the binary
+// baselines) are reported as std::invalid_argument with the known names
+// listed, so CLI typos fail loudly and helpfully.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "extensions/tie_aware_pairwise.hpp"
+#include "pp/protocol.hpp"
+
+namespace circles::sim {
+
+/// Constructor parameters understood by the built-in protocol factories.
+/// Protocols ignore the fields they do not use.
+struct ProtocolParams {
+  /// Number of input colors. Fixed-k protocols (the k = 2 baselines) reject
+  /// any other value instead of silently ignoring it.
+  std::uint32_t k = 2;
+
+  /// Tie semantics, consumed by "tie_aware_pairwise" only.
+  ext::TieSemantics semantics = ext::TieSemantics::kReport;
+};
+
+class ProtocolRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<pp::Protocol>(const ProtocolParams&)>;
+
+  /// Registers a factory under `name`. Throws std::invalid_argument if the
+  /// name is already taken.
+  void register_protocol(const std::string& name, Factory factory);
+
+  /// Constructs the named protocol. Throws std::invalid_argument for an
+  /// unknown name (listing the known ones) or invalid params.
+  std::unique_ptr<pp::Protocol> create(const std::string& name,
+                                       const ProtocolParams& params = {}) const;
+
+  bool contains(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// The process-wide registry, pre-populated with every protocol in the
+  /// repository:
+  ///   circles, tie_report, tie_aware_pairwise, unordered_circles, ordering,
+  ///   pairwise_plurality, exact_majority_4state, approx_majority_3state.
+  static ProtocolRegistry& global();
+
+  /// A registry with the built-ins but independent of global() (for tests
+  /// and embedders that add their own protocols).
+  static ProtocolRegistry with_builtins();
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace circles::sim

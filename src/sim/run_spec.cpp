@@ -1,0 +1,183 @@
+#include "sim/run_spec.hpp"
+
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace circles::sim {
+
+WorkloadSpec WorkloadSpec::unique_winner() { return {}; }
+
+WorkloadSpec WorkloadSpec::random_counts() {
+  WorkloadSpec spec;
+  spec.family = Family::kRandomCounts;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::exact_tie(std::uint32_t tied_colors) {
+  WorkloadSpec spec;
+  spec.family = Family::kExactTie;
+  spec.tied_colors = tied_colors;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::close_margin() {
+  WorkloadSpec spec;
+  spec.family = Family::kCloseMargin;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::dominant(double share) {
+  WorkloadSpec spec;
+  spec.family = Family::kDominant;
+  spec.share = share;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::zipf(double exponent) {
+  WorkloadSpec spec;
+  spec.family = Family::kZipf;
+  spec.exponent = exponent;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::explicit_counts(std::vector<std::uint64_t> counts) {
+  WorkloadSpec spec;
+  spec.family = Family::kExplicit;
+  spec.counts = std::move(counts);
+  return spec;
+}
+
+analysis::Workload WorkloadSpec::materialize(util::Rng& rng, std::uint64_t n,
+                                             std::uint32_t k) const {
+  switch (family) {
+    case Family::kUniqueWinner:
+      return analysis::random_unique_winner(rng, n, k);
+    case Family::kRandomCounts:
+      return analysis::random_counts(rng, n, k);
+    case Family::kExactTie:
+      return analysis::exact_tie(rng, n, k, tied_colors);
+    case Family::kCloseMargin:
+      return analysis::close_margin(rng, n, k);
+    case Family::kDominant:
+      return analysis::dominant(rng, n, k, share);
+    case Family::kZipf:
+      return analysis::zipf(rng, n, k, exponent);
+    case Family::kExplicit: {
+      analysis::Workload workload;
+      workload.counts = counts;
+      return workload;
+    }
+  }
+  throw std::logic_error("unknown workload family");
+}
+
+std::string WorkloadSpec::to_string() const {
+  switch (family) {
+    case Family::kUniqueWinner:
+      return "unique";
+    case Family::kRandomCounts:
+      return "random";
+    case Family::kExactTie:
+      return "tie:" + std::to_string(tied_colors);
+    case Family::kCloseMargin:
+      return "margin1";
+    case Family::kDominant: {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "dominant:%g", share);
+      return buffer;
+    }
+    case Family::kZipf: {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "zipf:%g", exponent);
+      return buffer;
+    }
+    case Family::kExplicit: {
+      std::string out = "counts:";
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i) out += ",";
+        out += std::to_string(counts[i]);
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+WorkloadSpec WorkloadSpec::parse(const std::string& text) {
+  const auto colon = text.find(':');
+  const std::string head = text.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? std::string() : text.substr(colon + 1);
+  // std::stoul silently wraps negative inputs; reject them up front so
+  // "tie:-1" fails here instead of deep inside a worker thread.
+  const bool negative_arg = !arg.empty() && arg[0] == '-';
+  try {
+    if (head == "unique") return unique_winner();
+    if (head == "random") return random_counts();
+    if (head == "margin1") return close_margin();
+    if (head == "tie" && !negative_arg) {
+      const std::uint32_t tied =
+          arg.empty() ? 2u : static_cast<std::uint32_t>(std::stoul(arg));
+      if (tied < 2) throw std::invalid_argument("tie needs >= 2 colors");
+      return exact_tie(tied);
+    }
+    if (head == "dominant") return dominant(std::stod(arg));
+    if (head == "zipf") return zipf(std::stod(arg));
+    if (head == "counts" && arg.find('-') == std::string::npos) {
+      std::vector<std::uint64_t> counts;
+      std::size_t pos = 0;
+      while (pos < arg.size()) {
+        std::size_t used = 0;
+        counts.push_back(std::stoull(arg.substr(pos), &used));
+        pos += used;
+        if (pos < arg.size() && arg[pos] == ',') ++pos;
+      }
+      if (counts.empty()) throw std::invalid_argument("empty counts");
+      return explicit_counts(std::move(counts));
+    }
+  } catch (const std::invalid_argument&) {
+    // fall through to the unified error below
+  } catch (const std::out_of_range&) {
+  }
+  throw std::invalid_argument(
+      "unknown workload spec '" + text +
+      "' (expected unique, random, tie:<t>, margin1, dominant:<share>, "
+      "zipf:<s>, counts:<c0,c1,...>)");
+}
+
+std::uint64_t RunSpec::effective_n() const {
+  if (workload.family == WorkloadSpec::Family::kExplicit) {
+    return std::accumulate(workload.counts.begin(), workload.counts.end(),
+                           std::uint64_t{0});
+  }
+  return n;
+}
+
+std::string RunSpec::to_string() const {
+  std::string out = protocol + "(k=" + std::to_string(params.k) + ")";
+  out += " n=" + std::to_string(effective_n());
+  out += " workload=" + workload.to_string();
+  out += " scheduler=" + pp::to_string(scheduler);
+  out += " trials=" + std::to_string(trials);
+  if (!label.empty()) out += " [" + label + "]";
+  return out;
+}
+
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = a ^ (0x9e3779b97f4a7c15ULL * (b + 1));
+  const std::uint64_t first = util::splitmix64(state);
+  return first ^ util::splitmix64(state);
+}
+
+std::uint64_t spec_seed(const RunSpec& spec, std::uint64_t base_seed,
+                        std::size_t spec_index) {
+  if (spec.seed.has_value()) return *spec.seed;
+  return mix_seed(base_seed, static_cast<std::uint64_t>(spec_index));
+}
+
+std::uint64_t trial_seed(std::uint64_t spec_seed, std::uint32_t trial_index) {
+  return mix_seed(spec_seed, trial_index);
+}
+
+}  // namespace circles::sim

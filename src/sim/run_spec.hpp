@@ -1,0 +1,147 @@
+// Declarative run description: WorkloadSpec + RunSpec.
+//
+// A RunSpec is a value describing one cell of an experiment grid: which
+// protocol (by registry name) on which workload family, at which population
+// size, under which scheduler, for how many trials, with which engine
+// options and instrumentation. The BatchRunner executes vectors of RunSpecs
+// across a thread pool with fully deterministic per-trial seeding, so a spec
+// grid IS the experiment — binaries only format the aggregated results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/workload.hpp"
+#include "pp/engine.hpp"
+#include "pp/scheduler.hpp"
+#include "sim/registry.hpp"
+#include "sim/trial.hpp"
+
+namespace circles::sim {
+
+/// A workload family plus its parameters; materialized into concrete counts
+/// per trial (deterministically from the trial's RNG stream), except for
+/// kExplicit which carries fixed counts shared by every trial.
+struct WorkloadSpec {
+  enum class Family {
+    kUniqueWinner,  // uniform random counts, unique winner enforced
+    kRandomCounts,  // uniform random counts, ties allowed
+    kExactTie,      // `tied_colors` colors share the maximum count
+    kCloseMargin,   // winner beats runner-up by exactly one
+    kDominant,      // one color holds ~`share` of the agents
+    kZipf,          // Zipf(`exponent`) counts, unique winner enforced
+    kExplicit,      // fixed `counts`, identical in every trial
+  };
+
+  Family family = Family::kUniqueWinner;
+  std::uint32_t tied_colors = 2;  // kExactTie
+  double share = 0.5;             // kDominant
+  double exponent = 1.2;          // kZipf
+  std::vector<std::uint64_t> counts;  // kExplicit
+
+  static WorkloadSpec unique_winner();
+  static WorkloadSpec random_counts();
+  static WorkloadSpec exact_tie(std::uint32_t tied_colors);
+  static WorkloadSpec close_margin();
+  static WorkloadSpec dominant(double share);
+  static WorkloadSpec zipf(double exponent);
+  static WorkloadSpec explicit_counts(std::vector<std::uint64_t> counts);
+
+  /// Concrete counts for one trial. `rng` is consumed deterministically;
+  /// kExplicit ignores all three arguments.
+  analysis::Workload materialize(util::Rng& rng, std::uint64_t n,
+                                 std::uint32_t k) const;
+
+  /// "unique", "random", "tie:2", "margin1", "dominant:0.6", "zipf:1.4",
+  /// "counts:5,3,2".
+  std::string to_string() const;
+  static WorkloadSpec parse(const std::string& text);
+};
+
+/// How the BatchRunner grades each trial.
+enum class Grading {
+  /// Correct iff silent consensus on the workload's unique plurality winner.
+  kPluralityWinner,
+  /// Correct iff silent consensus on the winner when unique, and on the
+  /// protocol's TIE symbol (= k) when the input is tied.
+  kTieAware,
+};
+
+/// One cell of an experiment grid.
+struct RunSpec {
+  std::string protocol = "circles";
+  ProtocolParams params;
+
+  /// Population size (ignored by explicit-counts workloads, which fix n).
+  std::uint64_t n = 0;
+  WorkloadSpec workload;
+
+  pp::SchedulerKind scheduler = pp::SchedulerKind::kUniformRandom;
+  /// When set, overrides `scheduler` (e.g. graph-restricted topologies).
+  SchedulerFactory scheduler_factory;
+
+  /// Custom correctness verdict (engine runs only): receives the final
+  /// population and overrides the standard grading (e.g. per-agent checks).
+  std::function<bool(const pp::Protocol& protocol,
+                     const analysis::Workload& workload,
+                     std::span<const pp::ColorId> colors,
+                     const pp::Population& population,
+                     const pp::RunResult& run)>
+      grader;
+
+  std::uint32_t trials = 1;
+  /// Per-spec seed; when unset the BatchRunner derives one from its base
+  /// seed and the spec's index. Two specs with equal seeds and workloads see
+  /// identical per-trial workloads and schedule streams — set this to
+  /// compare protocols on identical inputs.
+  std::optional<std::uint64_t> seed;
+
+  pp::EngineOptions engine;
+  Grading grading = Grading::kPluralityWinner;
+
+  /// Attach the paper's Circles instrumentation (exchange counters,
+  /// invariant monitors, Lemma 3.6 decomposition verdict). Requires the
+  /// protocol to be a core::CirclesProtocol.
+  bool circles_stats = false;
+
+  /// Count the distinct states occupied over the run.
+  bool track_used_states = false;
+
+  /// Run under continuous-time (Gillespie) semantics instead of the engine
+  /// loop; records chemical stabilization/convergence times. The embedded
+  /// jump chain is the uniform scheduler. Incompatible with the engine-only
+  /// features (circles_stats, track_used_states, reboot_faults, grader,
+  /// scheduler_factory) — the BatchRunner rejects such specs up front.
+  bool chemical_time = false;
+
+  /// Transient-fault injection: before the final run to silence, execute
+  /// this many bursts, rebooting one random agent to its input state after
+  /// each burst. Burst length is uniform in
+  /// [fault_burst_min, fault_burst_min + fault_burst_span).
+  std::uint32_t reboot_faults = 0;
+  std::uint64_t fault_burst_min = 200;
+  std::uint64_t fault_burst_span = 400;
+
+  /// Free-form tag carried through to the SpecResult (for tables).
+  std::string label;
+
+  /// n actually used: the explicit workload's total when fixed, else `n`.
+  std::uint64_t effective_n() const;
+
+  /// Human-readable one-line description.
+  std::string to_string() const;
+};
+
+/// Deterministic seed derivation (splitmix64-based):
+///   spec seed  = spec.seed, or mix(base_seed, spec_index) when unset;
+///   trial seed = mix(spec_seed, trial_index).
+/// Results therefore depend only on (spec, indices), never on thread count
+/// or execution order.
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b);
+std::uint64_t spec_seed(const RunSpec& spec, std::uint64_t base_seed,
+                        std::size_t spec_index);
+std::uint64_t trial_seed(std::uint64_t spec_seed, std::uint32_t trial_index);
+
+}  // namespace circles::sim

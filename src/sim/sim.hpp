@@ -1,0 +1,17 @@
+// Umbrella header for the circles::sim session API.
+//
+// The canonical way to run anything in this repository:
+//
+//   * ProtocolRegistry — construct any protocol by name + params;
+//   * WorkloadSpec / RunSpec — declarative description of one grid cell;
+//   * SessionBuilder — fluent single-spec construction and execution;
+//   * BatchRunner — parallel, deterministic execution of spec grids;
+//   * specs_from_flags — the standard sweep CLI.
+#pragma once
+
+#include "sim/batch_runner.hpp"
+#include "sim/registry.hpp"
+#include "sim/run_spec.hpp"
+#include "sim/session.hpp"
+#include "sim/specs_from_flags.hpp"
+#include "sim/trial.hpp"

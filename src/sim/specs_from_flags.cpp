@@ -1,0 +1,74 @@
+#include "sim/specs_from_flags.hpp"
+
+#include <stdexcept>
+
+namespace circles::sim {
+
+namespace {
+
+void require_non_negative(const char* flag,
+                          const std::vector<std::int64_t>& values) {
+  for (const auto v : values) {
+    if (v < 0) {
+      throw std::invalid_argument("flag --" + std::string(flag) +
+                                  " expects non-negative values, got " +
+                                  std::to_string(v));
+    }
+  }
+}
+
+}  // namespace
+
+SweepSpecs specs_from_flags(util::Cli& cli, const SweepFlagDefaults& defaults) {
+  const auto protocols = cli.string_list_flag(
+      "protocol", defaults.protocols, "protocol registry names to sweep");
+  const auto ks =
+      cli.int_list_flag("k", defaults.ks, "color counts to sweep");
+  const auto ns =
+      cli.int_list_flag("n", defaults.ns, "population sizes to sweep");
+  const auto schedulers = cli.string_list_flag(
+      "scheduler", defaults.schedulers,
+      "schedulers to sweep (uniform, round_robin, shuffled, adversarial, "
+      "clustered)");
+  const auto workload = WorkloadSpec::parse(cli.string_flag(
+      "workload", defaults.workload,
+      "workload family (unique, random, tie:<t>, margin1, dominant:<s>, "
+      "zipf:<s>, counts:<c0,c1,...>)"));
+  const auto trials =
+      cli.int_flag("trials", defaults.trials, "trials per grid cell");
+  const auto seed = static_cast<std::uint64_t>(
+      cli.int_flag("seed", defaults.seed, "base rng seed"));
+  const auto budget = cli.int_flag(
+      "budget", defaults.budget, "interaction budget (0 = engine default)");
+
+  require_non_negative("k", ks);
+  require_non_negative("n", ns);
+  require_non_negative("trials", {trials});
+  require_non_negative("budget", {budget});
+
+  SweepSpecs out;
+  out.base_seed = seed;
+  for (const auto& protocol : protocols) {
+    for (const auto k : ks) {
+      for (const auto n : ns) {
+        for (const auto& scheduler : schedulers) {
+          RunSpec spec;
+          spec.protocol = protocol;
+          spec.params.k = static_cast<std::uint32_t>(k);
+          spec.n = static_cast<std::uint64_t>(n);
+          spec.workload = workload;
+          spec.scheduler = pp::scheduler_kind_from_string(scheduler);
+          spec.trials = static_cast<std::uint32_t>(trials);
+          if (budget > 0) {
+            spec.engine.max_interactions =
+                static_cast<std::uint64_t>(budget);
+          }
+          out.specs.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace circles::sim

@@ -1,0 +1,49 @@
+// specs_from_flags: turn the standard sweep flags into a RunSpec grid.
+//
+// Declares --protocol/--k/--n/--scheduler/--workload (all comma-separated
+// lists) plus --trials/--seed/--budget on the given Cli and returns the full
+// cross product as RunSpecs. Experiment binaries that are "a sweep plus a
+// verdict" reduce to: parse flags, maybe tweak the specs, BatchRunner::run,
+// format.
+//
+//   util::Cli cli(argc, argv);
+//   auto specs = sim::specs_from_flags(cli, {.protocols = "circles",
+//                                            .ks = "2,4,8",
+//                                            .ns = "8,32,128"});
+//   cli.finish();
+//   const auto results = sim::BatchRunner().run(specs);
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/run_spec.hpp"
+#include "util/cli.hpp"
+
+namespace circles::sim {
+
+/// Default flag values (rendered in --help exactly as typed).
+struct SweepFlagDefaults {
+  std::string protocols = "circles";
+  std::string ks = "4";
+  std::string ns = "64";
+  std::string schedulers = "uniform";
+  std::string workload = "unique";
+  std::int64_t trials = 5;
+  std::int64_t seed = 1;
+  std::int64_t budget = 0;  // 0 = engine default
+};
+
+struct SweepSpecs {
+  std::vector<RunSpec> specs;
+  /// The parsed --seed, to be used as BatchOptions::base_seed.
+  std::uint64_t base_seed = 1;
+};
+
+/// Cross product: protocol x k x n x scheduler (workload/trials/budget are
+/// shared). Specs do not fix their own seed, so the BatchRunner derives
+/// per-spec streams from base_seed.
+SweepSpecs specs_from_flags(util::Cli& cli,
+                            const SweepFlagDefaults& defaults = {});
+
+}  // namespace circles::sim

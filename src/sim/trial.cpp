@@ -1,13 +1,12 @@
-#include "analysis/trial.hpp"
+#include "sim/trial.hpp"
 
 #include <array>
-#include <memory>
 
 #include "core/decomposition.hpp"
 #include "core/invariants.hpp"
 #include "util/check.hpp"
 
-namespace circles::analysis {
+namespace circles::sim {
 
 namespace {
 
@@ -22,30 +21,10 @@ std::optional<pp::OutputSymbol> histogram_consensus(
   return symbol;
 }
 
-/// Shared core: build population, run, grade. Returns the final population
-/// through `final_population` when the caller needs to inspect it.
-TrialOutcome run_graded(const pp::Protocol& protocol, const Workload& workload,
-                        const TrialOptions& options,
-                        std::span<pp::Monitor* const> monitors,
-                        std::optional<pp::OutputSymbol> expected_symbol,
-                        std::unique_ptr<pp::Population>* final_population) {
-  CIRCLES_CHECK_MSG(workload.k() == protocol.num_colors(),
-                    "workload color count does not match the protocol");
-  util::Rng rng(options.seed);
-  const auto colors = workload.agent_colors(rng);
-  CIRCLES_CHECK_MSG(colors.size() >= 2, "trials need at least two agents");
-
-  auto population = std::make_unique<pp::Population>(protocol, colors);
-  auto scheduler = pp::make_scheduler(
-      options.scheduler, static_cast<std::uint32_t>(colors.size()),
-      rng.split()(), &protocol);
-
-  pp::Engine engine(options.engine);
-  TrialOutcome outcome;
-  outcome.run = engine.run(protocol, *population, *scheduler, monitors);
+void grade_against(TrialOutcome& outcome, const analysis::Workload& workload,
+                   std::optional<pp::OutputSymbol> expected_symbol) {
   outcome.expected_winner = workload.winner();
   outcome.consensus = histogram_consensus(outcome.run.final_outputs);
-
   const std::optional<pp::OutputSymbol> target =
       expected_symbol.has_value()
           ? expected_symbol
@@ -54,23 +33,60 @@ TrialOutcome run_graded(const pp::Protocol& protocol, const Workload& workload,
                  : std::nullopt);
   outcome.correct = outcome.run.silent && target.has_value() &&
                     outcome.consensus == target;
-
-  if (final_population != nullptr) *final_population = std::move(population);
-  return outcome;
 }
 
 }  // namespace
 
-TrialOutcome run_trial(const pp::Protocol& protocol, const Workload& workload,
+TrialOutcome grade_run(const pp::RunResult& run,
+                       const analysis::Workload& workload,
+                       std::optional<pp::OutputSymbol> expected_symbol) {
+  TrialOutcome outcome;
+  outcome.run = run;
+  grade_against(outcome, workload, expected_symbol);
+  return outcome;
+}
+
+TrialOutcome run_trial_keep_population(
+    const pp::Protocol& protocol, const analysis::Workload& workload,
+    const TrialOptions& options, std::span<pp::Monitor* const> monitors,
+    std::optional<pp::OutputSymbol> expected_symbol,
+    std::unique_ptr<pp::Population>* final_population,
+    std::vector<pp::ColorId>* assigned_colors) {
+  CIRCLES_CHECK_MSG(workload.k() == protocol.num_colors(),
+                    "workload color count does not match the protocol");
+  util::Rng rng(options.seed);
+  const auto colors = workload.agent_colors(rng);
+  CIRCLES_CHECK_MSG(colors.size() >= 2, "trials need at least two agents");
+
+  auto population = std::make_unique<pp::Population>(protocol, colors);
+  const auto n = static_cast<std::uint32_t>(colors.size());
+  const std::uint64_t scheduler_seed = rng.split()();
+  auto scheduler = options.scheduler_factory
+                       ? options.scheduler_factory(n, scheduler_seed)
+                       : pp::make_scheduler(options.scheduler, n,
+                                            scheduler_seed, &protocol);
+
+  pp::Engine engine(options.engine);
+  TrialOutcome outcome;
+  outcome.run = engine.run(protocol, *population, *scheduler, monitors);
+  grade_against(outcome, workload, expected_symbol);
+
+  if (final_population != nullptr) *final_population = std::move(population);
+  if (assigned_colors != nullptr) *assigned_colors = colors;
+  return outcome;
+}
+
+TrialOutcome run_trial(const pp::Protocol& protocol,
+                       const analysis::Workload& workload,
                        const TrialOptions& options,
                        std::span<pp::Monitor* const> monitors,
                        std::optional<pp::OutputSymbol> expected_symbol) {
-  return run_graded(protocol, workload, options, monitors, expected_symbol,
-                    nullptr);
+  return run_trial_keep_population(protocol, workload, options, monitors,
+                                   expected_symbol, nullptr);
 }
 
 CirclesTrialOutcome run_circles_trial(const core::CirclesProtocol& protocol,
-                                      const Workload& workload,
+                                      const analysis::Workload& workload,
                                       const TrialOptions& options) {
   core::CirclesBraKetView view(protocol);
   core::KetExchangeCounter exchanges(view);
@@ -80,7 +96,7 @@ CirclesTrialOutcome run_circles_trial(const core::CirclesProtocol& protocol,
 
   std::unique_ptr<pp::Population> population;
   CirclesTrialOutcome outcome;
-  outcome.trial = run_graded(
+  outcome.trial = run_trial_keep_population(
       protocol, workload, options,
       std::span<pp::Monitor* const>(monitors.data(), monitors.size()),
       std::nullopt, &population);
@@ -97,4 +113,4 @@ CirclesTrialOutcome run_circles_trial(const core::CirclesProtocol& protocol,
   return outcome;
 }
 
-}  // namespace circles::analysis
+}  // namespace circles::sim

@@ -94,6 +94,63 @@ bool Cli::bool_flag(const std::string& name, bool def,
   std::exit(2);
 }
 
+namespace {
+
+std::vector<std::string> split_commas(const std::string& raw) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    const auto comma = raw.find(',', start);
+    const auto end = comma == std::string::npos ? raw.size() : comma;
+    if (end > start) parts.push_back(raw.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> Cli::int_list_flag(const std::string& name,
+                                             const std::string& def,
+                                             const std::string& help) {
+  help_.push_back({name, help, def});
+  std::string raw;
+  if (!lookup(name, &raw)) raw = def;
+  std::vector<std::int64_t> values;
+  for (const auto& part : split_commas(raw)) {
+    try {
+      values.push_back(std::stoll(part));
+    } catch (const std::exception&) {
+      std::fprintf(stderr,
+                   "flag --%s expects comma-separated integers, got '%s'\n",
+                   name.c_str(), raw.c_str());
+      std::exit(2);
+    }
+  }
+  if (values.empty()) {
+    std::fprintf(stderr, "flag --%s expects at least one value\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  return values;
+}
+
+std::vector<std::string> Cli::string_list_flag(const std::string& name,
+                                               const std::string& def,
+                                               const std::string& help) {
+  help_.push_back({name, help, def});
+  std::string raw;
+  if (!lookup(name, &raw)) raw = def;
+  auto values = split_commas(raw);
+  if (values.empty()) {
+    std::fprintf(stderr, "flag --%s expects at least one value\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  return values;
+}
+
 void Cli::finish() {
   if (help_requested_) {
     std::printf("usage: %s [flags]\n", program_.c_str());

@@ -26,6 +26,16 @@ class Cli {
                           const std::string& help);
   bool bool_flag(const std::string& name, bool def, const std::string& help);
 
+  /// Repeated/list flags: comma-separated values (`--n=100,1000,10000`),
+  /// used by experiment binaries to express sweep axes directly. `def` is
+  /// the default rendered exactly as a user would type it.
+  std::vector<std::int64_t> int_list_flag(const std::string& name,
+                                          const std::string& def,
+                                          const std::string& help);
+  std::vector<std::string> string_list_flag(const std::string& name,
+                                            const std::string& def,
+                                            const std::string& help);
+
   /// Call after all flags are declared: errors on unknown flags, handles
   /// --help by printing usage and exiting.
   void finish();

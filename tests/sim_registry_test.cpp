@@ -1,0 +1,92 @@
+#include "sim/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/circles_protocol.hpp"
+
+namespace circles::sim {
+namespace {
+
+TEST(ProtocolRegistryTest, GlobalListsAllBuiltins) {
+  const auto names = ProtocolRegistry::global().names();
+  const std::vector<std::string> expected{
+      "approx_majority_3state", "circles",           "exact_majority_4state",
+      "ordering",               "pairwise_plurality", "tie_aware_pairwise",
+      "tie_report",             "unordered_circles"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(ProtocolRegistryTest, EveryRegisteredNameConstructs) {
+  const auto& registry = ProtocolRegistry::global();
+  ProtocolParams params;
+  params.k = 2;  // accepted by every builtin, including the k=2 baselines
+  for (const auto& name : registry.names()) {
+    SCOPED_TRACE(name);
+    const auto protocol = registry.create(name, params);
+    ASSERT_NE(protocol, nullptr);
+    EXPECT_EQ(protocol->num_colors(), 2u);
+    EXPECT_GE(protocol->num_states(), 2u);
+    EXPECT_FALSE(protocol->name().empty());
+  }
+}
+
+TEST(ProtocolRegistryTest, CreatesCirclesWithRequestedK) {
+  const auto protocol =
+      ProtocolRegistry::global().create("circles", {.k = 7});
+  EXPECT_EQ(protocol->name(), "circles");
+  EXPECT_EQ(protocol->num_colors(), 7u);
+  EXPECT_EQ(protocol->num_states(), 343u);
+  EXPECT_NE(dynamic_cast<const core::CirclesProtocol*>(protocol.get()),
+            nullptr);
+}
+
+TEST(ProtocolRegistryTest, TieSemanticsParamIsHonored) {
+  ProtocolParams params;
+  params.k = 3;
+  params.semantics = ext::TieSemantics::kShare;
+  const auto protocol =
+      ProtocolRegistry::global().create("tie_aware_pairwise", params);
+  const auto* concrete =
+      dynamic_cast<const ext::TieAwarePairwise*>(protocol.get());
+  ASSERT_NE(concrete, nullptr);
+  EXPECT_EQ(concrete->semantics(), ext::TieSemantics::kShare);
+}
+
+TEST(ProtocolRegistryTest, UnknownNameThrowsListingKnownNames) {
+  try {
+    ProtocolRegistry::global().create("does_not_exist", {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown protocol"), std::string::npos) << message;
+    EXPECT_NE(message.find("circles"), std::string::npos) << message;
+  }
+}
+
+TEST(ProtocolRegistryTest, InvalidParamsThrow) {
+  EXPECT_THROW(ProtocolRegistry::global().create("circles", {.k = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ProtocolRegistry::global().create("exact_majority_4state", {.k = 3}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ProtocolRegistry::global().create("pairwise_plurality", {.k = 7}),
+      std::invalid_argument);
+}
+
+TEST(ProtocolRegistryTest, CustomRegistrationAndDuplicateRejection) {
+  ProtocolRegistry registry = ProtocolRegistry::with_builtins();
+  registry.register_protocol("circles_alias", [](const ProtocolParams& p) {
+    return std::make_unique<core::CirclesProtocol>(p.k);
+  });
+  EXPECT_TRUE(registry.contains("circles_alias"));
+  EXPECT_FALSE(ProtocolRegistry::global().contains("circles_alias"));
+  EXPECT_EQ(registry.create("circles_alias", {.k = 3})->num_states(), 27u);
+  EXPECT_THROW(registry.register_protocol("circles", nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace circles::sim

@@ -1,0 +1,101 @@
+#include "sim/run_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/specs_from_flags.hpp"
+#include "util/cli.hpp"
+
+namespace circles::sim {
+namespace {
+
+TEST(WorkloadSpecTest, ParseRoundTripsEveryFamily) {
+  for (const char* text : {"unique", "random", "tie:3", "margin1",
+                           "dominant:0.6", "zipf:1.4", "counts:5,3,2"}) {
+    SCOPED_TRACE(text);
+    const WorkloadSpec spec = WorkloadSpec::parse(text);
+    EXPECT_EQ(spec.to_string(), text);
+  }
+  EXPECT_THROW(WorkloadSpec::parse("nope"), std::invalid_argument);
+  EXPECT_THROW(WorkloadSpec::parse("zipf:abc"), std::invalid_argument);
+  // Negative or degenerate arguments must fail at parse time, not wrap
+  // through std::stoul and abort inside a worker thread later.
+  EXPECT_THROW(WorkloadSpec::parse("tie:-1"), std::invalid_argument);
+  EXPECT_THROW(WorkloadSpec::parse("tie:1"), std::invalid_argument);
+  EXPECT_THROW(WorkloadSpec::parse("counts:5,-1"), std::invalid_argument);
+}
+
+TEST(WorkloadSpecTest, MaterializeIsDeterministicInRng) {
+  const WorkloadSpec spec = WorkloadSpec::zipf(1.3);
+  util::Rng a(42), b(42);
+  const auto wa = spec.materialize(a, 60, 5);
+  const auto wb = spec.materialize(b, 60, 5);
+  EXPECT_EQ(wa.counts, wb.counts);
+  EXPECT_EQ(wa.n(), 60u);
+  EXPECT_EQ(wa.k(), 5u);
+}
+
+TEST(WorkloadSpecTest, ExplicitCountsIgnoreRngAndN) {
+  const WorkloadSpec spec = WorkloadSpec::explicit_counts({4, 4, 1});
+  util::Rng rng(1);
+  const auto workload = spec.materialize(rng, 999, 3);
+  EXPECT_EQ(workload.counts, (std::vector<std::uint64_t>{4, 4, 1}));
+}
+
+TEST(RunSpecTest, EffectiveNUsesExplicitCounts) {
+  RunSpec spec;
+  spec.n = 100;
+  EXPECT_EQ(spec.effective_n(), 100u);
+  spec.workload = WorkloadSpec::explicit_counts({2, 3});
+  EXPECT_EQ(spec.effective_n(), 5u);
+}
+
+TEST(SeedDerivationTest, MixSeedSeparatesStreams) {
+  EXPECT_NE(mix_seed(1, 0), mix_seed(1, 1));
+  EXPECT_NE(mix_seed(1, 0), mix_seed(2, 0));
+  EXPECT_EQ(mix_seed(7, 3), mix_seed(7, 3));
+
+  RunSpec pinned;
+  pinned.seed = 77;
+  EXPECT_EQ(spec_seed(pinned, 1, 0), 77u);
+  EXPECT_EQ(spec_seed(pinned, 999, 5), 77u);  // pinning wins over base/index
+  RunSpec unpinned;
+  EXPECT_NE(spec_seed(unpinned, 1, 0), spec_seed(unpinned, 1, 1));
+}
+
+TEST(CliListFlagTest, ParsesCommaSeparatedLists) {
+  const char* argv[] = {"prog", "--n=8,32,128", "--protocol=circles,tie_report"};
+  util::Cli cli(3, const_cast<char**>(argv));
+  const auto ns = cli.int_list_flag("n", "64", "sizes");
+  const auto protocols = cli.string_list_flag("protocol", "circles", "names");
+  const auto ks = cli.int_list_flag("k", "2,4", "colors");  // default used
+  cli.finish();
+  EXPECT_EQ(ns, (std::vector<std::int64_t>{8, 32, 128}));
+  EXPECT_EQ(protocols, (std::vector<std::string>{"circles", "tie_report"}));
+  EXPECT_EQ(ks, (std::vector<std::int64_t>{2, 4}));
+}
+
+TEST(SpecsFromFlagsTest, BuildsTheCrossProductGrid) {
+  const char* argv[] = {"prog", "--n=10,20", "--k=2,3", "--scheduler=uniform,round_robin",
+                        "--trials=7", "--seed=9"};
+  util::Cli cli(6, const_cast<char**>(argv));
+  const SweepSpecs sweep = specs_from_flags(cli);
+  cli.finish();
+  EXPECT_EQ(sweep.base_seed, 9u);
+  ASSERT_EQ(sweep.specs.size(), 8u);  // 1 protocol x 2 k x 2 n x 2 schedulers
+  for (const auto& spec : sweep.specs) {
+    EXPECT_EQ(spec.protocol, "circles");
+    EXPECT_EQ(spec.trials, 7u);
+    EXPECT_FALSE(spec.seed.has_value());
+  }
+  EXPECT_EQ(sweep.specs[0].params.k, 2u);
+  EXPECT_EQ(sweep.specs[0].n, 10u);
+  EXPECT_EQ(sweep.specs[0].scheduler, pp::SchedulerKind::kUniformRandom);
+  EXPECT_EQ(sweep.specs[1].scheduler, pp::SchedulerKind::kRoundRobin);
+  EXPECT_EQ(sweep.specs.back().params.k, 3u);
+  EXPECT_EQ(sweep.specs.back().n, 20u);
+}
+
+}  // namespace
+}  // namespace circles::sim
