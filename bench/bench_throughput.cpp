@@ -60,6 +60,10 @@ int main(int argc, char** argv) {
       "budget", 1 << 16, "interactions per fixed-budget run"));
   const auto calls = static_cast<std::uint64_t>(cli.int_flag(
       "transition_calls", 2'000'000, "calls per raw transition benchmark"));
+  const auto dense_n = static_cast<std::uint64_t>(cli.int_flag(
+      "dense_n", 10'000, "population size for the backend comparison"));
+  const auto dense_trials = static_cast<std::uint32_t>(cli.int_flag(
+      "dense_trials", 3, "runs-to-silence per backend"));
   const auto seed =
       static_cast<std::uint64_t>(cli.int_flag("seed", 2, "rng seed"));
   auto batch = bench::batch_options(cli, seed);
@@ -194,12 +198,73 @@ int main(int argc, char** argv) {
               "%s)\n",
               identical ? "yes" : "NO");
 
+  // Dense vs agent-array backends: identical specs (same pinned seed, so
+  // identical per-trial workloads) run to silence on every backend; the
+  // wall-clock ratio is the number this binary exists to track.
+  double agent_seconds = 0.0, batched_seconds = 0.0;
+  {
+    util::Table dense_table({"backend", "trials", "mean interactions",
+                             "mean state changes", "wall s",
+                             "interactions/s", "speedup vs agent"});
+    struct BackendRun {
+      sim::EngineKind backend;
+      double seconds = 0.0;
+      sim::SpecResult result;
+    };
+    std::vector<BackendRun> runs;
+    for (const auto backend :
+         {sim::EngineKind::kAgentArray, sim::EngineKind::kDense,
+          sim::EngineKind::kDenseBatched}) {
+      sim::RunSpec spec;
+      spec.protocol = "circles";
+      spec.params.k = 3;
+      spec.n = dense_n;
+      spec.trials = dense_trials;
+      spec.seed = sim::mix_seed(seed, 0xDE45E);
+      spec.backend = backend;
+      // Generous cap: circles' interactions-to-silence are strongly
+      // superlinear in n; never let "hit the budget" pollute the timing.
+      spec.engine.max_interactions = ~std::uint64_t{0};
+      auto options = batch;
+      options.keep_trials = false;
+      const auto start = Clock::now();
+      BackendRun run;
+      run.result = sim::BatchRunner(options).run_one(spec);
+      run.seconds = seconds_since(start);
+      run.backend = backend;
+      runs.push_back(std::move(run));
+    }
+    agent_seconds = runs.front().seconds;
+    batched_seconds = runs.back().seconds;
+    for (const BackendRun& run : runs) {
+      const double total =
+          run.result.interactions.mean * run.result.trial_count;
+      dense_table.add_row(
+          {sim::to_string(run.backend),
+           util::Table::num(std::uint64_t{run.result.trial_count}),
+           util::Table::num(run.result.interactions.mean, 0),
+           util::Table::num(run.result.state_changes.mean, 0),
+           util::Table::num(run.seconds, 2),
+           util::Table::num(run.seconds > 0 ? total / run.seconds : 0.0, 0),
+           util::Table::num(
+               run.seconds > 0 ? agent_seconds / run.seconds : 0.0, 1)});
+    }
+    dense_table.print("backend comparison — circles k=3, n=" +
+                      std::to_string(dense_n) + ", run to silence");
+  }
+
   // The speedup requirement only binds where the hardware can deliver it.
   const bool speedup_ok = batch.threads < 4 || speedup > 2.0;
-  const bool pass = identical && single_rate > 0 && speedup_ok;
+  const bool dense_ok = batched_seconds <= agent_seconds;
+  const bool pass = identical && single_rate > 0 && speedup_ok && dense_ok;
+  std::string failure = "thread count changed the results";
+  if (identical) {
+    failure = speedup_ok ? "dense backend slower than the agent array"
+                         : "multi-threaded speedup below expectation";
+  }
   return bench::verdict(
       pass, pass ? "throughput measured; deterministic results at every "
-                   "thread count"
-                 : (identical ? "multi-threaded speedup below expectation"
-                              : "thread count changed the results"));
+                   "thread count; dense backend at least matches the agent "
+                   "array"
+                 : failure);
 }

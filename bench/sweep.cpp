@@ -32,8 +32,8 @@ int main(int argc, char** argv) try {
 
   const auto results = sim::BatchRunner(batch).run(sweep.specs);
 
-  util::Table table({"protocol", "k", "n", "scheduler", "workload", "trials",
-                     "correct", "silent", "mean interactions",
+  util::Table table({"protocol", "k", "n", "scheduler", "backend", "workload",
+                     "trials", "correct", "silent", "mean interactions",
                      "p90 interactions"});
   bool all_correct = true;
   for (const sim::SpecResult& r : results) {
@@ -42,6 +42,7 @@ int main(int argc, char** argv) try {
                    util::Table::num(std::uint64_t{r.spec.params.k}),
                    util::Table::num(r.spec.effective_n()),
                    pp::to_string(r.spec.scheduler),
+                   sim::to_string(r.spec.backend),
                    r.spec.workload.to_string(),
                    util::Table::num(std::uint64_t{r.trial_count}),
                    util::Table::percent(r.correct_rate(), 0),

@@ -1,0 +1,84 @@
+#include "dense/dense_config.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace circles::dense {
+
+namespace {
+
+// Guard against accidentally materializing a count vector for a protocol
+// whose state space is itself astronomical (the dense representation is
+// O(num_states), which must stay small for the approach to make sense).
+constexpr std::uint64_t kMaxDenseStates = 1ull << 26;
+
+std::vector<std::uint64_t> make_counts(const pp::Protocol& protocol) {
+  const std::uint64_t num_states = protocol.num_states();
+  CIRCLES_CHECK_MSG(num_states <= kMaxDenseStates,
+                    "protocol state space too large for the dense "
+                    "(count-vector) representation");
+  return std::vector<std::uint64_t>(num_states, 0);
+}
+
+}  // namespace
+
+DenseConfig DenseConfig::from_workload(const pp::Protocol& protocol,
+                                       const analysis::Workload& workload) {
+  CIRCLES_CHECK_MSG(workload.k() == protocol.num_colors(),
+                    "workload color count does not match the protocol");
+  DenseConfig config;
+  config.counts = make_counts(protocol);
+  for (pp::ColorId c = 0; c < workload.k(); ++c) {
+    config.counts[protocol.input(c)] += workload.counts[c];
+  }
+  return config;
+}
+
+DenseConfig DenseConfig::from_population(const pp::Protocol& protocol,
+                                         const pp::Population& population) {
+  DenseConfig config;
+  config.counts = make_counts(protocol);
+  for (const pp::StateId s : population.agents()) config.counts[s] += 1;
+  return config;
+}
+
+std::uint64_t DenseConfig::n() const {
+  return std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+}
+
+std::vector<pp::StateId> DenseConfig::present_states() const {
+  std::vector<pp::StateId> present;
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    if (counts[s] > 0) present.push_back(static_cast<pp::StateId>(s));
+  }
+  return present;
+}
+
+std::vector<std::uint64_t> DenseConfig::output_histogram(
+    const pp::Protocol& protocol) const {
+  std::vector<std::uint64_t> histogram(protocol.num_output_symbols(), 0);
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    if (counts[s] > 0) {
+      histogram[protocol.output(static_cast<pp::StateId>(s))] += counts[s];
+    }
+  }
+  return histogram;
+}
+
+std::string DenseConfig::to_string(const pp::Protocol& protocol) const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    if (counts[s] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << protocol.state_name(static_cast<pp::StateId>(s)) << " x "
+       << counts[s];
+  }
+  if (first) os << "(empty)";
+  return os.str();
+}
+
+}  // namespace circles::dense

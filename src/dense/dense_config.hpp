@@ -1,0 +1,51 @@
+// DenseConfig: a population represented as per-state counts.
+//
+// This is Definition 1.1's configuration multiset stored directly: one
+// count per protocol state, no agent array. Memory and construction are
+// O(num_states), independent of the population size n, which is what lets
+// the dense engines run n = 10^8+ populations that the agent-array
+// representation cannot even allocate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/workload.hpp"
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+
+namespace circles::dense {
+
+struct DenseConfig {
+  std::vector<std::uint64_t> counts;  // indexed by StateId, size num_states
+
+  /// The standard initial configuration of a workload: workload.counts[c]
+  /// agents start in protocol.input(c).
+  static DenseConfig from_workload(const pp::Protocol& protocol,
+                                   const analysis::Workload& workload);
+
+  /// Snapshot of an explicit agent-array population (cross-validation).
+  static DenseConfig from_population(const pp::Protocol& protocol,
+                                     const pp::Population& population);
+
+  std::uint64_t n() const;
+  std::uint64_t num_states() const { return counts.size(); }
+  std::uint64_t count(pp::StateId state) const { return counts[state]; }
+
+  /// States with nonzero count, ascending.
+  std::vector<pp::StateId> present_states() const;
+
+  /// Output-symbol histogram (sized num_output_symbols), the shape
+  /// pp::RunResult::final_outputs wants.
+  std::vector<std::uint64_t> output_histogram(
+      const pp::Protocol& protocol) const;
+
+  /// Debug rendering: sorted "state_name x count" list, matching
+  /// pp::Population::to_string.
+  std::string to_string(const pp::Protocol& protocol) const;
+
+  bool operator==(const DenseConfig&) const = default;
+};
+
+}  // namespace circles::dense

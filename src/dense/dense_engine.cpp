@@ -1,0 +1,411 @@
+#include "dense/dense_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dense/sampling.hpp"
+#include "util/check.hpp"
+
+namespace circles::dense {
+
+namespace {
+
+/// Sentinel "no state excluded" for the categorical walks below.
+constexpr std::uint64_t kNoExclude = ~std::uint64_t{0};
+
+/// Where the most recent state change happened, at epoch granularity. The
+/// exact step index inside the epoch is only sampled once, at the end of the
+/// run, for the epoch that turned out to contain the final change.
+struct LastChangeMark {
+  bool valid = false;
+  bool exact = false;           // index holds the step directly
+  std::uint64_t index = 0;      // exact: the step of the change
+  std::uint64_t start = 0;      // else: epoch start step ...
+  std::uint64_t length = 0;     // ... its collision-free slot count ...
+  std::uint64_t productive = 0; // ... and how many slots changed state
+};
+
+}  // namespace
+
+DenseEngine::DenseEngine(const pp::Protocol& protocol,
+                         pp::EngineOptions options, DenseMode mode,
+                         std::uint64_t max_table_entries)
+    : protocol_(protocol),
+      options_(options),
+      mode_(mode),
+      num_states_(protocol.num_states()) {
+  CIRCLES_CHECK_MSG(num_states_ >= 1, "protocol needs at least one state");
+  if (num_states_ <= max_table_entries / num_states_) {
+    cached_ = true;
+    const std::size_t entries = static_cast<std::size_t>(num_states_) *
+                                static_cast<std::size_t>(num_states_);
+    table_.resize(entries);
+    nonnull_.resize(entries);
+    for (std::uint64_t a = 0; a < num_states_; ++a) {
+      for (std::uint64_t b = 0; b < num_states_; ++b) {
+        const auto tr =
+            protocol.transition(static_cast<pp::StateId>(a),
+                                static_cast<pp::StateId>(b));
+        const std::size_t at = static_cast<std::size_t>(a) * num_states_ + b;
+        table_[at] = tr;
+        nonnull_[at] = (tr.initiator != a || tr.responder != b) ? 1 : 0;
+      }
+    }
+  }
+}
+
+/// Run-local state shared by both modes.
+struct DenseEngine::Sim {
+  const DenseEngine& engine;
+  std::vector<std::uint64_t>& counts;
+  util::Rng& rng;
+  const std::uint64_t n;
+
+  // `present` contains every state with count > 0, possibly plus stale
+  // zero-count entries; compact() drops the latter. The categorical walks
+  // skip zero counts naturally.
+  std::vector<pp::StateId> present;
+  std::vector<std::uint8_t> in_present;
+
+  // Number of ordered agent pairs whose interaction would change a state.
+  // Zero iff the configuration is silent (the exact certificate).
+  std::uint64_t active = 0;
+
+  Sim(const DenseEngine& engine, DenseConfig& config, util::Rng& rng)
+      : engine(engine),
+        counts(config.counts),
+        rng(rng),
+        n(config.n()),
+        present(config.present_states()),
+        in_present(engine.num_states_, 0) {
+    for (const pp::StateId s : present) in_present[s] = 1;
+    refresh_active();
+  }
+
+  void note_state(pp::StateId s) {
+    if (!in_present[s]) {
+      in_present[s] = 1;
+      present.push_back(s);
+    }
+  }
+
+  void compact() {
+    std::size_t w = 0;
+    for (const pp::StateId s : present) {
+      if (counts[s] > 0) {
+        present[w++] = s;
+      } else {
+        in_present[s] = 0;
+      }
+    }
+    present.resize(w);
+  }
+
+  void refresh_active() {
+    compact();
+    std::uint64_t sum = 0;
+    for (const pp::StateId s : present) {
+      for (const pp::StateId t : present) {
+        if (!engine.nonnull(s, t)) continue;
+        sum += counts[s] * (counts[t] - (s == t ? 1 : 0));
+      }
+    }
+    active = sum;
+  }
+
+  /// Weighted draw of a state from the counts; `exclude` (a StateId, or
+  /// kNoExclude) has its count reduced by one — the "responder cannot be
+  /// the initiator" correction. `total` must equal the walked mass.
+  pp::StateId pick_state(std::uint64_t total, std::uint64_t exclude) {
+    std::uint64_t r = rng.uniform_below(total);
+    for (const pp::StateId s : present) {
+      std::uint64_t c = counts[s];
+      if (s == exclude) c -= 1;
+      if (r < c) return s;
+      r -= c;
+    }
+    CIRCLES_CHECK_MSG(false, "dense state draw walked past the population");
+    return present.back();
+  }
+
+  void apply(pp::StateId si, pp::StateId sr, const pp::Transition& tr) {
+    counts[si] -= 1;
+    counts[sr] -= 1;
+    counts[tr.initiator] += 1;
+    counts[tr.responder] += 1;
+    note_state(tr.initiator);
+    note_state(tr.responder);
+  }
+};
+
+pp::RunResult DenseEngine::run(DenseConfig& config, std::uint64_t seed) const {
+  util::Rng rng(seed);
+  return run(config, rng);
+}
+
+pp::RunResult DenseEngine::run(DenseConfig& config, util::Rng& rng) const {
+  CIRCLES_CHECK_MSG(config.num_states() == num_states_,
+                    "configuration does not match the engine's protocol");
+  Sim sim(*this, config, rng);
+  CIRCLES_CHECK_MSG(sim.n >= 2, "dense engine requires at least two agents");
+  // The active-pair count is bounded by n(n-1), which must fit in uint64;
+  // beyond 2^32 agents the arithmetic would silently wrap.
+  CIRCLES_CHECK_MSG(sim.n <= (1ull << 32),
+                    "dense engine supports at most 2^32 agents");
+
+  pp::RunResult result;
+  if (options_.stop_when_silent && sim.active == 0) result.silent = true;
+
+  if (mode_ == DenseMode::kPerStep) {
+    while (!result.silent &&
+           result.interactions < options_.max_interactions) {
+      const pp::StateId si = sim.pick_state(sim.n, kNoExclude);
+      const pp::StateId sr = sim.pick_state(sim.n - 1, si);
+      const pp::Transition tr = transition(si, sr);
+      if (tr.initiator != si || tr.responder != sr) {
+        sim.apply(si, sr, tr);
+        result.state_changes += 1;
+        result.last_change_step = result.interactions;
+        sim.refresh_active();
+      }
+      result.interactions += 1;
+      if (options_.stop_when_silent && sim.active == 0) result.silent = true;
+    }
+  } else {
+    run_batched(sim, result);
+  }
+
+  if (!result.silent && result.interactions >= options_.max_interactions) {
+    result.budget_exhausted = true;
+    result.silent = sim.active == 0;
+  } else if (result.silent) {
+    // The run stopped on the exact silence certificate: the minimal stopping
+    // time is the step after the final change (the epoch tail processed
+    // past it contains only null interactions).
+    result.interactions =
+        result.state_changes == 0 ? 0 : result.last_change_step + 1;
+  }
+
+  result.final_outputs = config.output_histogram(protocol_);
+  return result;
+}
+
+void DenseEngine::run_batched(Sim& sim, pp::RunResult& result) const {
+  const std::uint64_t n = sim.n;
+  auto& counts = sim.counts;
+  auto& rng = sim.rng;
+  const CollisionFreeRunLength run_length(n);
+  const double total_pairs =
+      static_cast<double>(n) * static_cast<double>(n - 1);
+
+  LastChangeMark mark;
+
+  // Per-epoch scratch, hoisted out of the loop. `used` tracks the
+  // post-transition states of this epoch's participants (indexed by state,
+  // reset via the `touched` list).
+  std::vector<std::uint64_t> pool, drawn, init, resp;
+  std::vector<std::uint64_t> used(num_states_, 0);
+  std::vector<pp::StateId> touched;
+
+  const auto touch_used = [&](pp::StateId s, std::uint64_t m) {
+    if (used[s] == 0) touched.push_back(s);
+    used[s] += m;
+  };
+
+  while (!result.silent && result.interactions < options_.max_interactions) {
+    const std::uint64_t remaining =
+        options_.max_interactions - result.interactions;
+
+    // Sparse-activity fast-forward: an epoch costs a fixed O(present^2)
+    // regardless of how many of its interactions change state, while the
+    // geometric path pays O(present^2) per *change* (the null run in
+    // between is one log). Below ~3 expected changes per epoch the
+    // geometric path wins; it is an exact sampler either way, so the
+    // threshold is purely a performance knob.
+    const double p_active = static_cast<double>(sim.active) / total_pairs;
+    if (p_active * run_length.mean_length() < 3.0) {
+      std::uint64_t nulls = remaining;
+      if (p_active > 0.0) {
+        const double g = std::floor(std::log1p(-rng.uniform01()) /
+                                    std::log1p(-p_active));
+        if (g < static_cast<double>(remaining)) {
+          nulls = static_cast<std::uint64_t>(g);
+        }
+      }
+      if (nulls >= remaining) {
+        result.interactions = options_.max_interactions;
+        break;  // the budget ran out inside a null run
+      }
+      result.interactions += nulls;
+      // The next interaction is a state change: draw the ordered pair
+      // conditioned on being active (weights c_s * (c_t - [s == t])).
+      std::uint64_t r = rng.uniform_below(sim.active);
+      pp::StateId si = 0, sr = 0;
+      bool found = false;
+      for (const pp::StateId s : sim.present) {
+        if (counts[s] == 0) continue;
+        for (const pp::StateId t : sim.present) {
+          if (!nonnull(s, t)) continue;
+          const std::uint64_t w = counts[s] * (counts[t] - (s == t ? 1 : 0));
+          if (r < w) {
+            si = s;
+            sr = t;
+            found = true;
+            break;
+          }
+          r -= w;
+        }
+        if (found) break;
+      }
+      CIRCLES_CHECK_MSG(found, "active-pair draw walked past the count");
+      sim.apply(si, sr, transition(si, sr));
+      result.state_changes += 1;
+      result.last_change_step = result.interactions;
+      mark = {.valid = true, .exact = true, .index = result.interactions};
+      result.interactions += 1;
+      sim.refresh_active();
+      if (options_.stop_when_silent && sim.active == 0) result.silent = true;
+      continue;
+    }
+
+    // One epoch: L collision-free interactions (2L distinct agents), then
+    // the colliding interaction that ended the run, then reset.
+    std::uint64_t len = run_length.sample(rng);
+    bool collided = true;
+    if (len >= remaining) {
+      len = remaining;
+      collided = false;  // budget cut the epoch before any collision
+    }
+
+    const std::size_t width = sim.present.size();
+    pool.resize(width);
+    drawn.resize(width);
+    init.resize(width);
+    resp.resize(width);
+    for (std::size_t i = 0; i < width; ++i) pool[i] = counts[sim.present[i]];
+
+    // States of the 2L distinct participants, then which L are initiators.
+    multivariate_hypergeometric(rng, pool, 2 * len, drawn);
+    multivariate_hypergeometric(rng, drawn, len, init);
+    for (std::size_t i = 0; i < width; ++i) resp[i] = drawn[i] - init[i];
+
+    for (const pp::StateId s : touched) used[s] = 0;
+    touched.clear();
+
+    // Pair initiators with responders: a uniformly random perfect matching,
+    // sampled group by group as a hypergeometric contingency table.
+    std::uint64_t epoch_productive = 0;
+    std::uint64_t resp_pool = len;
+    for (std::size_t a = 0; a < width; ++a) {
+      std::uint64_t need = init[a];
+      if (need == 0) continue;
+      std::uint64_t pool_total = resp_pool;
+      for (std::size_t b = 0; b < width && need > 0; ++b) {
+        const std::uint64_t avail = resp[b];
+        if (avail == 0) continue;
+        const std::uint64_t m = hypergeometric(rng, pool_total, avail, need);
+        pool_total -= avail;
+        resp[b] -= m;
+        need -= m;
+        if (m == 0) continue;
+        const pp::StateId s = sim.present[a];
+        const pp::StateId t = sim.present[b];
+        const pp::Transition tr = transition(s, t);
+        counts[s] -= m;
+        counts[t] -= m;
+        counts[tr.initiator] += m;
+        counts[tr.responder] += m;
+        sim.note_state(tr.initiator);
+        sim.note_state(tr.responder);
+        touch_used(tr.initiator, m);
+        touch_used(tr.responder, m);
+        if (tr.initiator != s || tr.responder != t) epoch_productive += m;
+      }
+      CIRCLES_DCHECK(need == 0);
+      resp_pool -= init[a];
+    }
+
+    const std::uint64_t epoch_start = result.interactions;
+    result.interactions += len;
+    result.state_changes += epoch_productive;
+    if (epoch_productive > 0) {
+      mark = {.valid = true,
+              .exact = false,
+              .index = 0,
+              .start = epoch_start,
+              .length = len,
+              .productive = epoch_productive};
+    }
+
+    if (collided && result.interactions < options_.max_interactions) {
+      // The interaction that ended the epoch re-touches a used agent.
+      const std::uint64_t used_total = 2 * len;
+      const std::uint64_t fresh_total = n - used_total;
+      const std::uint64_t w_both = used_total * (used_total - 1);
+      const std::uint64_t w_mixed = used_total * fresh_total;
+
+      const auto pick_used = [&](std::uint64_t total, std::uint64_t exclude) {
+        std::uint64_t r = rng.uniform_below(total);
+        for (const pp::StateId s : touched) {
+          std::uint64_t c = used[s];
+          if (s == exclude) c -= 1;
+          if (r < c) return s;
+          r -= c;
+        }
+        CIRCLES_CHECK_MSG(false, "used-agent draw walked past the epoch");
+        return touched.back();
+      };
+      const auto pick_fresh = [&](std::uint64_t total) {
+        std::uint64_t r = rng.uniform_below(total);
+        for (const pp::StateId s : sim.present) {
+          const std::uint64_t c = counts[s] - used[s];
+          if (r < c) return s;
+          r -= c;
+        }
+        CIRCLES_CHECK_MSG(false, "fresh-agent draw walked past the epoch");
+        return sim.present.back();
+      };
+
+      pp::StateId si, sr;
+      const std::uint64_t r = rng.uniform_below(w_both + 2 * w_mixed);
+      if (r < w_both) {
+        si = pick_used(used_total, kNoExclude);
+        sr = pick_used(used_total - 1, si);
+      } else if (r < w_both + w_mixed) {
+        si = pick_used(used_total, kNoExclude);
+        sr = pick_fresh(fresh_total);
+      } else {
+        si = pick_fresh(fresh_total);
+        sr = pick_used(used_total, kNoExclude);
+      }
+      const pp::Transition tr = transition(si, sr);
+      if (tr.initiator != si || tr.responder != sr) {
+        sim.apply(si, sr, tr);
+        result.state_changes += 1;
+        epoch_productive += 1;
+        mark = {.valid = true, .exact = true, .index = result.interactions};
+      }
+      result.interactions += 1;
+    }
+
+    // A change-free epoch leaves the configuration — and therefore the
+    // active-pair count — untouched.
+    if (epoch_productive > 0) sim.refresh_active();
+    if (options_.stop_when_silent && sim.active == 0) result.silent = true;
+  }
+
+  // Resolve the exact step of the final change. Within an epoch the slot
+  // order is exchangeable, so the productive slots form a uniform subset;
+  // only their maximum matters and only for the final epoch.
+  if (mark.valid) {
+    if (mark.exact) {
+      result.last_change_step = mark.index;
+    } else {
+      const std::uint64_t slot =
+          last_special_slot(rng, mark.length, mark.productive);
+      result.last_change_step = mark.start + slot - 1;
+    }
+  }
+}
+
+}  // namespace circles::dense

@@ -1,0 +1,106 @@
+// DenseEngine: simulate the uniform-random scheduler directly on counts.
+//
+// The agent-array engine (pp::Engine) costs O(1) per interaction plus two
+// random accesses into an O(n) array; at n >= 10^7 those accesses are cache
+// misses and the array itself dominates memory. The dense engine never
+// materializes agents — a configuration is its count vector (DenseConfig)
+// and a simulation step is a draw from the counts. Two modes:
+//
+//  * kPerStep — every interaction samples the ordered (initiator, responder)
+//    state pair exactly as the uniform scheduler would: initiator weighted
+//    by counts, responder by counts with the initiator removed. A null
+//    interaction costs O(present states) and a state change O(present^2)
+//    (the active-pair count is recomputed), all independent of n. This is
+//    the reference semantics used by the cross-validation tests.
+//
+//  * kBatched — the sqrt(n) batching of Berenbrink et al. (arXiv:1805.05157,
+//    "Simulating Population Protocols in Sub-Constant Time per
+//    Interaction"): sample the exact length L of the collision-free prefix
+//    (all 2L agents distinct — birthday bound makes E[L] ~ 0.88 sqrt(n)),
+//    draw the participants' states via multivariate hypergeometrics, pair
+//    initiators with responders by hypergeometric contingency sampling,
+//    apply all L transitions to the counts at once, then resolve the single
+//    colliding interaction explicitly and start the next epoch. When
+//    activity is sparse (fewer than ~3 expected state changes per epoch)
+//    the engine switches to geometric fast-forward: the number of null
+//    interactions before the next state change is Geometric(p) with
+//    p = active_pairs / (n(n-1)), so null-dominated phases cost
+//    O(present^2) per state change instead of O(1) per interaction.
+//
+// Both modes sample the same lumped Markov chain as pp::Engine under the
+// uniform scheduler (agents are anonymous, so the count process is exactly
+// lumpable): state_changes, last_change_step and the final configuration
+// are identical in distribution. Silence is detected exactly — the count of
+// active ordered pairs (pairs whose transition changes a state) hits zero —
+// so a silent run reports interactions = last_change_step + 1, without the
+// agent engine's streak-heuristic detection overhead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dense/dense_config.hpp"
+#include "pp/engine.hpp"
+#include "pp/protocol.hpp"
+#include "pp/run_result.hpp"
+#include "util/rng.hpp"
+
+namespace circles::dense {
+
+enum class DenseMode {
+  kPerStep,  // one sampled state pair per interaction
+  kBatched,  // collision-free epochs of ~sqrt(n) interactions
+};
+
+class DenseEngine {
+ public:
+  /// Precomputes the full transition table (one lookup per sampled pair)
+  /// when num_states^2 <= max_table_entries, like pp::CachedProtocol;
+  /// larger protocols fall back to virtual transition() calls. EngineOptions
+  /// is shared with pp::Engine: max_interactions and stop_when_silent apply;
+  /// initial_silence_streak is meaningless here (silence is exact) and
+  /// ignored.
+  explicit DenseEngine(const pp::Protocol& protocol,
+                       pp::EngineOptions options = {},
+                       DenseMode mode = DenseMode::kPerStep,
+                       std::uint64_t max_table_entries = 1ull << 22);
+
+  /// Advances `config` in place until exact silence (if stop_when_silent)
+  /// or budget exhaustion. Thread-safe: all mutable state is local, so one
+  /// engine may serve concurrent trials.
+  pp::RunResult run(DenseConfig& config, util::Rng& rng) const;
+  pp::RunResult run(DenseConfig& config, std::uint64_t seed) const;
+
+  const pp::Protocol& protocol() const { return protocol_; }
+  DenseMode mode() const { return mode_; }
+  const pp::EngineOptions& options() const { return options_; }
+
+ private:
+  struct Sim;
+
+  void run_batched(Sim& sim, pp::RunResult& result) const;
+
+  pp::Transition transition(pp::StateId a, pp::StateId b) const {
+    if (cached_) {
+      return table_[static_cast<std::size_t>(a) * num_states_ + b];
+    }
+    return protocol_.transition(a, b);
+  }
+  bool nonnull(pp::StateId a, pp::StateId b) const {
+    if (cached_) {
+      return nonnull_[static_cast<std::size_t>(a) * num_states_ + b] != 0;
+    }
+    const pp::Transition tr = protocol_.transition(a, b);
+    return tr.initiator != a || tr.responder != b;
+  }
+
+  const pp::Protocol& protocol_;
+  pp::EngineOptions options_;
+  DenseMode mode_;
+  std::uint64_t num_states_;
+  bool cached_ = false;
+  std::vector<pp::Transition> table_;
+  std::vector<std::uint8_t> nonnull_;
+};
+
+}  // namespace circles::dense

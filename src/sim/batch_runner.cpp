@@ -9,6 +9,7 @@
 #include "core/decomposition.hpp"
 #include "core/invariants.hpp"
 #include "crn/gillespie.hpp"
+#include "dense/dense_engine.hpp"
 #include "util/check.hpp"
 
 namespace circles::sim {
@@ -76,7 +77,8 @@ BatchRunner::BatchRunner(BatchOptions options, const ProtocolRegistry& registry)
 
 TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
                                        const RunSpec& spec,
-                                       std::uint64_t trial_seed) {
+                                       std::uint64_t trial_seed,
+                                       const dense::DenseEngine* dense_engine) {
   TrialRecord rec;
   rec.seed = trial_seed;
   util::Rng workload_rng(mix_seed(trial_seed, kWorkloadSalt));
@@ -90,6 +92,17 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
     const auto winner = rec.workload.winner();
     // Tie-handling protocols place their TIE symbol at index k.
     expected = winner.has_value() ? *winner : protocol.num_colors();
+  }
+
+  if (spec.backend != EngineKind::kAgentArray) {
+    TrialOptions options;
+    options.seed = trial_seed;
+    options.engine = spec.engine;
+    rec.outcome =
+        run_dense_trial(protocol, rec.workload, options,
+                        spec.backend == EngineKind::kDenseBatched, expected,
+                        dense_engine);
+    return rec;
   }
 
   // The RNG consumption order below (colors, then one split for the
@@ -185,6 +198,9 @@ std::vector<SpecResult> BatchRunner::run(
   std::vector<SpecResult> results(specs.size());
   std::vector<std::unique_ptr<pp::Protocol>> protocols;
   protocols.reserve(specs.size());
+  // Per-spec dense engines: the transition table is built once and shared
+  // by every trial of the spec (DenseEngine::run is const/thread-safe).
+  std::vector<std::unique_ptr<dense::DenseEngine>> dense_engines(specs.size());
   std::vector<std::uint64_t> spec_seeds(specs.size());
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -222,6 +238,30 @@ std::vector<SpecResult> BatchRunner::run(
           "(circles_stats / track_used_states / reboot_faults / grader / "
           "scheduler_factory)");
     }
+    if (spec.backend != EngineKind::kAgentArray) {
+      // The dense backends have no agent array: anything that names or
+      // touches individual agents cannot be expressed on counts.
+      if (spec.circles_stats || spec.track_used_states ||
+          spec.reboot_faults > 0 || spec.grader || spec.scheduler_factory ||
+          spec.chemical_time) {
+        throw std::invalid_argument(
+            "RunSpec '" + spec.to_string() +
+            "' combines a dense backend with agent-level features "
+            "(circles_stats / track_used_states / reboot_faults / grader / "
+            "scheduler_factory / chemical_time)");
+      }
+      if (spec.scheduler != pp::SchedulerKind::kUniformRandom) {
+        throw std::invalid_argument(
+            "RunSpec '" + spec.to_string() +
+            "' requests a dense backend, which simulates the uniform "
+            "scheduler only");
+      }
+      dense_engines[i] = std::make_unique<dense::DenseEngine>(
+          *protocol, spec.engine,
+          spec.backend == EngineKind::kDenseBatched
+              ? dense::DenseMode::kBatched
+              : dense::DenseMode::kPerStep);
+    }
     protocols.push_back(std::move(protocol));
     spec_seeds[i] = spec_seed(spec, options_.base_seed, i);
     results[i].spec = spec;
@@ -252,7 +292,8 @@ std::vector<SpecResult> BatchRunner::run(
       try {
         results[job.spec].trials[job.trial] =
             execute_trial(*protocols[job.spec], specs[job.spec],
-                          trial_seed(spec_seeds[job.spec], job.trial));
+                          trial_seed(spec_seeds[job.spec], job.trial),
+                          dense_engines[job.spec].get());
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();

@@ -14,6 +14,10 @@
 #include "sim/run_spec.hpp"
 #include "util/stats.hpp"
 
+namespace circles::dense {
+class DenseEngine;
+}
+
 namespace circles::sim {
 
 /// One trial's full record.
@@ -101,10 +105,14 @@ class BatchRunner {
   const BatchOptions& options() const { return options_; }
 
   /// Executes a single (spec, trial) job. Exposed for tests; `protocol`
-  /// must match spec.protocol/params.
-  static TrialRecord execute_trial(const pp::Protocol& protocol,
-                                   const RunSpec& spec,
-                                   std::uint64_t trial_seed);
+  /// must match spec.protocol/params. `dense_engine` is an optional
+  /// per-spec engine for dense backends (built once by run() so the
+  /// transition table is shared across trials); when null, a dense trial
+  /// builds its own.
+  static TrialRecord execute_trial(
+      const pp::Protocol& protocol, const RunSpec& spec,
+      std::uint64_t trial_seed,
+      const dense::DenseEngine* dense_engine = nullptr);
 
  private:
   BatchOptions options_;

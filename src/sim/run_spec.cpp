@@ -6,6 +6,30 @@
 
 namespace circles::sim {
 
+EngineKind engine_kind_from_string(const std::string& text) {
+  if (text == "agent" || text == "agent_array" || text == "array") {
+    return EngineKind::kAgentArray;
+  }
+  if (text == "dense") return EngineKind::kDense;
+  if (text == "dense_batched" || text == "batched") {
+    return EngineKind::kDenseBatched;
+  }
+  throw std::invalid_argument("unknown backend '" + text +
+                              "' (expected agent, dense, dense_batched)");
+}
+
+std::string to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kAgentArray:
+      return "agent";
+    case EngineKind::kDense:
+      return "dense";
+    case EngineKind::kDenseBatched:
+      return "dense_batched";
+  }
+  return "?";
+}
+
 WorkloadSpec WorkloadSpec::unique_winner() { return {}; }
 
 WorkloadSpec WorkloadSpec::random_counts() {
@@ -160,8 +184,97 @@ std::string RunSpec::to_string() const {
   out += " workload=" + workload.to_string();
   out += " scheduler=" + pp::to_string(scheduler);
   out += " trials=" + std::to_string(trials);
+  if (backend != EngineKind::kAgentArray) {
+    out += " backend=" + sim::to_string(backend);
+  }
   if (!label.empty()) out += " [" + label + "]";
   return out;
+}
+
+RunSpec RunSpec::parse(const std::string& text) {
+  RunSpec spec;
+  std::string body = text;
+
+  // Trailing " [label]" (labels may contain spaces, never brackets).
+  if (!body.empty() && body.back() == ']') {
+    const auto open = body.rfind(" [");
+    if (open == std::string::npos) {
+      throw std::invalid_argument("RunSpec parse: unmatched ']' in '" + text +
+                                  "'");
+    }
+    spec.label = body.substr(open + 2, body.size() - open - 3);
+    body = body.substr(0, open);
+  }
+
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const auto space = body.find(' ', pos);
+    const auto end = space == std::string::npos ? body.size() : space;
+    if (end > pos) tokens.push_back(body.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  if (tokens.empty()) {
+    throw std::invalid_argument("RunSpec parse: empty spec '" + text + "'");
+  }
+
+  // std::stoull silently wraps negative inputs and stops at the first
+  // non-digit (same pitfalls WorkloadSpec::parse guards); reject both.
+  const auto parse_unsigned = [&text](const std::string& value) {
+    std::size_t used = 0;
+    std::uint64_t parsed = 0;
+    if (!value.empty() && value[0] != '-') {
+      parsed = std::stoull(value, &used);
+    }
+    if (used != value.size() || value.empty()) {
+      throw std::invalid_argument("RunSpec parse: expected a non-negative "
+                                  "number in '" + text + "'");
+    }
+    return parsed;
+  };
+
+  // Leading "protocol(k=K)".
+  const std::string& head = tokens.front();
+  const auto paren = head.find("(k=");
+  if (paren == std::string::npos || head.back() != ')') {
+    throw std::invalid_argument("RunSpec parse: expected 'protocol(k=K)', got '" +
+                                head + "'");
+  }
+  try {
+    spec.protocol = head.substr(0, paren);
+    spec.params.k = static_cast<std::uint32_t>(parse_unsigned(
+        head.substr(paren + 3, head.size() - paren - 4)));
+
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const auto eq = tokens[i].find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("RunSpec parse: expected key=value, got '" +
+                                    tokens[i] + "'");
+      }
+      const std::string key = tokens[i].substr(0, eq);
+      const std::string value = tokens[i].substr(eq + 1);
+      if (key == "n") {
+        spec.n = parse_unsigned(value);
+      } else if (key == "workload") {
+        spec.workload = WorkloadSpec::parse(value);
+      } else if (key == "scheduler") {
+        spec.scheduler = pp::scheduler_kind_from_string(value);
+      } else if (key == "trials") {
+        spec.trials = static_cast<std::uint32_t>(parse_unsigned(value));
+      } else if (key == "backend") {
+        spec.backend = engine_kind_from_string(value);
+      } else {
+        throw std::invalid_argument("RunSpec parse: unknown field '" + key +
+                                    "' in '" + text + "'");
+      }
+    }
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("RunSpec parse: malformed number in '" + text +
+                                "'");
+  }
+  return spec;
 }
 
 std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {

@@ -60,6 +60,25 @@ struct WorkloadSpec {
   static WorkloadSpec parse(const std::string& text);
 };
 
+/// Which simulation engine executes a trial.
+enum class EngineKind {
+  /// pp::Engine over an explicit agent array — supports every scheduler,
+  /// monitors, per-agent graders and fault injection.
+  kAgentArray,
+  /// dense::DenseEngine, per-step mode: the uniform scheduler simulated
+  /// directly on per-state counts; O(present states) per interaction,
+  /// O(num_states) memory, exact silence detection.
+  kDense,
+  /// dense::DenseEngine, batched mode: collision-free epochs of ~sqrt(n)
+  /// interactions advanced with hypergeometric draws — the scaling backend
+  /// for n >= 10^6. Uniform scheduler only, like kDense.
+  kDenseBatched,
+};
+
+/// Parses "agent", "dense", "dense_batched".
+EngineKind engine_kind_from_string(const std::string& text);
+std::string to_string(EngineKind kind);
+
 /// How the BatchRunner grades each trial.
 enum class Grading {
   /// Correct iff silent consensus on the workload's unique plurality winner.
@@ -81,6 +100,13 @@ struct RunSpec {
   pp::SchedulerKind scheduler = pp::SchedulerKind::kUniformRandom;
   /// When set, overrides `scheduler` (e.g. graph-restricted topologies).
   SchedulerFactory scheduler_factory;
+
+  /// Simulation backend. The dense backends simulate the uniform scheduler
+  /// on per-state counts (no agent array), so they reject the agent-level
+  /// features: non-uniform schedulers, scheduler_factory, circles_stats,
+  /// track_used_states, reboot_faults, grader and chemical_time — the
+  /// BatchRunner refuses such specs up front.
+  EngineKind backend = EngineKind::kAgentArray;
 
   /// Custom correctness verdict (engine runs only): receives the final
   /// population and overrides the standard grading (e.g. per-agent checks).
@@ -130,8 +156,16 @@ struct RunSpec {
   /// n actually used: the explicit workload's total when fixed, else `n`.
   std::uint64_t effective_n() const;
 
-  /// Human-readable one-line description.
+  /// Human-readable one-line description, e.g.
+  ///   "circles(k=3) n=100 workload=unique scheduler=uniform trials=5
+  ///    backend=dense [tag]"
+  /// (backend omitted for the agent-array default). parse() inverts it.
   std::string to_string() const;
+
+  /// Parses the to_string() format back into a spec (the flag-expressible
+  /// fields: protocol, k, n, workload, scheduler, trials, backend, label).
+  /// Throws std::invalid_argument on malformed text.
+  static RunSpec parse(const std::string& text);
 };
 
 /// Deterministic seed derivation (splitmix64-based):

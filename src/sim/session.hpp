@@ -65,6 +65,14 @@ class SessionBuilder {
     spec_.scheduler_factory = std::move(factory);
     return *this;
   }
+  SessionBuilder& backend(EngineKind kind) {
+    spec_.backend = kind;
+    return *this;
+  }
+  SessionBuilder& backend(const std::string& name) {
+    spec_.backend = engine_kind_from_string(name);
+    return *this;
+  }
   SessionBuilder& trials(std::uint32_t trials) {
     spec_.trials = trials;
     return *this;

@@ -30,6 +30,9 @@ SweepSpecs specs_from_flags(util::Cli& cli, const SweepFlagDefaults& defaults) {
       "scheduler", defaults.schedulers,
       "schedulers to sweep (uniform, round_robin, shuffled, adversarial, "
       "clustered)");
+  const auto backends = cli.string_list_flag(
+      "backend", defaults.backends,
+      "simulation backends to sweep (agent, dense, dense_batched)");
   const auto workload = WorkloadSpec::parse(cli.string_flag(
       "workload", defaults.workload,
       "workload family (unique, random, tie:<t>, margin1, dominant:<s>, "
@@ -52,21 +55,36 @@ SweepSpecs specs_from_flags(util::Cli& cli, const SweepFlagDefaults& defaults) {
     for (const auto k : ks) {
       for (const auto n : ns) {
         for (const auto& scheduler : schedulers) {
-          RunSpec spec;
-          spec.protocol = protocol;
-          spec.params.k = static_cast<std::uint32_t>(k);
-          spec.n = static_cast<std::uint64_t>(n);
-          spec.workload = workload;
-          spec.scheduler = pp::scheduler_kind_from_string(scheduler);
-          spec.trials = static_cast<std::uint32_t>(trials);
-          if (budget > 0) {
-            spec.engine.max_interactions =
-                static_cast<std::uint64_t>(budget);
+          for (const auto& backend : backends) {
+            RunSpec spec;
+            spec.protocol = protocol;
+            spec.params.k = static_cast<std::uint32_t>(k);
+            spec.n = static_cast<std::uint64_t>(n);
+            spec.workload = workload;
+            spec.scheduler = pp::scheduler_kind_from_string(scheduler);
+            spec.backend = engine_kind_from_string(backend);
+            spec.trials = static_cast<std::uint32_t>(trials);
+            if (budget > 0) {
+              spec.engine.max_interactions =
+                  static_cast<std::uint64_t>(budget);
+            }
+            // Dense backends simulate the uniform scheduler only. Skip the
+            // invalid corner of a multi-valued cross product; the guard
+            // below still rejects a grid that asked for nothing else.
+            if (spec.backend != EngineKind::kAgentArray &&
+                spec.scheduler != pp::SchedulerKind::kUniformRandom) {
+              continue;
+            }
+            out.specs.push_back(std::move(spec));
           }
-          out.specs.push_back(std::move(spec));
         }
       }
     }
+  }
+  if (out.specs.empty()) {
+    throw std::invalid_argument(
+        "the requested grid is empty: dense backends (--backend=dense, "
+        "dense_batched) support --scheduler=uniform only");
   }
   return out;
 }

@@ -28,6 +28,7 @@ struct SweepFlagDefaults {
   std::string ks = "4";
   std::string ns = "64";
   std::string schedulers = "uniform";
+  std::string backends = "agent";
   std::string workload = "unique";
   std::int64_t trials = 5;
   std::int64_t seed = 1;
@@ -40,9 +41,9 @@ struct SweepSpecs {
   std::uint64_t base_seed = 1;
 };
 
-/// Cross product: protocol x k x n x scheduler (workload/trials/budget are
-/// shared). Specs do not fix their own seed, so the BatchRunner derives
-/// per-spec streams from base_seed.
+/// Cross product: protocol x k x n x scheduler x backend (workload/trials/
+/// budget are shared). Specs do not fix their own seed, so the BatchRunner
+/// derives per-spec streams from base_seed.
 SweepSpecs specs_from_flags(util::Cli& cli,
                             const SweepFlagDefaults& defaults = {});
 

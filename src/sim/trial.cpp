@@ -4,6 +4,8 @@
 
 #include "core/decomposition.hpp"
 #include "core/invariants.hpp"
+#include "dense/dense_config.hpp"
+#include "dense/dense_engine.hpp"
 #include "util/check.hpp"
 
 namespace circles::sim {
@@ -73,6 +75,47 @@ TrialOutcome run_trial_keep_population(
 
   if (final_population != nullptr) *final_population = std::move(population);
   if (assigned_colors != nullptr) *assigned_colors = colors;
+  return outcome;
+}
+
+TrialOutcome run_dense_trial(const pp::Protocol& protocol,
+                             const analysis::Workload& workload,
+                             const TrialOptions& options, bool batched,
+                             std::optional<pp::OutputSymbol> expected_symbol,
+                             const dense::DenseEngine* engine) {
+  CIRCLES_CHECK_MSG(workload.k() == protocol.num_colors(),
+                    "workload color count does not match the protocol");
+  CIRCLES_CHECK_MSG(options.scheduler == pp::SchedulerKind::kUniformRandom &&
+                        !options.scheduler_factory,
+                    "dense trials simulate the uniform scheduler only");
+
+  dense::DenseConfig config =
+      dense::DenseConfig::from_workload(protocol, workload);
+  CIRCLES_CHECK_MSG(config.n() >= 2, "trials need at least two agents");
+
+  // Mirror run_trial's stream discipline: the engine runs on a seed split
+  // off the trial stream (the agent path spends the head of the stream on
+  // the color shuffle, which counts have no use for).
+  util::Rng rng(options.seed);
+  const std::uint64_t engine_seed = rng.split()();
+
+  const dense::DenseMode mode =
+      batched ? dense::DenseMode::kBatched : dense::DenseMode::kPerStep;
+  std::optional<dense::DenseEngine> local;
+  if (engine == nullptr) {
+    local.emplace(protocol, options.engine, mode);
+    engine = &*local;
+  }
+  CIRCLES_CHECK_MSG(
+      engine->mode() == mode && &engine->protocol() == &protocol &&
+          engine->options().max_interactions ==
+              options.engine.max_interactions &&
+          engine->options().stop_when_silent ==
+              options.engine.stop_when_silent,
+      "prebuilt dense engine does not match the trial");
+  TrialOutcome outcome;
+  outcome.run = engine->run(config, engine_seed);
+  grade_against(outcome, workload, expected_symbol);
   return outcome;
 }
 

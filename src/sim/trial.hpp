@@ -17,6 +17,10 @@
 #include "pp/engine.hpp"
 #include "pp/scheduler.hpp"
 
+namespace circles::dense {
+class DenseEngine;
+}
+
 namespace circles::sim {
 
 /// Optional scheduler override: receives (n, seed) and returns the scheduler
@@ -70,6 +74,20 @@ TrialOutcome run_trial_keep_population(
 TrialOutcome grade_run(const pp::RunResult& run,
                        const analysis::Workload& workload,
                        std::optional<pp::OutputSymbol> expected_symbol = {});
+
+/// Count-based trial: builds a dense::DenseConfig from the workload (no
+/// agent array, so n is bounded by memory for counts, not agents), runs the
+/// dense engine under uniform-scheduler semantics, and grades the outcome
+/// exactly like run_trial. `batched` selects DenseMode::kBatched. Rejects
+/// options carrying agent-level features (non-uniform scheduler or a
+/// scheduler_factory). `engine`, when non-null, must be a DenseEngine built
+/// from (protocol, options.engine, batched) — the BatchRunner passes one
+/// per spec so the transition table is not rebuilt per trial.
+TrialOutcome run_dense_trial(const pp::Protocol& protocol,
+                             const analysis::Workload& workload,
+                             const TrialOptions& options, bool batched,
+                             std::optional<pp::OutputSymbol> expected_symbol = {},
+                             const dense::DenseEngine* engine = nullptr);
 
 /// Circles-specific trial with the paper's instrumentation attached:
 /// exchange counting, invariant checking and the Lemma 3.6 decomposition

@@ -1,0 +1,450 @@
+#include "dense/dense_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "dense/dense_config.hpp"
+#include "sim/sim.hpp"
+#include "util/rng.hpp"
+
+namespace circles::dense {
+namespace {
+
+using CountVector = std::vector<std::uint64_t>;
+
+analysis::Workload workload_of(CountVector counts) {
+  analysis::Workload w;
+  w.counts = std::move(counts);
+  return w;
+}
+
+/// Exact silence on a count vector (the engine's active-pair criterion,
+/// recomputed independently).
+bool counts_silent(const pp::Protocol& protocol, const CountVector& counts) {
+  for (pp::StateId s = 0; s < counts.size(); ++s) {
+    if (counts[s] == 0) continue;
+    for (pp::StateId t = 0; t < counts.size(); ++t) {
+      if (counts[t] == 0 || (s == t && counts[s] < 2)) continue;
+      const pp::Transition tr = protocol.transition(s, t);
+      if (tr.initiator != s || tr.responder != t) return false;
+    }
+  }
+  return true;
+}
+
+/// Exhaustive BFS over the count-configuration graph: every configuration
+/// reachable from `initial`, and the subset that is silent. Tiny instances
+/// only (n <= 6, small state spaces).
+std::set<CountVector> reachable_silent_configs(const pp::Protocol& protocol,
+                                               const CountVector& initial) {
+  std::set<CountVector> seen{initial};
+  std::vector<CountVector> frontier{initial};
+  std::set<CountVector> silent;
+  while (!frontier.empty()) {
+    const CountVector config = std::move(frontier.back());
+    frontier.pop_back();
+    bool any_change = false;
+    for (pp::StateId s = 0; s < config.size(); ++s) {
+      if (config[s] == 0) continue;
+      for (pp::StateId t = 0; t < config.size(); ++t) {
+        if (config[t] == 0 || (s == t && config[s] < 2)) continue;
+        const pp::Transition tr = protocol.transition(s, t);
+        if (tr.initiator == s && tr.responder == t) continue;
+        any_change = true;
+        CountVector next = config;
+        next[s] -= 1;
+        next[t] -= 1;
+        next[tr.initiator] += 1;
+        next[tr.responder] += 1;
+        if (seen.insert(next).second) frontier.push_back(std::move(next));
+      }
+    }
+    if (!any_change) silent.insert(config);
+  }
+  return silent;
+}
+
+TEST(DenseConfigTest, FromWorkloadPlacesAgentsInInputStates) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 3});
+  const auto workload = workload_of({3, 2, 1});
+  const DenseConfig config = DenseConfig::from_workload(*protocol, workload);
+  EXPECT_EQ(config.n(), 6u);
+  EXPECT_EQ(config.num_states(), protocol->num_states());
+  for (pp::ColorId c = 0; c < 3; ++c) {
+    EXPECT_EQ(config.count(protocol->input(c)), workload.counts[c]);
+  }
+  EXPECT_EQ(config.present_states().size(), 3u);
+  const auto histogram = config.output_histogram(*protocol);
+  EXPECT_EQ(histogram, (CountVector{3, 2, 1}));
+}
+
+TEST(DenseConfigTest, FromPopulationMatchesAgentArray) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 2});
+  const std::vector<pp::ColorId> colors = {0, 1, 1, 0, 1};
+  pp::Population population(*protocol, colors);
+  const DenseConfig config =
+      DenseConfig::from_population(*protocol, population);
+  EXPECT_EQ(config.n(), 5u);
+  EXPECT_EQ(config.count(protocol->input(0)), 2u);
+  EXPECT_EQ(config.count(protocol->input(1)), 3u);
+}
+
+TEST(DenseEngineTest, ReachesSilenceAndConservesPopulation) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 3});
+  for (const DenseMode mode : {DenseMode::kPerStep, DenseMode::kBatched}) {
+    DenseEngine engine(*protocol, {}, mode);
+    DenseConfig config =
+        DenseConfig::from_workload(*protocol, workload_of({40, 30, 20}));
+    const pp::RunResult result = engine.run(config, 123);
+    EXPECT_TRUE(result.silent);
+    EXPECT_FALSE(result.budget_exhausted);
+    EXPECT_EQ(config.n(), 90u);
+    EXPECT_TRUE(counts_silent(*protocol, config.counts));
+    // Exact silence detection: the run stops right after the final change.
+    EXPECT_EQ(result.interactions, result.last_change_step + 1);
+    // Silent consensus on the plurality winner (color 0).
+    const auto histogram = config.output_histogram(*protocol);
+    EXPECT_EQ(histogram[0], 90u);
+  }
+}
+
+TEST(DenseEngineTest, AlreadySilentConfigurationStopsImmediately) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 2});
+  for (const DenseMode mode : {DenseMode::kPerStep, DenseMode::kBatched}) {
+    DenseEngine engine(*protocol, {}, mode);
+    // All agents of one color: diagonal states, no pair changes anything.
+    DenseConfig config =
+        DenseConfig::from_workload(*protocol, workload_of({5, 0}));
+    const pp::RunResult result = engine.run(config, 1);
+    EXPECT_TRUE(result.silent);
+    EXPECT_EQ(result.interactions, 0u);
+    EXPECT_EQ(result.state_changes, 0u);
+  }
+}
+
+TEST(DenseEngineTest, FixedBudgetRunsExactlyToBudget) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 3});
+  pp::EngineOptions options;
+  options.max_interactions = 5000;
+  options.stop_when_silent = false;
+  for (const DenseMode mode : {DenseMode::kPerStep, DenseMode::kBatched}) {
+    DenseEngine engine(*protocol, options, mode);
+    DenseConfig config =
+        DenseConfig::from_workload(*protocol, workload_of({30, 20, 10}));
+    const pp::RunResult result = engine.run(config, 9);
+    EXPECT_EQ(result.interactions, 5000u);
+    EXPECT_EQ(config.n(), 60u);
+  }
+}
+
+TEST(DenseEngineTest, TinyBudgetReportsExhaustion) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 3});
+  pp::EngineOptions options;
+  options.max_interactions = 3;
+  for (const DenseMode mode : {DenseMode::kPerStep, DenseMode::kBatched}) {
+    DenseEngine engine(*protocol, options, mode);
+    DenseConfig config =
+        DenseConfig::from_workload(*protocol, workload_of({500, 400, 300}));
+    const pp::RunResult result = engine.run(config, 5);
+    EXPECT_TRUE(result.budget_exhausted);
+    EXPECT_FALSE(result.silent);
+    EXPECT_EQ(result.interactions, 3u);
+  }
+}
+
+TEST(DenseEngineTest, DeterministicPerSeed) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 3});
+  for (const DenseMode mode : {DenseMode::kPerStep, DenseMode::kBatched}) {
+    DenseEngine engine(*protocol, {}, mode);
+    DenseConfig a =
+        DenseConfig::from_workload(*protocol, workload_of({25, 20, 15}));
+    DenseConfig b = a;
+    const pp::RunResult ra = engine.run(a, 77);
+    const pp::RunResult rb = engine.run(b, 77);
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(ra.interactions, rb.interactions);
+    EXPECT_EQ(ra.state_changes, rb.state_changes);
+    EXPECT_EQ(ra.last_change_step, rb.last_change_step);
+    EXPECT_EQ(ra.final_outputs, rb.final_outputs);
+  }
+}
+
+TEST(DenseEngineTest, UncachedTableFallbackMatchesCached) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 3});
+  DenseEngine cached(*protocol, {}, DenseMode::kBatched);
+  DenseEngine uncached(*protocol, {}, DenseMode::kBatched,
+                       /*max_table_entries=*/0);
+  DenseConfig a =
+      DenseConfig::from_workload(*protocol, workload_of({12, 9, 6}));
+  DenseConfig b = a;
+  const pp::RunResult ra = cached.run(a, 321);
+  const pp::RunResult rb = uncached.run(b, 321);
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(ra.interactions, rb.interactions);
+  EXPECT_EQ(ra.state_changes, rb.state_changes);
+}
+
+// --- cross-backend equivalence --------------------------------------------
+
+/// Agent-array reference: run pp::Engine under the uniform scheduler and
+/// return the final configuration as counts.
+CountVector agent_final_counts(const pp::Protocol& protocol,
+                               const analysis::Workload& workload,
+                               std::uint64_t seed) {
+  sim::TrialOptions options;
+  options.seed = seed;
+  std::unique_ptr<pp::Population> population;
+  sim::run_trial_keep_population(protocol, workload, options, {}, {},
+                                 &population);
+  return DenseConfig::from_population(protocol, *population).counts;
+}
+
+CountVector dense_final_counts(const pp::Protocol& protocol,
+                               const analysis::Workload& workload,
+                               DenseMode mode, std::uint64_t seed) {
+  DenseEngine engine(protocol, {}, mode);
+  DenseConfig config = DenseConfig::from_workload(protocol, workload);
+  const pp::RunResult result = engine.run(config, seed);
+  EXPECT_TRUE(result.silent);
+  return config.counts;
+}
+
+/// Exhaustive tiny-population check: for every workload with n <= 6 agents
+/// over k <= 3 colors, both dense modes and the agent array land only in
+/// configurations the BFS proves reachable-and-silent; and whenever that
+/// set is a singleton (the generic circles case — Lemma 3.6 makes the
+/// stable configuration schedule-independent), all backends land exactly
+/// there.
+TEST(DenseEquivalenceTest, ExhaustiveTinyPopulationsAgainstBfsAndAgentArray) {
+  for (const std::uint32_t k : {2u, 3u}) {
+    const auto protocol =
+        sim::ProtocolRegistry::global().create("circles", {.k = k});
+    std::vector<CountVector> workloads;
+    // All count vectors over k colors with 2 <= n <= 6.
+    const std::uint64_t max_n = 6;
+    std::vector<std::uint64_t> counts(k, 0);
+    const auto enumerate = [&](auto&& self, std::uint32_t color,
+                               std::uint64_t remaining) -> void {
+      if (color + 1 == k) {
+        counts[color] = remaining;
+        std::uint64_t total = 0;
+        for (const auto c : counts) total += c;
+        if (total >= 2) workloads.push_back(counts);
+        return;
+      }
+      for (std::uint64_t c = 0; c <= remaining; ++c) {
+        counts[color] = c;
+        self(self, color + 1, remaining - c);
+      }
+    };
+    for (std::uint64_t n = 2; n <= max_n; ++n) enumerate(enumerate, 0, n);
+
+    for (const CountVector& w : workloads) {
+      const analysis::Workload workload = workload_of(w);
+      const DenseConfig initial =
+          DenseConfig::from_workload(*protocol, workload);
+      const auto silent_set =
+          reachable_silent_configs(*protocol, initial.counts);
+      ASSERT_FALSE(silent_set.empty());
+
+      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const auto agent = agent_final_counts(*protocol, workload, seed);
+        const auto per_step = dense_final_counts(*protocol, workload,
+                                                 DenseMode::kPerStep, seed);
+        const auto batched = dense_final_counts(*protocol, workload,
+                                                DenseMode::kBatched, seed);
+        EXPECT_TRUE(silent_set.count(agent))
+            << "agent escaped the reachable-silent set, workload "
+            << workload.to_string();
+        EXPECT_TRUE(silent_set.count(per_step))
+            << "dense escaped the reachable-silent set, workload "
+            << workload.to_string();
+        EXPECT_TRUE(silent_set.count(batched))
+            << "dense_batched escaped the reachable-silent set, workload "
+            << workload.to_string();
+        if (silent_set.size() == 1) {
+          EXPECT_EQ(agent, per_step);
+          EXPECT_EQ(agent, batched);
+        }
+      }
+    }
+  }
+}
+
+/// Where several silent configurations are reachable (ties), all backends
+/// must cover the same outcome set given enough seeds.
+TEST(DenseEquivalenceTest, TiedWorkloadOutcomeSetsMatchAcrossBackends) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 2});
+  const analysis::Workload workload = workload_of({2, 2});
+  const DenseConfig initial = DenseConfig::from_workload(*protocol, workload);
+  const auto silent_set = reachable_silent_configs(*protocol, initial.counts);
+  ASSERT_GT(silent_set.size(), 1u);
+
+  std::set<CountVector> agent_set, per_step_set, batched_set;
+  for (std::uint64_t seed = 1; seed <= 80; ++seed) {
+    agent_set.insert(agent_final_counts(*protocol, workload, seed));
+    per_step_set.insert(
+        dense_final_counts(*protocol, workload, DenseMode::kPerStep, seed));
+    batched_set.insert(
+        dense_final_counts(*protocol, workload, DenseMode::kBatched, seed));
+  }
+  EXPECT_EQ(agent_set, per_step_set);
+  EXPECT_EQ(agent_set, batched_set);
+  for (const auto& config : agent_set) {
+    EXPECT_TRUE(silent_set.count(config));
+  }
+}
+
+/// KS-style two-sample comparison of the stabilization-time distributions
+/// at n = 1000: last_change_step has the same distribution on every backend
+/// (the count process is an exact lumping of the agent process).
+TEST(DenseEquivalenceTest, StabilizationTimeDistributionMatchesAtModerateN) {
+  const std::uint32_t trials = 60;
+  const auto run_backend = [&](sim::EngineKind backend) {
+    sim::RunSpec spec;
+    spec.protocol = "circles";
+    spec.params.k = 3;
+    spec.workload = sim::WorkloadSpec::explicit_counts({400, 350, 250});
+    spec.backend = backend;
+    spec.trials = trials;
+    spec.seed = 20260728;  // same workload; schedule streams differ per seed
+    const sim::SpecResult result = sim::BatchRunner().run_one(spec);
+    EXPECT_EQ(result.silent, trials);
+    std::vector<double> samples;
+    for (const auto& trial : result.trials) {
+      samples.push_back(
+          static_cast<double>(trial.outcome.run.last_change_step));
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples;
+  };
+  const auto ks_distance = [](const std::vector<double>& a,
+                              const std::vector<double>& b) {
+    double d = 0.0;
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] <= b[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+      d = std::max(d, std::abs(static_cast<double>(i) / a.size() -
+                               static_cast<double>(j) / b.size()));
+    }
+    return d;
+  };
+
+  const auto agent = run_backend(sim::EngineKind::kAgentArray);
+  const auto dense = run_backend(sim::EngineKind::kDense);
+  const auto batched = run_backend(sim::EngineKind::kDenseBatched);
+
+  // Critical value at alpha = 0.001 for two samples of 60:
+  // 1.95 * sqrt(2/60) = 0.356. Fixed seeds make the test deterministic; the
+  // observed distances are ~0.1.
+  EXPECT_LT(ks_distance(agent, dense), 0.356);
+  EXPECT_LT(ks_distance(agent, batched), 0.356);
+  EXPECT_LT(ks_distance(dense, batched), 0.356);
+}
+
+// --- RunSpec/BatchRunner integration --------------------------------------
+
+TEST(DenseBackendSpecTest, RejectsAgentLevelFeatures) {
+  const sim::BatchRunner runner;
+  sim::RunSpec base;
+  base.protocol = "circles";
+  base.params.k = 2;
+  base.n = 10;
+  base.backend = sim::EngineKind::kDense;
+
+  auto with = [&](auto&& mutate) {
+    sim::RunSpec spec = base;
+    mutate(spec);
+    return spec;
+  };
+  EXPECT_THROW(runner.run_one(with([](sim::RunSpec& s) {
+                 s.circles_stats = true;
+               })),
+               std::invalid_argument);
+  EXPECT_THROW(runner.run_one(with([](sim::RunSpec& s) {
+                 s.track_used_states = true;
+               })),
+               std::invalid_argument);
+  EXPECT_THROW(runner.run_one(with([](sim::RunSpec& s) {
+                 s.reboot_faults = 1;
+               })),
+               std::invalid_argument);
+  EXPECT_THROW(runner.run_one(with([](sim::RunSpec& s) {
+                 s.chemical_time = true;
+               })),
+               std::invalid_argument);
+  EXPECT_THROW(runner.run_one(with([](sim::RunSpec& s) {
+                 s.scheduler = pp::SchedulerKind::kRoundRobin;
+               })),
+               std::invalid_argument);
+  EXPECT_THROW(
+      runner.run_one(with([](sim::RunSpec& s) {
+        s.grader = [](const pp::Protocol&, const analysis::Workload&,
+                      std::span<const pp::ColorId>, const pp::Population&,
+                      const pp::RunResult&) { return true; };
+      })),
+      std::invalid_argument);
+  EXPECT_THROW(runner.run_one(with([](sim::RunSpec& s) {
+                 s.scheduler_factory = [](std::uint32_t n,
+                                          std::uint64_t seed) {
+                   return pp::make_scheduler(
+                       pp::SchedulerKind::kUniformRandom, n, seed);
+                 };
+               })),
+               std::invalid_argument);
+
+  // The plain dense spec itself is fine.
+  const sim::SpecResult ok = runner.run_one(base);
+  EXPECT_EQ(ok.trial_count, 1u);
+  EXPECT_EQ(ok.silent, 1u);
+}
+
+TEST(DenseBackendSpecTest, BatchRunnerGradesDenseTrialsLikeAgentTrials) {
+  sim::RunSpec spec;
+  spec.protocol = "circles";
+  spec.params.k = 3;
+  spec.workload = sim::WorkloadSpec::explicit_counts({8, 5, 3});
+  spec.trials = 10;
+  spec.seed = 99;
+  for (const auto backend :
+       {sim::EngineKind::kDense, sim::EngineKind::kDenseBatched}) {
+    spec.backend = backend;
+    const sim::SpecResult result = sim::BatchRunner().run_one(spec);
+    EXPECT_EQ(result.correct, 10u) << sim::to_string(backend);
+    EXPECT_EQ(result.silent, 10u);
+    EXPECT_TRUE(result.all_correct());
+  }
+}
+
+TEST(DenseBackendSpecTest, TieAwareGradingWorksOnDenseBackend) {
+  sim::RunSpec spec;
+  spec.protocol = "tie_report";
+  spec.params.k = 2;
+  spec.workload = sim::WorkloadSpec::explicit_counts({6, 6});
+  spec.grading = sim::Grading::kTieAware;
+  spec.backend = sim::EngineKind::kDenseBatched;
+  spec.trials = 8;
+  spec.seed = 5;
+  const sim::SpecResult result = sim::BatchRunner().run_one(spec);
+  EXPECT_EQ(result.correct, 8u);
+}
+
+}  // namespace
+}  // namespace circles::dense

@@ -1,0 +1,192 @@
+#include "dense/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace circles::dense {
+namespace {
+
+TEST(LogFactorialTest, MatchesDirectSummation) {
+  double acc = 0.0;
+  for (std::uint64_t x = 1; x <= 300; ++x) {
+    acc += std::log(static_cast<double>(x));
+    EXPECT_NEAR(log_factorial(x), acc, 1e-9) << "x=" << x;
+  }
+  EXPECT_EQ(log_factorial(0), 0.0);
+}
+
+TEST(LogFactorialTest, StirlingAgreesWithLgamma) {
+  for (const std::uint64_t x :
+       {std::uint64_t{2048}, std::uint64_t{5000}, std::uint64_t{1000000},
+        std::uint64_t{100000000}}) {
+    const double expected = std::lgamma(static_cast<double>(x) + 1.0);
+    EXPECT_NEAR(log_factorial(x) / expected, 1.0, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(LogChooseTest, SmallValuesExact) {
+  EXPECT_NEAR(log_choose(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(log_choose(10, 5), std::log(252.0), 1e-12);
+  EXPECT_EQ(log_choose(7, 0), 0.0);
+  EXPECT_EQ(log_choose(7, 7), 0.0);
+}
+
+TEST(HypergeometricTest, DegenerateSupportsNeedNoRandomness) {
+  util::Rng rng(1);
+  // draws == 0, successes == 0, all-success and forced draws never consume
+  // the rng and return the forced value.
+  EXPECT_EQ(hypergeometric(rng, 10, 4, 0), 0u);
+  EXPECT_EQ(hypergeometric(rng, 10, 0, 7), 0u);
+  EXPECT_EQ(hypergeometric(rng, 10, 10, 7), 7u);
+  EXPECT_EQ(hypergeometric(rng, 10, 4, 10), 4u);
+  // lo == hi via the pigeonhole bound: drawing 9 of 10 with 4 successes
+  // forces at least 3.
+  EXPECT_EQ(hypergeometric(rng, 4, 2, 4), 2u);
+}
+
+TEST(HypergeometricTest, StaysInSupport) {
+  util::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t total = 2 + rng.uniform_below(200);
+    const std::uint64_t successes = rng.uniform_below(total + 1);
+    const std::uint64_t draws = rng.uniform_below(total + 1);
+    const std::uint64_t failures = total - successes;
+    const std::uint64_t lo = draws > failures ? draws - failures : 0;
+    const std::uint64_t hi = std::min(draws, successes);
+    const std::uint64_t x = hypergeometric(rng, total, successes, draws);
+    EXPECT_GE(x, lo);
+    EXPECT_LE(x, hi);
+  }
+}
+
+TEST(HypergeometricTest, MatchesExactPmfOnSmallCase) {
+  // HG(N=10, K=4, m=5): pmf over x in [0..4] is C(4,x)C(6,5-x)/C(10,5).
+  const double denom = 252.0;
+  const std::vector<double> pmf = {6 / denom, 60 / denom, 120 / denom,
+                                   60 / denom, 6 / denom};
+  util::Rng rng(42);
+  std::vector<double> freq(5, 0.0);
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) {
+    freq[hypergeometric(rng, 10, 4, 5)] += 1.0 / samples;
+  }
+  for (std::size_t x = 0; x < pmf.size(); ++x) {
+    EXPECT_NEAR(freq[x], pmf[x], 0.01) << "x=" << x;
+  }
+}
+
+TEST(HypergeometricTest, LargeParameterMeanIsRight) {
+  // Exercises the log-gamma anchor path (all parameters above the
+  // sequential cutoff): mean must be draws * successes / total.
+  util::Rng rng(3);
+  const std::uint64_t total = 1'000'000, successes = 300'000, draws = 2'000;
+  double mean = 0.0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    mean += static_cast<double>(
+                hypergeometric(rng, total, successes, draws)) /
+            samples;
+  }
+  // stddev of one draw ~ sqrt(2000 * .3 * .7) ~ 20.5; of the mean ~ 0.15.
+  EXPECT_NEAR(mean, 600.0, 1.0);
+}
+
+TEST(HypergeometricTest, DeterministicPerSeed) {
+  util::Rng a(99), b(99);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(hypergeometric(a, 5000, 1234, 777),
+              hypergeometric(b, 5000, 1234, 777));
+  }
+}
+
+TEST(MultivariateHypergeometricTest, SumsToDrawsAndRespectsCounts) {
+  util::Rng rng(5);
+  const std::vector<std::uint64_t> counts = {17, 0, 5, 40, 1, 0, 30};
+  std::vector<std::uint64_t> out(counts.size());
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t draws = rng.uniform_below(94);  // total is 93
+    multivariate_hypergeometric(rng, counts, draws, out);
+    std::uint64_t sum = 0;
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      EXPECT_LE(out[j], counts[j]);
+      sum += out[j];
+    }
+    EXPECT_EQ(sum, draws);
+  }
+}
+
+TEST(MultivariateHypergeometricTest, MarginalMeansMatch) {
+  util::Rng rng(11);
+  const std::vector<std::uint64_t> counts = {100, 300, 600};
+  std::vector<std::uint64_t> out(3);
+  std::vector<double> mean(3, 0.0);
+  const int samples = 50000;
+  for (int i = 0; i < samples; ++i) {
+    multivariate_hypergeometric(rng, counts, 100, out);
+    for (int j = 0; j < 3; ++j) mean[j] += static_cast<double>(out[j]) / samples;
+  }
+  EXPECT_NEAR(mean[0], 10.0, 0.15);
+  EXPECT_NEAR(mean[1], 30.0, 0.25);
+  EXPECT_NEAR(mean[2], 60.0, 0.25);
+}
+
+TEST(CollisionFreeRunLengthTest, TwoAgentsAlwaysRunOne) {
+  CollisionFreeRunLength dist(2);
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(dist.sample(rng), 1u);
+}
+
+TEST(CollisionFreeRunLengthTest, SamplesMatchSurvivalMean) {
+  const std::uint64_t n = 400;
+  CollisionFreeRunLength dist(n);
+  util::Rng rng(17);
+  double mean = 0.0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) {
+    const std::uint64_t len = dist.sample(rng);
+    ASSERT_GE(len, 1u);
+    ASSERT_LE(len, dist.max_length());
+    mean += static_cast<double>(len) / samples;
+  }
+  // E[L] = sum_j P(L >= j) = mean_length(); ~0.88 sqrt(n) ~ 17.6 here.
+  EXPECT_NEAR(mean, dist.mean_length(), 0.15);
+  EXPECT_GT(dist.mean_length(), 0.5 * std::sqrt(static_cast<double>(n)));
+}
+
+TEST(CollisionFreeRunLengthTest, NeverExceedsHalfThePopulation) {
+  CollisionFreeRunLength dist(9);  // max floor((9-1)/2)+... = 4 free pairs
+  util::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) EXPECT_LE(dist.sample(rng), 4u);
+}
+
+TEST(LastSpecialSlotTest, BoundsAndDegenerates) {
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(last_special_slot(rng, 6, 6), 6u);
+    const std::uint64_t m = last_special_slot(rng, 10, 3);
+    EXPECT_GE(m, 3u);
+    EXPECT_LE(m, 10u);
+  }
+}
+
+TEST(LastSpecialSlotTest, MatchesExactDistribution) {
+  // slots=5, special=2: P(max=j) = C(j-1,1)/C(5,2) = (j-1)/10, j in 2..5.
+  util::Rng rng(23);
+  std::map<std::uint64_t, double> freq;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) {
+    freq[last_special_slot(rng, 5, 2)] += 1.0 / samples;
+  }
+  EXPECT_NEAR(freq[2], 0.1, 0.01);
+  EXPECT_NEAR(freq[3], 0.2, 0.01);
+  EXPECT_NEAR(freq[4], 0.3, 0.01);
+  EXPECT_NEAR(freq[5], 0.4, 0.01);
+}
+
+}  // namespace
+}  // namespace circles::dense

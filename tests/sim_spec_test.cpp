@@ -26,6 +26,110 @@ TEST(WorkloadSpecTest, ParseRoundTripsEveryFamily) {
   EXPECT_THROW(WorkloadSpec::parse("counts:5,-1"), std::invalid_argument);
 }
 
+TEST(WorkloadSpecTest, ToStringRoundTripsEveryConstructor) {
+  // The inverse direction of the test above: every factory's to_string
+  // survives parse() for every family, including non-default arguments.
+  const WorkloadSpec specs[] = {
+      WorkloadSpec::unique_winner(),      WorkloadSpec::random_counts(),
+      WorkloadSpec::exact_tie(2),         WorkloadSpec::exact_tie(5),
+      WorkloadSpec::close_margin(),       WorkloadSpec::dominant(0.75),
+      WorkloadSpec::dominant(0.5),        WorkloadSpec::zipf(1.0),
+      WorkloadSpec::zipf(2.25),
+      WorkloadSpec::explicit_counts({1}), WorkloadSpec::explicit_counts(
+                                              {10, 0, 7, 3}),
+  };
+  for (const WorkloadSpec& spec : specs) {
+    SCOPED_TRACE(spec.to_string());
+    const WorkloadSpec reparsed = WorkloadSpec::parse(spec.to_string());
+    EXPECT_EQ(reparsed.family, spec.family);
+    EXPECT_EQ(reparsed.tied_colors, spec.tied_colors);
+    EXPECT_EQ(reparsed.share, spec.share);
+    EXPECT_EQ(reparsed.exponent, spec.exponent);
+    EXPECT_EQ(reparsed.counts, spec.counts);
+    EXPECT_EQ(reparsed.to_string(), spec.to_string());
+  }
+}
+
+TEST(EngineKindTest, RoundTripsAndRejectsUnknown) {
+  for (const auto kind :
+       {EngineKind::kAgentArray, EngineKind::kDense,
+        EngineKind::kDenseBatched}) {
+    EXPECT_EQ(engine_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_EQ(engine_kind_from_string("batched"), EngineKind::kDenseBatched);
+  EXPECT_EQ(engine_kind_from_string("array"), EngineKind::kAgentArray);
+  EXPECT_THROW(engine_kind_from_string("gpu"), std::invalid_argument);
+}
+
+TEST(RunSpecParseTest, RoundTripsEveryWorkloadFamilyAndBackend) {
+  const WorkloadSpec workloads[] = {
+      WorkloadSpec::unique_winner(),  WorkloadSpec::random_counts(),
+      WorkloadSpec::exact_tie(3),     WorkloadSpec::close_margin(),
+      WorkloadSpec::dominant(0.6),    WorkloadSpec::zipf(1.4),
+      WorkloadSpec::explicit_counts({5, 3, 2}),
+  };
+  const EngineKind backends[] = {EngineKind::kAgentArray, EngineKind::kDense,
+                                 EngineKind::kDenseBatched};
+  for (const WorkloadSpec& workload : workloads) {
+    for (const EngineKind backend : backends) {
+      RunSpec spec;
+      spec.protocol = "tie_report";
+      spec.params.k = 4;
+      spec.n = 128;
+      spec.workload = workload;
+      spec.scheduler = pp::SchedulerKind::kShuffledSweep;
+      spec.trials = 9;
+      spec.backend = backend;
+      spec.label = "cell A 3";
+      SCOPED_TRACE(spec.to_string());
+      const RunSpec reparsed = RunSpec::parse(spec.to_string());
+      EXPECT_EQ(reparsed.protocol, spec.protocol);
+      EXPECT_EQ(reparsed.params.k, spec.params.k);
+      EXPECT_EQ(reparsed.effective_n(), spec.effective_n());
+      EXPECT_EQ(reparsed.workload.to_string(), spec.workload.to_string());
+      EXPECT_EQ(reparsed.scheduler, spec.scheduler);
+      EXPECT_EQ(reparsed.trials, spec.trials);
+      EXPECT_EQ(reparsed.backend, spec.backend);
+      EXPECT_EQ(reparsed.label, spec.label);
+      EXPECT_EQ(reparsed.to_string(), spec.to_string());
+    }
+  }
+}
+
+TEST(RunSpecParseTest, BackendOmittedForAgentArrayAndDefaultsOnParse) {
+  RunSpec spec;
+  spec.protocol = "circles";
+  spec.params.k = 3;
+  spec.n = 50;
+  EXPECT_EQ(spec.to_string().find("backend="), std::string::npos);
+  const RunSpec reparsed = RunSpec::parse(spec.to_string());
+  EXPECT_EQ(reparsed.backend, EngineKind::kAgentArray);
+
+  spec.backend = EngineKind::kDenseBatched;
+  EXPECT_NE(spec.to_string().find("backend=dense_batched"),
+            std::string::npos);
+}
+
+TEST(RunSpecParseTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(RunSpec::parse(""), std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles n=10"), std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles(k=2) bogus"), std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles(k=2) weird=1"),
+               std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles(k=2) backend=gpu"),
+               std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles(k=2) n=10]"), std::invalid_argument);
+  // Negative numbers must not wrap through std::stoull.
+  EXPECT_THROW(RunSpec::parse("circles(k=-2) n=10"), std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles(k=2) n=-10"), std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles(k=2) trials=-1"),
+               std::invalid_argument);
+  // ... and trailing garbage must not be silently truncated.
+  EXPECT_THROW(RunSpec::parse("circles(k=2) n=10x3"), std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles(k=2) trials=5.9"),
+               std::invalid_argument);
+}
+
 TEST(WorkloadSpecTest, MaterializeIsDeterministicInRng) {
   const WorkloadSpec spec = WorkloadSpec::zipf(1.3);
   util::Rng a(42), b(42);
@@ -95,6 +199,42 @@ TEST(SpecsFromFlagsTest, BuildsTheCrossProductGrid) {
   EXPECT_EQ(sweep.specs[1].scheduler, pp::SchedulerKind::kRoundRobin);
   EXPECT_EQ(sweep.specs.back().params.k, 3u);
   EXPECT_EQ(sweep.specs.back().n, 20u);
+}
+
+TEST(SpecsFromFlagsTest, BackendAxisJoinsTheCrossProduct) {
+  const char* argv[] = {"prog", "--n=10", "--backend=agent,dense_batched"};
+  util::Cli cli(3, const_cast<char**>(argv));
+  const SweepSpecs sweep = specs_from_flags(cli);
+  cli.finish();
+  ASSERT_EQ(sweep.specs.size(), 2u);
+  EXPECT_EQ(sweep.specs[0].backend, EngineKind::kAgentArray);
+  EXPECT_EQ(sweep.specs[1].backend, EngineKind::kDenseBatched);
+
+  const char* bad[] = {"prog", "--backend=quantum"};
+  util::Cli bad_cli(2, const_cast<char**>(bad));
+  EXPECT_THROW(specs_from_flags(bad_cli), std::invalid_argument);
+}
+
+TEST(SpecsFromFlagsTest, DenseNonUniformCornersAreSkippedNotFatal) {
+  // Dense backends only simulate the uniform scheduler; the invalid corner
+  // of a multi-valued cross product is dropped, the rest of the grid runs.
+  const char* argv[] = {"prog", "--scheduler=uniform,adversarial",
+                        "--backend=agent,dense"};
+  util::Cli cli(3, const_cast<char**>(argv));
+  const SweepSpecs sweep = specs_from_flags(cli);
+  cli.finish();
+  ASSERT_EQ(sweep.specs.size(), 3u);  // agent x {uniform, adversarial},
+                                      // dense x uniform
+  for (const auto& spec : sweep.specs) {
+    EXPECT_TRUE(spec.backend == EngineKind::kAgentArray ||
+                spec.scheduler == pp::SchedulerKind::kUniformRandom);
+  }
+
+  // A grid with nothing but invalid combinations errors out loudly.
+  const char* empty[] = {"prog", "--scheduler=adversarial",
+                         "--backend=dense"};
+  util::Cli empty_cli(3, const_cast<char**>(empty));
+  EXPECT_THROW(specs_from_flags(empty_cli), std::invalid_argument);
 }
 
 }  // namespace
