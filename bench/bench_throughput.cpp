@@ -11,7 +11,10 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+
 #include "exp_common.hpp"
+#include "kernel/compiled_protocol.hpp"
 #include "pp/transition_cache.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -198,6 +201,85 @@ int main(int argc, char** argv) {
               "%s)\n",
               identical ? "yes" : "NO");
 
+  // Virtual dispatch vs compiled kernel, per backend: the same pinned-seed
+  // specs run to silence twice, once on the legacy virtual transition()
+  // loops (kernel=off) and once through the spec's shared
+  // kernel::CompiledProtocol. Results are bitwise identical; the wall-clock
+  // ratio is the kernel's end-to-end gain.
+  double best_kernel_speedup = 0.0;
+  double worst_kernel_speedup = 1e300;
+  bool kernel_identical = true;
+  {
+    struct KernelCase {
+      std::string protocol;
+      std::uint32_t k;
+      sim::EngineKind backend;
+      std::uint64_t n;
+      std::uint32_t trials;
+    };
+    // Sized so the one-time per-spec compile amortizes the way it does in
+    // real sweeps (many trials share one kernel).
+    const std::vector<KernelCase> kernel_cases{
+        {"pairwise_plurality", 4, sim::EngineKind::kAgentArray, 1'024, 8},
+        {"circles", 3, sim::EngineKind::kAgentArray, 2'000, 8},
+        {"circles", 3, sim::EngineKind::kDense, 3'000, 3},
+        {"circles", 3, sim::EngineKind::kDenseBatched, 10'000, 3},
+    };
+    util::Table table({"protocol", "backend", "n", "trials", "kernel",
+                       "virtual s", "compiled s", "speedup"});
+    for (const auto& c : kernel_cases) {
+      sim::RunSpec spec;
+      spec.protocol = c.protocol;
+      spec.params.k = c.k;
+      spec.n = c.n;
+      spec.trials = c.trials;
+      spec.seed = sim::mix_seed(seed, 0xC0DE + c.n);
+      spec.backend = c.backend;
+      spec.engine.max_interactions = ~std::uint64_t{0};
+      auto options = batch;
+      // Keep trials so the on/off passes can be compared record by record.
+      options.keep_trials = true;
+
+      spec.use_kernel = false;
+      const auto t_off = Clock::now();
+      const auto off = sim::BatchRunner(options).run_one(spec);
+      const double off_seconds = seconds_since(t_off);
+
+      spec.use_kernel = true;
+      const auto t_on = Clock::now();
+      const auto on = sim::BatchRunner(options).run_one(spec);
+      const double on_seconds = seconds_since(t_on);
+
+      kernel_identical =
+          kernel_identical && off.trials.size() == on.trials.size();
+      for (std::size_t t = 0;
+           kernel_identical && t < on.trials.size(); ++t) {
+        kernel_identical =
+            off.trials[t].seed == on.trials[t].seed &&
+            off.trials[t].outcome.run.interactions ==
+                on.trials[t].outcome.run.interactions &&
+            off.trials[t].outcome.run.state_changes ==
+                on.trials[t].outcome.run.state_changes &&
+            off.trials[t].outcome.run.final_outputs ==
+                on.trials[t].outcome.run.final_outputs;
+      }
+      const double speedup = on_seconds > 0 ? off_seconds / on_seconds : 0.0;
+      best_kernel_speedup = std::max(best_kernel_speedup, speedup);
+      worst_kernel_speedup = std::min(worst_kernel_speedup, speedup);
+      table.add_row({c.protocol, sim::to_string(c.backend),
+                     util::Table::num(c.n),
+                     util::Table::num(std::uint64_t{c.trials}),
+                     kernel::to_string(on.kernel_stats.kind),
+                     util::Table::num(off_seconds, 2),
+                     util::Table::num(on_seconds, 2),
+                     util::Table::num(speedup, 1)});
+    }
+    table.print(
+        "virtual dispatch vs compiled kernel, run to silence (bitwise "
+        "identical results: " +
+        std::string(kernel_identical ? "yes" : "NO") + ")");
+  }
+
   // Dense vs agent-array backends: identical specs (same pinned seed, so
   // identical per-trial workloads) run to silence on every backend; the
   // wall-clock ratio is the number this binary exists to track.
@@ -256,15 +338,32 @@ int main(int argc, char** argv) {
   // The speedup requirement only binds where the hardware can deliver it.
   const bool speedup_ok = batch.threads < 4 || speedup > 2.0;
   const bool dense_ok = batched_seconds <= agent_seconds;
-  const bool pass = identical && single_rate > 0 && speedup_ok && dense_ok;
-  std::string failure = "thread count changed the results";
-  if (identical) {
-    failure = speedup_ok ? "dense backend slower than the agent array"
-                         : "multi-threaded speedup below expectation";
+  // The compiled kernel must pay for itself: a >= 2x end-to-end win on at
+  // least one (protocol, backend) pair and no real regression anywhere
+  // (0.7 allows wall-clock noise on near-parity cells).
+  const bool kernel_ok = kernel_identical && best_kernel_speedup >= 2.0 &&
+                         worst_kernel_speedup >= 0.7;
+  const bool pass =
+      identical && single_rate > 0 && speedup_ok && dense_ok && kernel_ok;
+  std::string failure;
+  if (!identical) {
+    failure = "thread count changed the results";
+  } else if (single_rate <= 0) {
+    failure = "single-threaded throughput measured as zero";
+  } else if (!speedup_ok) {
+    failure = "multi-threaded speedup below expectation";
+  } else if (!dense_ok) {
+    failure = "dense backend slower than the agent array";
+  } else if (!kernel_identical) {
+    failure = "compiled kernel changed the results";
+  } else {
+    failure = "compiled-kernel speedup below expectation (best " +
+              std::to_string(best_kernel_speedup) + "x, worst " +
+              std::to_string(worst_kernel_speedup) + "x)";
   }
   return bench::verdict(
       pass, pass ? "throughput measured; deterministic results at every "
                    "thread count; dense backend at least matches the agent "
-                   "array"
+                   "array; compiled kernels beat virtual dispatch"
                  : failure);
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "exp_common.hpp"
+#include "kernel/compiled_protocol.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -160,7 +161,7 @@ int main(int argc, char** argv) {
 
   util::Table table({"protocol", "k", "n", "backend", "trials", "silent",
                      "mean state changes", "mean interactions", "wall s",
-                     "interactions/s"});
+                     "interactions/s", "kernel", "build ms"});
   bool all_silent = true;
   for (const CellResult& r : results) {
     const auto& sr = r.result;
@@ -175,8 +176,13 @@ int main(int argc, char** argv) {
          util::Table::num(sr.interactions.mean, 0),
          util::Table::num(r.seconds, 2),
          util::Table::num(
-             r.seconds > 0 ? total_interactions / r.seconds : 0.0, 0)});
+             r.seconds > 0 ? total_interactions / r.seconds : 0.0, 0),
+         sr.kernel_compiled ? kernel::to_string(sr.kernel_stats.kind) : "off",
+         sr.kernel_compiled ? util::Table::num(sr.kernel_stats.build_ms, 2)
+                            : "-"});
   }
+  // Table-build time is part of each cell's wall clock; the explicit column
+  // keeps it from being silently attributed to simulation throughput.
   table.print("interactions to silence and wall clock, per backend");
 
   // Cross-backend agreement: state changes have the *same* distribution on

@@ -19,11 +19,17 @@ int main(int argc, char** argv) try {
   auto sweep = sim::specs_from_flags(cli);
   const bool tie_aware = cli.bool_flag(
       "tie_aware", false, "grade ties against the TIE symbol (= k)");
+  const bool kernel = cli.bool_flag(
+      "kernel", true,
+      "compile protocol kernels (off = legacy virtual-dispatch loops)");
   const auto batch = bench::batch_options(cli, sweep.base_seed);
   cli.finish();
 
   if (tie_aware) {
     for (auto& spec : sweep.specs) spec.grading = sim::Grading::kTieAware;
+  }
+  if (!kernel) {
+    for (auto& spec : sweep.specs) spec.use_kernel = false;
   }
 
   bench::print_header("SWEEP", "declarative protocol sweep (" +
@@ -34,10 +40,17 @@ int main(int argc, char** argv) try {
 
   util::Table table({"protocol", "k", "n", "scheduler", "backend", "workload",
                      "trials", "correct", "silent", "mean interactions",
-                     "p90 interactions"});
+                     "p90 interactions", "kernel"});
   bool all_correct = true;
   for (const sim::SpecResult& r : results) {
     all_correct = all_correct && r.all_correct();
+    // Kernel kind + one-time compile cost, so table-build time is visible
+    // next to the simulation numbers instead of hiding inside them.
+    const std::string kernel_cell =
+        r.kernel_compiled
+            ? kernel::to_string(r.kernel_stats.kind) + " " +
+                  util::Table::num(r.kernel_stats.build_ms, 2) + "ms"
+            : "off";
     table.add_row({r.spec.protocol,
                    util::Table::num(std::uint64_t{r.spec.params.k}),
                    util::Table::num(r.spec.effective_n()),
@@ -48,7 +61,8 @@ int main(int argc, char** argv) try {
                    util::Table::percent(r.correct_rate(), 0),
                    util::Table::percent(r.silent_rate(), 0),
                    util::Table::num(r.interactions.mean, 0),
-                   util::Table::num(r.interactions.p90, 0)});
+                   util::Table::num(r.interactions.p90, 0),
+                   kernel_cell});
   }
   table.print("sweep results");
   return bench::verdict(all_correct, all_correct

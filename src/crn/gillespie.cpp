@@ -4,13 +4,15 @@
 #include <queue>
 #include <set>
 
+#include "kernel/compiled_protocol.hpp"
 #include "pp/scheduler.hpp"
 #include "util/check.hpp"
 
 namespace circles::crn {
 
-ExponentialClockMonitor::ExponentialClockMonitor(std::uint64_t seed)
-    : rng_(seed) {}
+ExponentialClockMonitor::ExponentialClockMonitor(
+    std::uint64_t seed, const kernel::CompiledProtocol* kernel)
+    : rng_(seed), kernel_(kernel) {}
 
 void ExponentialClockMonitor::on_start(const pp::Population& population,
                                        const pp::Protocol& protocol) {
@@ -28,35 +30,74 @@ void ExponentialClockMonitor::on_interaction(const pp::InteractionEvent& event,
   now_ += -std::log1p(-rng_.uniform01()) / rate_;
   if (!event.changed()) return;
   last_change_time_ = now_;
+  // With a kernel the flip predicate is the precomputed per-pair
+  // output-delta flag; the fallback recomputes it from four output() calls.
   const bool output_flip =
-      protocol_->output(event.initiator_before) !=
-          protocol_->output(event.initiator_after) ||
-      protocol_->output(event.responder_before) !=
-          protocol_->output(event.responder_after);
+      kernel_ != nullptr
+          ? kernel_->output_changes(event.initiator_before,
+                                    event.responder_before)
+          : protocol_->output(event.initiator_before) !=
+                    protocol_->output(event.initiator_after) ||
+                protocol_->output(event.responder_before) !=
+                    protocol_->output(event.responder_after);
   if (output_flip) last_output_change_time_ = now_;
+}
+
+namespace {
+
+/// Shared body: `kernel` may be null, in which case the legacy virtual
+/// engine loop runs and the clock monitor recomputes output flips
+/// virtually. Results are bitwise identical either way.
+GillespieResult run_gillespie_impl(const pp::Protocol& protocol,
+                                   const kernel::CompiledProtocol* kernel,
+                                   std::span<const pp::ColorId> colors,
+                                   std::uint64_t seed,
+                                   pp::EngineOptions options) {
+  util::Rng rng(seed);
+  pp::Population population(protocol, colors);
+  auto scheduler = pp::make_scheduler(
+      pp::SchedulerKind::kUniformRandom,
+      static_cast<std::uint32_t>(colors.size()), rng(), &protocol);
+  ExponentialClockMonitor clock(rng(), kernel);
+  pp::Monitor* monitors[] = {&clock};
+  const std::span<pp::Monitor* const> monitor_span(monitors, 1);
+
+  pp::Engine engine(options);
+  GillespieResult result;
+  result.run = kernel != nullptr
+                   ? engine.run(*kernel, population, *scheduler, monitor_span)
+                   : engine.run_virtual(protocol, population, *scheduler,
+                                        monitor_span);
+  result.stabilization_time = clock.last_change_time();
+  result.convergence_time = clock.last_output_change_time();
+  result.parallel_time = static_cast<double>(result.run.interactions) /
+                         static_cast<double>(colors.size());
+  return result;
+}
+
+}  // namespace
+
+GillespieResult run_gillespie(const kernel::CompiledProtocol& kernel,
+                              std::span<const pp::ColorId> colors,
+                              std::uint64_t seed,
+                              pp::EngineOptions options) {
+  return run_gillespie_impl(kernel.protocol(), &kernel, colors, seed, options);
 }
 
 GillespieResult run_gillespie(const pp::Protocol& protocol,
                               std::span<const pp::ColorId> colors,
                               std::uint64_t seed,
                               pp::EngineOptions options) {
-  util::Rng rng(seed);
-  pp::Population population(protocol, colors);
-  auto scheduler = pp::make_scheduler(
-      pp::SchedulerKind::kUniformRandom,
-      static_cast<std::uint32_t>(colors.size()), rng(), &protocol);
-  ExponentialClockMonitor clock(rng());
-  pp::Monitor* monitors[] = {&clock};
+  const kernel::CompiledProtocol kernel(protocol,
+                                        kernel::CompileOptions::one_shot());
+  return run_gillespie_impl(protocol, &kernel, colors, seed, options);
+}
 
-  pp::Engine engine(options);
-  GillespieResult result;
-  result.run = engine.run(protocol, population, *scheduler,
-                          std::span<pp::Monitor* const>(monitors, 1));
-  result.stabilization_time = clock.last_change_time();
-  result.convergence_time = clock.last_output_change_time();
-  result.parallel_time = static_cast<double>(result.run.interactions) /
-                         static_cast<double>(colors.size());
-  return result;
+GillespieResult run_gillespie_virtual(const pp::Protocol& protocol,
+                                      std::span<const pp::ColorId> colors,
+                                      std::uint64_t seed,
+                                      pp::EngineOptions options) {
+  return run_gillespie_impl(protocol, nullptr, colors, seed, options);
 }
 
 std::string Reaction::to_string(const pp::Protocol& protocol) const {
@@ -65,22 +106,22 @@ std::string Reaction::to_string(const pp::Protocol& protocol) const {
          protocol.state_name(out_b);
 }
 
-std::vector<Reaction> reactions(const pp::Protocol& protocol,
+std::vector<Reaction> reactions(const kernel::CompiledProtocol& kernel,
                                 std::span<const pp::ColorId> inputs,
                                 std::size_t max_reactions) {
   // Determine the state universe: either everything, or the BFS closure of
   // the input states under the transition function.
   std::vector<pp::StateId> universe;
   if (inputs.empty()) {
-    universe.reserve(protocol.num_states());
-    for (std::uint64_t s = 0; s < protocol.num_states(); ++s) {
+    universe.reserve(kernel.num_states());
+    for (std::uint64_t s = 0; s < kernel.num_states(); ++s) {
       universe.push_back(static_cast<pp::StateId>(s));
     }
   } else {
     std::set<pp::StateId> seen;
     std::queue<pp::StateId> frontier;
     for (const pp::ColorId c : inputs) {
-      const pp::StateId s = protocol.input(c);
+      const pp::StateId s = kernel.input(c);
       if (seen.insert(s).second) frontier.push(s);
     }
     // Closure: repeatedly try all pairs over the known set. The set grows
@@ -92,7 +133,7 @@ std::vector<Reaction> reactions(const pp::Protocol& protocol,
       known.assign(seen.begin(), seen.end());
       for (const pp::StateId a : known) {
         for (const pp::StateId b : known) {
-          const pp::Transition tr = protocol.transition(a, b);
+          const pp::Transition tr = kernel.transition(a, b);
           if (seen.insert(tr.initiator).second) grew = true;
           if (seen.insert(tr.responder).second) grew = true;
         }
@@ -104,7 +145,9 @@ std::vector<Reaction> reactions(const pp::Protocol& protocol,
   std::vector<Reaction> out;
   for (const pp::StateId a : universe) {
     for (const pp::StateId b : universe) {
-      const pp::Transition tr = protocol.transition(a, b);
+      // One lookup per pair: a sparse kernel past its cache capacity would
+      // pay a fresh compute per call, so never nonnull() + transition().
+      const pp::Transition tr = kernel.transition(a, b);
       if (tr.initiator == a && tr.responder == b) continue;
       out.push_back({a, b, tr.initiator, tr.responder});
       CIRCLES_CHECK_MSG(out.size() <= max_reactions,
@@ -112,6 +155,16 @@ std::vector<Reaction> reactions(const pp::Protocol& protocol,
     }
   }
   return out;
+}
+
+std::vector<Reaction> reactions(const pp::Protocol& protocol,
+                                std::span<const pp::ColorId> inputs,
+                                std::size_t max_reactions) {
+  // Default (not one-shot) budget: enumeration touches all ordered pairs of
+  // the universe, so the dense build costs exactly the virtual calls the
+  // enumeration itself used to make — and every later pair is a load.
+  const kernel::CompiledProtocol kernel(protocol);
+  return reactions(kernel, inputs, max_reactions);
 }
 
 }  // namespace circles::crn

@@ -23,15 +23,22 @@
 #include "pp/monitor.hpp"
 #include "util/rng.hpp"
 
+namespace circles::kernel {
+class CompiledProtocol;
+}
+
 namespace circles::crn {
 
 /// Accumulates exponential inter-collision times alongside a discrete run:
 /// after interaction m the chemical clock reads the sum of m Exp(rate)
 /// variables. Records the clock at the last state change (= stabilization
-/// time) and at the last output flip (= convergence time).
+/// time) and at the last output flip (= convergence time). With a kernel
+/// the output-flip predicate is the precomputed per-pair output-delta flag
+/// (one load); without one it falls back to virtual output() calls.
 class ExponentialClockMonitor final : public pp::Monitor {
  public:
-  explicit ExponentialClockMonitor(std::uint64_t seed);
+  explicit ExponentialClockMonitor(
+      std::uint64_t seed, const kernel::CompiledProtocol* kernel = nullptr);
 
   void on_start(const pp::Population& population,
                 const pp::Protocol& protocol) override;
@@ -45,6 +52,7 @@ class ExponentialClockMonitor final : public pp::Monitor {
  private:
   util::Rng rng_;
   const pp::Protocol* protocol_ = nullptr;
+  const kernel::CompiledProtocol* kernel_ = nullptr;
   double rate_ = 1.0;  // n − 1: total collision rate of the solution
   double now_ = 0.0;
   double last_change_time_ = 0.0;
@@ -62,11 +70,25 @@ struct GillespieResult {
 };
 
 /// Runs `protocol` on `colors` under chemical kinetics until silence (or the
-/// engine budget). Deterministic in `seed`.
+/// engine budget). Deterministic in `seed`. Compiles a one-shot kernel; the
+/// overload below shares a prebuilt one across trials.
 GillespieResult run_gillespie(const pp::Protocol& protocol,
                               std::span<const pp::ColorId> colors,
                               std::uint64_t seed,
                               pp::EngineOptions options = {});
+
+GillespieResult run_gillespie(const kernel::CompiledProtocol& kernel,
+                              std::span<const pp::ColorId> colors,
+                              std::uint64_t seed,
+                              pp::EngineOptions options = {});
+
+/// The legacy virtual-dispatch path (no kernel anywhere): the baseline for
+/// virtual-vs-compiled comparisons and the honest RunSpec::use_kernel=false
+/// semantics for chemical-time trials. Bitwise-identical results.
+GillespieResult run_gillespie_virtual(const pp::Protocol& protocol,
+                                      std::span<const pp::ColorId> colors,
+                                      std::uint64_t seed,
+                                      pp::EngineOptions options = {});
 
 /// One reaction of the network induced by a protocol.
 struct Reaction {
@@ -80,8 +102,14 @@ struct Reaction {
 
 /// Enumerates the non-null reactions of a protocol, optionally restricted to
 /// the states reachable from the given inputs (BFS closure over transitions)
-/// so that large state spaces stay printable.
+/// so that large state spaces stay printable. The rate construction runs on
+/// a compiled kernel (the protocol overload compiles a one-shot one), so
+/// pair enumeration pays table loads, not virtual dispatch.
 std::vector<Reaction> reactions(const pp::Protocol& protocol,
+                                std::span<const pp::ColorId> inputs = {},
+                                std::size_t max_reactions = 100000);
+
+std::vector<Reaction> reactions(const kernel::CompiledProtocol& kernel,
                                 std::span<const pp::ColorId> inputs = {},
                                 std::size_t max_reactions = 100000);
 

@@ -29,30 +29,26 @@ struct LastChangeMark {
 
 DenseEngine::DenseEngine(const pp::Protocol& protocol,
                          pp::EngineOptions options, DenseMode mode,
-                         std::uint64_t max_table_entries)
-    : protocol_(protocol),
+                         bool use_kernel)
+    : protocol_(&protocol),
       options_(options),
       mode_(mode),
       num_states_(protocol.num_states()) {
   CIRCLES_CHECK_MSG(num_states_ >= 1, "protocol needs at least one state");
-  if (num_states_ <= max_table_entries / num_states_) {
-    cached_ = true;
-    const std::size_t entries = static_cast<std::size_t>(num_states_) *
-                                static_cast<std::size_t>(num_states_);
-    table_.resize(entries);
-    nonnull_.resize(entries);
-    for (std::uint64_t a = 0; a < num_states_; ++a) {
-      for (std::uint64_t b = 0; b < num_states_; ++b) {
-        const auto tr =
-            protocol.transition(static_cast<pp::StateId>(a),
-                                static_cast<pp::StateId>(b));
-        const std::size_t at = static_cast<std::size_t>(a) * num_states_ + b;
-        table_[at] = tr;
-        nonnull_[at] = (tr.initiator != a || tr.responder != b) ? 1 : 0;
-      }
-    }
+  if (use_kernel) {
+    owned_kernel_ = std::make_shared<const kernel::CompiledProtocol>(protocol);
+    kernel_ = owned_kernel_.get();
   }
 }
+
+DenseEngine::DenseEngine(std::shared_ptr<const kernel::CompiledProtocol> kernel,
+                         pp::EngineOptions options, DenseMode mode)
+    : protocol_(&kernel->protocol()),
+      owned_kernel_(std::move(kernel)),
+      kernel_(owned_kernel_.get()),
+      options_(options),
+      mode_(mode),
+      num_states_(kernel_->num_states()) {}
 
 /// Run-local state shared by both modes.
 struct DenseEngine::Sim {
@@ -104,10 +100,21 @@ struct DenseEngine::Sim {
   void refresh_active() {
     compact();
     std::uint64_t sum = 0;
-    for (const pp::StateId s : present) {
-      for (const pp::StateId t : present) {
-        if (!engine.nonnull(s, t)) continue;
-        sum += counts[s] * (counts[t] - (s == t ? 1 : 0));
+    const kernel::CompiledProtocol* k = engine.kernel_;
+    if (k != nullptr && k->has_adjacency()) {
+      // The kernel's active-responder index skips null pairs wholesale; the
+      // sum is order-independent, so this matches the fallback bit for bit.
+      for (const pp::StateId s : present) {
+        for (const pp::StateId t : k->active_responders(s)) {
+          sum += counts[s] * (counts[t] - (s == t ? 1 : 0));
+        }
+      }
+    } else {
+      for (const pp::StateId s : present) {
+        for (const pp::StateId t : present) {
+          if (!engine.nonnull(s, t)) continue;
+          sum += counts[s] * (counts[t] - (s == t ? 1 : 0));
+        }
       }
     }
     active = sum;
@@ -186,7 +193,7 @@ pp::RunResult DenseEngine::run(DenseConfig& config, util::Rng& rng) const {
         result.state_changes == 0 ? 0 : result.last_change_step + 1;
   }
 
-  result.final_outputs = config.output_histogram(protocol_);
+  result.final_outputs = config.output_histogram(*protocol_);
   return result;
 }
 

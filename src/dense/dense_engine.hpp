@@ -37,9 +37,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dense/dense_config.hpp"
+#include "kernel/compiled_protocol.hpp"
 #include "pp/engine.hpp"
 #include "pp/protocol.hpp"
 #include "pp/run_result.hpp"
@@ -54,16 +56,24 @@ enum class DenseMode {
 
 class DenseEngine {
  public:
-  /// Precomputes the full transition table (one lookup per sampled pair)
-  /// when num_states^2 <= max_table_entries, like pp::CachedProtocol;
-  /// larger protocols fall back to virtual transition() calls. EngineOptions
-  /// is shared with pp::Engine: max_interactions and stop_when_silent apply;
-  /// initial_silence_streak is meaningless here (silence is exact) and
-  /// ignored.
+  /// Compiles a kernel::CompiledProtocol for `protocol` (dense transition
+  /// table when the state space fits the kernel's budget, lazily-hashed
+  /// pair cache otherwise) and samples through it. `use_kernel = false`
+  /// keeps the legacy virtual-dispatch path, solely as the baseline the
+  /// bench_throughput virtual-vs-compiled section measures; results are
+  /// bitwise identical either way. EngineOptions is shared with pp::Engine:
+  /// max_interactions and stop_when_silent apply; initial_silence_streak is
+  /// meaningless here (silence is exact) and ignored.
   explicit DenseEngine(const pp::Protocol& protocol,
                        pp::EngineOptions options = {},
                        DenseMode mode = DenseMode::kPerStep,
-                       std::uint64_t max_table_entries = 1ull << 22);
+                       bool use_kernel = true);
+
+  /// Shares a prebuilt immutable kernel (the BatchRunner compiles one per
+  /// spec and hands it to every trial on every thread).
+  DenseEngine(std::shared_ptr<const kernel::CompiledProtocol> kernel,
+              pp::EngineOptions options = {},
+              DenseMode mode = DenseMode::kPerStep);
 
   /// Advances `config` in place until exact silence (if stop_when_silent)
   /// or budget exhaustion. Thread-safe: all mutable state is local, so one
@@ -71,7 +81,9 @@ class DenseEngine {
   pp::RunResult run(DenseConfig& config, util::Rng& rng) const;
   pp::RunResult run(DenseConfig& config, std::uint64_t seed) const;
 
-  const pp::Protocol& protocol() const { return protocol_; }
+  const pp::Protocol& protocol() const { return *protocol_; }
+  /// Null iff constructed with use_kernel = false.
+  const kernel::CompiledProtocol* compiled() const { return kernel_; }
   DenseMode mode() const { return mode_; }
   const pp::EngineOptions& options() const { return options_; }
 
@@ -81,26 +93,21 @@ class DenseEngine {
   void run_batched(Sim& sim, pp::RunResult& result) const;
 
   pp::Transition transition(pp::StateId a, pp::StateId b) const {
-    if (cached_) {
-      return table_[static_cast<std::size_t>(a) * num_states_ + b];
-    }
-    return protocol_.transition(a, b);
+    if (kernel_ != nullptr) return kernel_->transition(a, b);
+    return protocol_->transition(a, b);
   }
   bool nonnull(pp::StateId a, pp::StateId b) const {
-    if (cached_) {
-      return nonnull_[static_cast<std::size_t>(a) * num_states_ + b] != 0;
-    }
-    const pp::Transition tr = protocol_.transition(a, b);
+    if (kernel_ != nullptr) return kernel_->nonnull(a, b);
+    const pp::Transition tr = protocol_->transition(a, b);
     return tr.initiator != a || tr.responder != b;
   }
 
-  const pp::Protocol& protocol_;
+  const pp::Protocol* protocol_;
+  std::shared_ptr<const kernel::CompiledProtocol> owned_kernel_;
+  const kernel::CompiledProtocol* kernel_ = nullptr;  // null: virtual path
   pp::EngineOptions options_;
   DenseMode mode_;
   std::uint64_t num_states_;
-  bool cached_ = false;
-  std::vector<pp::Transition> table_;
-  std::vector<std::uint8_t> nonnull_;
 };
 
 }  // namespace circles::dense

@@ -5,6 +5,7 @@
 #include <queue>
 #include <vector>
 
+#include "kernel/compiled_protocol.hpp"
 #include "mc/model_checker.hpp"
 #include "util/check.hpp"
 
@@ -34,12 +35,16 @@ HittingTimeResult expected_interactions_to_silence(
     const pp::Protocol& protocol, std::span<const pp::ColorId> colors,
     HittingTimeOptions options) {
   CIRCLES_CHECK(colors.size() >= 2);
+  // One-shot kernel: the O(reachable configs x pairs) BFS below pays flag
+  // loads instead of virtual transition() calls.
+  const kernel::CompiledProtocol kernel(protocol,
+                                        kernel::CompileOptions::one_shot());
   const double n = static_cast<double>(colors.size());
   const double pairs_total = n * (n - 1.0);
 
   std::vector<pp::StateId> initial_states;
   initial_states.reserve(colors.size());
-  for (const pp::ColorId c : colors) initial_states.push_back(protocol.input(c));
+  for (const pp::ColorId c : colors) initial_states.push_back(kernel.input(c));
   const Config initial = make_config(initial_states);
 
   HittingTimeResult result;
@@ -85,7 +90,7 @@ HittingTimeResult expected_interactions_to_silence(
             (s == t ? static_cast<double>(count_t) - 1.0
                     : static_cast<double>(count_t));
         if (ways <= 0.0) continue;
-        const pp::Transition tr = protocol.transition(s, t);
+        const pp::Transition tr = kernel.transition(s, t);
         if (tr.initiator == s && tr.responder == t) continue;
         const Config next = apply(config, s, t, tr.initiator, tr.responder);
         const auto next_id = intern(next);

@@ -4,6 +4,7 @@
 #include <map>
 #include <queue>
 
+#include "kernel/compiled_protocol.hpp"
 #include "util/check.hpp"
 
 namespace circles::mc {
@@ -60,11 +61,20 @@ std::string config_to_string(const pp::Protocol& protocol,
 
 Result check(const pp::Protocol& protocol, std::span<const pp::ColorId> colors,
              std::optional<pp::OutputSymbol> expected, Options options) {
+  const kernel::CompiledProtocol kernel(protocol,
+                                        kernel::CompileOptions::one_shot());
+  return check(kernel, colors, expected, options);
+}
+
+Result check(const kernel::CompiledProtocol& kernel,
+             std::span<const pp::ColorId> colors,
+             std::optional<pp::OutputSymbol> expected, Options options) {
+  const pp::Protocol& protocol = kernel.protocol();
   CIRCLES_CHECK_MSG(colors.size() >= 2, "model checking needs >= 2 agents");
 
   std::vector<pp::StateId> initial_states;
   initial_states.reserve(colors.size());
-  for (const pp::ColorId c : colors) initial_states.push_back(protocol.input(c));
+  for (const pp::ColorId c : colors) initial_states.push_back(kernel.input(c));
   const Config initial = make_config(initial_states);
 
   // Forward BFS over configurations.
@@ -93,21 +103,45 @@ Result check(const pp::Protocol& protocol, std::span<const pp::ColorId> colors,
   };
 
   (void)intern(initial);
+  const bool adjacency = kernel.has_adjacency();
   while (!frontier.empty()) {
     const std::uint32_t id = frontier.front();
     frontier.pop();
     const Config config = configs[id];  // copy: configs may reallocate
     bool any_change = false;
+    const auto expand = [&](pp::StateId s, pp::StateId t,
+                            const pp::Transition& tr) {
+      any_change = true;
+      const Config next = apply(config, s, t, tr.initiator, tr.responder);
+      if (const auto next_id = intern(next)) {
+        successors[id].push_back(*next_id);
+        result.transitions += 1;
+      }
+    };
     for (const auto& [s, count_s] : config) {
-      for (const auto& [t, count_t] : config) {
-        if (s == t && count_s < 2) continue;
-        const pp::Transition tr = protocol.transition(s, t);
-        if (tr.initiator == s && tr.responder == t) continue;
-        any_change = true;
-        const Config next = apply(config, s, t, tr.initiator, tr.responder);
-        if (const auto next_id = intern(next)) {
-          successors[id].push_back(*next_id);
-          result.transitions += 1;
+      if (adjacency) {
+        // Config and the kernel's active-responder list are both sorted by
+        // state: a two-pointer walk enumerates exactly the non-null pairs,
+        // in the same order the nonnull-filtered double loop would.
+        const auto partners = kernel.active_responders(s);
+        std::size_t pi = 0;
+        for (const auto& [t, count_t] : config) {
+          (void)count_t;
+          while (pi < partners.size() && partners[pi] < t) ++pi;
+          if (pi == partners.size()) break;
+          if (partners[pi] != t) continue;
+          if (s == t && count_s < 2) continue;
+          expand(s, t, kernel.transition(s, t));
+        }
+      } else {
+        for (const auto& [t, count_t] : config) {
+          (void)count_t;
+          if (s == t && count_s < 2) continue;
+          // One lookup per pair (a saturated sparse cache computes per
+          // call, so never nonnull() + transition()).
+          const pp::Transition tr = kernel.transition(s, t);
+          if (tr.initiator == s && tr.responder == t) continue;
+          expand(s, t, tr);
         }
       }
     }

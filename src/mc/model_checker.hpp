@@ -29,6 +29,10 @@
 
 #include "pp/protocol.hpp"
 
+namespace circles::kernel {
+class CompiledProtocol;
+}
+
 namespace circles::mc {
 
 /// Canonical configuration: (state, count) pairs, sorted by state, counts>0.
@@ -65,8 +69,15 @@ struct Result {
 /// Explores every configuration reachable from the initial population given
 /// by `colors`. `expected` is the output symbol all agents must announce in
 /// correct silent configurations (nullopt: only check that silence remains
-/// reachable — livelock detection).
+/// reachable — livelock detection). Successor enumeration runs on a
+/// compiled kernel (the protocol overload lowers a one-shot one): null
+/// pairs are skipped by flag loads — or wholesale via the active-partner
+/// adjacency index when available — instead of virtual transition() calls.
 Result check(const pp::Protocol& protocol, std::span<const pp::ColorId> colors,
+             std::optional<pp::OutputSymbol> expected, Options options = {});
+
+Result check(const kernel::CompiledProtocol& kernel,
+             std::span<const pp::ColorId> colors,
              std::optional<pp::OutputSymbol> expected, Options options = {});
 
 /// Canonical form of an explicit state multiset (helper for tests).

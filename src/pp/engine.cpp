@@ -1,13 +1,22 @@
 #include "pp/engine.hpp"
 
+#include "kernel/compiled_protocol.hpp"
 #include "pp/silence.hpp"
 #include "util/check.hpp"
 
 namespace circles::pp {
 
-RunResult Engine::run(const Protocol& protocol, Population& population,
-                      Scheduler& scheduler,
-                      std::span<Monitor* const> monitors) {
+namespace {
+
+/// The interaction loop, shared by the compiled-kernel and legacy-virtual
+/// paths. `Model` supplies the two protocol-dependent operations:
+/// transition(a, b) and silent(population); everything else — monitors,
+/// streak accounting, silence-check backoff, budgets — is identical, so the
+/// two paths produce bitwise-identical RunResults.
+template <typename Model>
+RunResult run_loop(const EngineOptions& options, const Protocol& protocol,
+                   const Model& model, Population& population,
+                   Scheduler& scheduler, std::span<Monitor* const> monitors) {
   CIRCLES_CHECK_MSG(population.size() >= 2,
                     "engine requires at least two agents");
   RunResult result;
@@ -16,15 +25,15 @@ RunResult Engine::run(const Protocol& protocol, Population& population,
 
   const std::uint64_t period = scheduler.fairness_period();
   std::uint64_t change_free_streak = 0;
-  std::uint64_t next_silence_check = options_.initial_silence_streak;
+  std::uint64_t next_silence_check = options.initial_silence_streak;
 
   // An initial configuration can already be silent (e.g. n agents of one
   // color under a protocol whose same-state interactions are null).
-  if (options_.stop_when_silent && is_silent(population, protocol)) {
+  if (options.stop_when_silent && model.silent(population)) {
     result.silent = true;
   }
 
-  while (!result.silent && result.interactions < options_.max_interactions) {
+  while (!result.silent && result.interactions < options.max_interactions) {
     const AgentPair pair = scheduler.next(population);
     CIRCLES_DCHECK(pair.initiator != pair.responder);
     CIRCLES_DCHECK(pair.initiator < population.size());
@@ -32,7 +41,7 @@ RunResult Engine::run(const Protocol& protocol, Population& population,
 
     const StateId before_i = population.state(pair.initiator);
     const StateId before_r = population.state(pair.responder);
-    const Transition tr = protocol.transition(before_i, before_r);
+    const Transition tr = model.transition(before_i, before_r);
     const bool changed = tr.initiator != before_i || tr.responder != before_r;
 
     if (changed) {
@@ -54,20 +63,20 @@ RunResult Engine::run(const Protocol& protocol, Population& population,
       result.state_changes += 1;
       result.last_change_step = result.interactions;
       change_free_streak = 0;
-      next_silence_check = options_.initial_silence_streak;
+      next_silence_check = options.initial_silence_streak;
     } else {
       change_free_streak += 1;
     }
     result.interactions += 1;
 
-    if (!options_.stop_when_silent) continue;
+    if (!options.stop_when_silent) continue;
 
     if (period > 0) {
       // Deterministic certificate: a change-free full period means every
       // ordered agent pair was tried and none changed.
       if (change_free_streak >= period) result.silent = true;
     } else if (change_free_streak >= next_silence_check) {
-      if (is_silent(population, protocol)) {
+      if (model.silent(population)) {
         result.silent = true;
       } else {
         next_silence_check *= 2;
@@ -75,16 +84,60 @@ RunResult Engine::run(const Protocol& protocol, Population& population,
     }
   }
 
-  if (!result.silent && result.interactions >= options_.max_interactions) {
+  if (!result.silent && result.interactions >= options.max_interactions) {
     result.budget_exhausted = true;
     // The budget may have stopped us in a configuration that happens to be
     // silent; report it exactly.
-    result.silent = is_silent(population, protocol);
+    result.silent = model.silent(population);
   }
 
   result.final_outputs = population.output_histogram(protocol);
   for (Monitor* monitor : monitors) monitor->on_finish(population);
   return result;
+}
+
+struct KernelModel {
+  const kernel::CompiledProtocol& kernel;
+  Transition transition(StateId a, StateId b) const {
+    return kernel.transition(a, b);
+  }
+  bool silent(const Population& population) const {
+    return is_silent(population, kernel);
+  }
+};
+
+struct VirtualModel {
+  const Protocol& protocol;
+  Transition transition(StateId a, StateId b) const {
+    return protocol.transition(a, b);
+  }
+  bool silent(const Population& population) const {
+    return is_silent(population, protocol);
+  }
+};
+
+}  // namespace
+
+RunResult Engine::run(const kernel::CompiledProtocol& kernel,
+                      Population& population, Scheduler& scheduler,
+                      std::span<Monitor* const> monitors) {
+  return run_loop(options_, kernel.protocol(), KernelModel{kernel}, population,
+                  scheduler, monitors);
+}
+
+RunResult Engine::run(const Protocol& protocol, Population& population,
+                      Scheduler& scheduler,
+                      std::span<Monitor* const> monitors) {
+  const kernel::CompiledProtocol kernel(protocol,
+                                        kernel::CompileOptions::one_shot());
+  return run(kernel, population, scheduler, monitors);
+}
+
+RunResult Engine::run_virtual(const Protocol& protocol, Population& population,
+                              Scheduler& scheduler,
+                              std::span<Monitor* const> monitors) {
+  return run_loop(options_, protocol, VirtualModel{protocol}, population,
+                  scheduler, monitors);
 }
 
 RunResult run_protocol(const Protocol& protocol,

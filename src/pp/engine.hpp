@@ -19,6 +19,10 @@
 #include "pp/run_result.hpp"
 #include "pp/scheduler.hpp"
 
+namespace circles::kernel {
+class CompiledProtocol;
+}
+
 namespace circles::pp {
 
 struct EngineOptions {
@@ -38,9 +42,24 @@ class Engine {
   explicit Engine(EngineOptions options = {}) : options_(options) {}
 
   /// Runs until silence (if enabled) or budget exhaustion. Monitors are
-  /// optional and may be empty.
+  /// optional and may be empty. Compiles a one-shot kernel::CompiledProtocol
+  /// internally, so the interaction loop makes no virtual transition()
+  /// calls; callers running many trials of one protocol should compile the
+  /// kernel once themselves and use the overload below.
   RunResult run(const Protocol& protocol, Population& population,
                 Scheduler& scheduler, std::span<Monitor* const> monitors = {});
+
+  /// Same loop over a prebuilt kernel (the BatchRunner compiles one per
+  /// spec and shares it across trials and threads).
+  RunResult run(const kernel::CompiledProtocol& kernel, Population& population,
+                Scheduler& scheduler, std::span<Monitor* const> monitors = {});
+
+  /// The legacy loop paying one virtual transition() call per interaction.
+  /// Kept solely as the baseline the bench_throughput virtual-vs-compiled
+  /// section measures against; results are bitwise identical to run().
+  RunResult run_virtual(const Protocol& protocol, Population& population,
+                        Scheduler& scheduler,
+                        std::span<Monitor* const> monitors = {});
 
   const EngineOptions& options() const { return options_; }
 

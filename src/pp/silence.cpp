@@ -1,5 +1,7 @@
 #include "pp/silence.hpp"
 
+#include "kernel/compiled_protocol.hpp"
+
 namespace circles::pp {
 
 bool is_silent(const Population& population, const Protocol& protocol) {
@@ -12,6 +14,13 @@ bool is_silent(const Population& population, const Protocol& protocol) {
     }
   }
   return true;
+}
+
+bool is_silent(const Population& population,
+               const kernel::CompiledProtocol& kernel) {
+  const auto present = population.present_states();
+  return kernel.config_silent(
+      present, [&](StateId s) { return population.count(s); });
 }
 
 }  // namespace circles::pp

@@ -10,8 +10,17 @@
 #include "pp/population.hpp"
 #include "pp/protocol.hpp"
 
+namespace circles::kernel {
+class CompiledProtocol;
+}
+
 namespace circles::pp {
 
 bool is_silent(const Population& population, const Protocol& protocol);
+
+/// Kernel variant: per-pair null-ness is a flag load (plus the adjacency
+/// index when available), not a virtual transition() call.
+bool is_silent(const Population& population,
+               const kernel::CompiledProtocol& kernel);
 
 }  // namespace circles::pp

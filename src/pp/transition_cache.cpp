@@ -4,17 +4,23 @@
 
 namespace circles::pp {
 
+namespace {
+
+kernel::CompileOptions dense_only(std::uint64_t max_entries) {
+  kernel::CompileOptions options;
+  options.max_dense_entries = max_entries;
+  return options;
+}
+
+}  // namespace
+
 CachedProtocol::CachedProtocol(const Protocol& base, std::uint64_t max_entries)
-    : base_(base), num_states_(base.num_states()) {
-  CIRCLES_CHECK_MSG(num_states_ * num_states_ <= max_entries,
+    : base_(base), kernel_(base, dense_only(max_entries)) {
+  // A CachedProtocol promises one-array-load transitions; refuse to fall
+  // back to the sparse cache silently.
+  CIRCLES_CHECK_MSG(kernel_.kind() == kernel::TableKind::kDense,
                     "transition table would exceed the cache budget; pass a "
                     "larger max_entries if the memory cost is acceptable");
-  table_.reserve(num_states_ * num_states_);
-  for (StateId a = 0; a < num_states_; ++a) {
-    for (StateId b = 0; b < num_states_; ++b) {
-      table_.push_back(base.transition(a, b));
-    }
-  }
 }
 
 }  // namespace circles::pp

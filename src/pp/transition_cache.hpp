@@ -1,17 +1,14 @@
-// Dense transition caching.
+// Dense transition caching — a thin Protocol-shaped shim over the kernel.
 //
-// Some protocols pay real work per transition (PairwisePlurality decodes and
-// re-encodes O(k^2) game digits on every interaction). For protocols with a
-// modest state count, precomputing the full num_states^2 transition table
-// turns every interaction into one array load. CachedProtocol wraps any
-// protocol transparently; the throughput bench quantifies the gain
-// (~7x end-to-end for the pairwise baseline at k = 4, where the engine
-// loop is the remaining cost).
+// Historically this module owned its own num_states^2 table; that table now
+// lives in kernel::CompiledProtocol, which every engine consumes directly.
+// CachedProtocol remains for call sites that need a *Protocol* (so a cached
+// view can flow through any API taking `const Protocol&`), and is simply a
+// CompiledProtocol forced to the dense table kind. For new code prefer
+// compiling a kernel and handing it to the engines.
 #pragma once
 
-#include <memory>
-#include <vector>
-
+#include "kernel/compiled_protocol.hpp"
 #include "pp/protocol.hpp"
 
 namespace circles::pp {
@@ -24,18 +21,17 @@ class CachedProtocol final : public Protocol {
   explicit CachedProtocol(const Protocol& base,
                           std::uint64_t max_entries = 1ull << 22);
 
-  std::uint64_t num_states() const override { return num_states_; }
-  std::uint32_t num_colors() const override { return base_.num_colors(); }
+  std::uint64_t num_states() const override { return kernel_.num_states(); }
+  std::uint32_t num_colors() const override { return kernel_.num_colors(); }
   std::uint32_t num_output_symbols() const override {
-    return base_.num_output_symbols();
+    return kernel_.num_output_symbols();
   }
-  StateId input(ColorId color) const override { return base_.input(color); }
+  StateId input(ColorId color) const override { return kernel_.input(color); }
   OutputSymbol output(StateId state) const override {
-    return base_.output(state);
+    return kernel_.output(state);
   }
   Transition transition(StateId initiator, StateId responder) const override {
-    return table_[static_cast<std::size_t>(initiator) * num_states_ +
-                  responder];
+    return kernel_.transition(initiator, responder);
   }
   std::string name() const override { return base_.name() + "_cached"; }
   std::string state_name(StateId state) const override {
@@ -46,11 +42,11 @@ class CachedProtocol final : public Protocol {
   }
 
   const Protocol& base() const { return base_; }
+  const kernel::CompiledProtocol& kernel() const { return kernel_; }
 
  private:
   const Protocol& base_;
-  std::uint64_t num_states_;
-  std::vector<Transition> table_;
+  kernel::CompiledProtocol kernel_;
 };
 
 }  // namespace circles::pp

@@ -78,6 +78,7 @@ BatchRunner::BatchRunner(BatchOptions options, const ProtocolRegistry& registry)
 TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
                                        const RunSpec& spec,
                                        std::uint64_t trial_seed,
+                                       const kernel::CompiledProtocol* kernel,
                                        const dense::DenseEngine* dense_engine) {
   TrialRecord rec;
   rec.seed = trial_seed;
@@ -98,6 +99,8 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
     TrialOptions options;
     options.seed = trial_seed;
     options.engine = spec.engine;
+    options.kernel = kernel;
+    options.use_kernel = spec.use_kernel;
     rec.outcome =
         run_dense_trial(protocol, rec.workload, options,
                         spec.backend == EngineKind::kDenseBatched, expected,
@@ -115,8 +118,15 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
   const std::uint64_t derived_seed = rng.split()();
 
   if (spec.chemical_time) {
-    const crn::GillespieResult result =
-        crn::run_gillespie(protocol, colors, derived_seed, spec.engine);
+    crn::GillespieResult result;
+    if (kernel != nullptr) {
+      result = crn::run_gillespie(*kernel, colors, derived_seed, spec.engine);
+    } else if (spec.use_kernel) {
+      result = crn::run_gillespie(protocol, colors, derived_seed, spec.engine);
+    } else {
+      result = crn::run_gillespie_virtual(protocol, colors, derived_seed,
+                                          spec.engine);
+    }
     rec.outcome = grade_run(result.run, rec.workload, expected);
     rec.stabilization_time = result.stabilization_time;
     rec.convergence_time = result.convergence_time;
@@ -154,6 +164,23 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
           ? spec.scheduler_factory(n, derived_seed)
           : pp::make_scheduler(spec.scheduler, n, derived_seed, &protocol);
 
+  // One kernel for all engine invocations of this trial (the fault bursts
+  // below re-enter the engine): the spec's shared kernel when provided, a
+  // one-shot compile otherwise, or none at all on the legacy virtual path.
+  std::optional<kernel::CompiledProtocol> local_kernel;
+  const kernel::CompiledProtocol* trial_kernel = kernel;
+  if (spec.use_kernel && trial_kernel == nullptr) {
+    local_kernel.emplace(protocol, kernel::CompileOptions::one_shot());
+    trial_kernel = &*local_kernel;
+  }
+  const auto run_engine = [&](const pp::EngineOptions& engine_options) {
+    pp::Engine engine(engine_options);
+    if (trial_kernel != nullptr) {
+      return engine.run(*trial_kernel, population, *scheduler, monitor_span);
+    }
+    return engine.run_virtual(protocol, population, *scheduler, monitor_span);
+  };
+
   // Transient-fault injection: run in bursts; after each burst reboot one
   // random agent to its input state (it keeps its reading, loses its
   // working memory).
@@ -163,14 +190,12 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
         spec.fault_burst_min +
         (spec.fault_burst_span ? rng.uniform_below(spec.fault_burst_span) : 0);
     burst.stop_when_silent = false;
-    pp::Engine(burst).run(protocol, population, *scheduler, monitor_span);
+    (void)run_engine(burst);
     const auto victim = static_cast<pp::AgentId>(rng.uniform_below(n));
     population.set_state(victim, protocol.input(colors[victim]));
   }
 
-  pp::Engine engine(spec.engine);
-  const pp::RunResult run =
-      engine.run(protocol, population, *scheduler, monitor_span);
+  const pp::RunResult run = run_engine(spec.engine);
   rec.outcome = grade_run(run, rec.workload, expected);
   if (spec.grader) {
     rec.outcome.correct =
@@ -198,8 +223,13 @@ std::vector<SpecResult> BatchRunner::run(
   std::vector<SpecResult> results(specs.size());
   std::vector<std::unique_ptr<pp::Protocol>> protocols;
   protocols.reserve(specs.size());
-  // Per-spec dense engines: the transition table is built once and shared
-  // by every trial of the spec (DenseEngine::run is const/thread-safe).
+  // Per-spec compiled kernels: each spec's protocol is lowered exactly once
+  // and the immutable kernel is shared by every trial on every thread.
+  std::vector<std::shared_ptr<const kernel::CompiledProtocol>> kernels(
+      specs.size());
+  // Per-spec dense engines: built over the shared kernel (or the virtual
+  // path when the spec turns kernels off); DenseEngine::run is
+  // const/thread-safe.
   std::vector<std::unique_ptr<dense::DenseEngine>> dense_engines(specs.size());
   std::vector<std::uint64_t> spec_seeds(specs.size());
 
@@ -256,11 +286,20 @@ std::vector<SpecResult> BatchRunner::run(
             "' requests a dense backend, which simulates the uniform "
             "scheduler only");
       }
-      dense_engines[i] = std::make_unique<dense::DenseEngine>(
-          *protocol, spec.engine,
-          spec.backend == EngineKind::kDenseBatched
-              ? dense::DenseMode::kBatched
-              : dense::DenseMode::kPerStep);
+    }
+    if (spec.use_kernel) {
+      kernels[i] = std::make_shared<const kernel::CompiledProtocol>(*protocol);
+    }
+    if (spec.backend != EngineKind::kAgentArray) {
+      const dense::DenseMode mode = spec.backend == EngineKind::kDenseBatched
+                                        ? dense::DenseMode::kBatched
+                                        : dense::DenseMode::kPerStep;
+      dense_engines[i] =
+          spec.use_kernel
+              ? std::make_unique<dense::DenseEngine>(kernels[i], spec.engine,
+                                                     mode)
+              : std::make_unique<dense::DenseEngine>(*protocol, spec.engine,
+                                                     mode, /*use_kernel=*/false);
     }
     protocols.push_back(std::move(protocol));
     spec_seeds[i] = spec_seed(spec, options_.base_seed, i);
@@ -293,6 +332,7 @@ std::vector<SpecResult> BatchRunner::run(
         results[job.spec].trials[job.trial] =
             execute_trial(*protocols[job.spec], specs[job.spec],
                           trial_seed(spec_seeds[job.spec], job.trial),
+                          kernels[job.spec].get(),
                           dense_engines[job.spec].get());
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
@@ -319,6 +359,14 @@ std::vector<SpecResult> BatchRunner::run(
   }
   if (error) std::rethrow_exception(error);
 
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (kernels[i] != nullptr) {
+      results[i].kernel_compiled = true;
+      // Snapshot after all trials: a sparse kernel's materialization
+      // counters have settled by now.
+      results[i].kernel_stats = kernels[i]->stats();
+    }
+  }
   for (SpecResult& result : results) aggregate(result, options_.keep_trials);
   return results;
 }

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "kernel/compiled_protocol.hpp"
 #include "sim/run_spec.hpp"
 #include "util/stats.hpp"
 
@@ -47,6 +48,13 @@ struct TrialRecord {
 struct SpecResult {
   RunSpec spec;
   std::vector<TrialRecord> trials;  // cleared when keep_trials is off
+
+  /// Kernel compile stats for this spec's protocol (valid iff
+  /// kernel_compiled, i.e. spec.use_kernel). The kernel is compiled exactly
+  /// once per spec and shared by every trial on every thread; build time is
+  /// reported here so it is never attributed to simulation wall clock.
+  bool kernel_compiled = false;
+  kernel::CompileStats kernel_stats;
 
   std::uint32_t trial_count = 0;
   std::uint32_t correct = 0;
@@ -105,13 +113,16 @@ class BatchRunner {
   const BatchOptions& options() const { return options_; }
 
   /// Executes a single (spec, trial) job. Exposed for tests; `protocol`
-  /// must match spec.protocol/params. `dense_engine` is an optional
+  /// must match spec.protocol/params. `kernel` is the spec's shared
+  /// compiled protocol (null: one-shot compile per trial, or the virtual
+  /// path when spec.use_kernel is off). `dense_engine` is an optional
   /// per-spec engine for dense backends (built once by run() so the
   /// transition table is shared across trials); when null, a dense trial
   /// builds its own.
   static TrialRecord execute_trial(
       const pp::Protocol& protocol, const RunSpec& spec,
       std::uint64_t trial_seed,
+      const kernel::CompiledProtocol* kernel = nullptr,
       const dense::DenseEngine* dense_engine = nullptr);
 
  private:

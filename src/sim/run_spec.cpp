@@ -187,6 +187,7 @@ std::string RunSpec::to_string() const {
   if (backend != EngineKind::kAgentArray) {
     out += " backend=" + sim::to_string(backend);
   }
+  if (!use_kernel) out += " kernel=off";
   if (!label.empty()) out += " [" + label + "]";
   return out;
 }
@@ -263,6 +264,13 @@ RunSpec RunSpec::parse(const std::string& text) {
         spec.trials = static_cast<std::uint32_t>(parse_unsigned(value));
       } else if (key == "backend") {
         spec.backend = engine_kind_from_string(value);
+      } else if (key == "kernel") {
+        if (value != "on" && value != "off") {
+          throw std::invalid_argument(
+              "RunSpec parse: kernel must be 'on' or 'off', got '" + value +
+              "'");
+        }
+        spec.use_kernel = value == "on";
       } else {
         throw std::invalid_argument("RunSpec parse: unknown field '" + key +
                                     "' in '" + text + "'");

@@ -73,6 +73,10 @@ class SessionBuilder {
     spec_.backend = engine_kind_from_string(name);
     return *this;
   }
+  SessionBuilder& use_kernel(bool on = true) {
+    spec_.use_kernel = on;
+    return *this;
+  }
   SessionBuilder& trials(std::uint32_t trials) {
     spec_.trials = trials;
     return *this;

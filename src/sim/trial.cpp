@@ -6,6 +6,7 @@
 #include "core/invariants.hpp"
 #include "dense/dense_config.hpp"
 #include "dense/dense_engine.hpp"
+#include "kernel/compiled_protocol.hpp"
 #include "util/check.hpp"
 
 namespace circles::sim {
@@ -70,7 +71,16 @@ TrialOutcome run_trial_keep_population(
 
   pp::Engine engine(options.engine);
   TrialOutcome outcome;
-  outcome.run = engine.run(protocol, *population, *scheduler, monitors);
+  if (!options.use_kernel) {
+    outcome.run =
+        engine.run_virtual(protocol, *population, *scheduler, monitors);
+  } else if (options.kernel != nullptr) {
+    CIRCLES_CHECK_MSG(&options.kernel->protocol() == &protocol,
+                      "prebuilt kernel does not match the trial's protocol");
+    outcome.run = engine.run(*options.kernel, *population, *scheduler, monitors);
+  } else {
+    outcome.run = engine.run(protocol, *population, *scheduler, monitors);
+  }
   grade_against(outcome, workload, expected_symbol);
 
   if (final_population != nullptr) *final_population = std::move(population);
@@ -103,11 +113,21 @@ TrialOutcome run_dense_trial(const pp::Protocol& protocol,
       batched ? dense::DenseMode::kBatched : dense::DenseMode::kPerStep;
   std::optional<dense::DenseEngine> local;
   if (engine == nullptr) {
-    local.emplace(protocol, options.engine, mode);
+    if (options.use_kernel && options.kernel != nullptr) {
+      CIRCLES_CHECK_MSG(&options.kernel->protocol() == &protocol,
+                        "prebuilt kernel does not match the trial's protocol");
+      // Aliasing share: the caller guarantees the kernel outlives the trial.
+      local.emplace(std::shared_ptr<const kernel::CompiledProtocol>(
+                        std::shared_ptr<const void>(), options.kernel),
+                    options.engine, mode);
+    } else {
+      local.emplace(protocol, options.engine, mode, options.use_kernel);
+    }
     engine = &*local;
   }
   CIRCLES_CHECK_MSG(
       engine->mode() == mode && &engine->protocol() == &protocol &&
+          (engine->compiled() != nullptr) == options.use_kernel &&
           engine->options().max_interactions ==
               options.engine.max_interactions &&
           engine->options().stop_when_silent ==

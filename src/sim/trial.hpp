@@ -21,6 +21,10 @@ namespace circles::dense {
 class DenseEngine;
 }
 
+namespace circles::kernel {
+class CompiledProtocol;
+}
+
 namespace circles::sim {
 
 /// Optional scheduler override: receives (n, seed) and returns the scheduler
@@ -35,6 +39,13 @@ struct TrialOptions {
   pp::EngineOptions engine = {};
   /// When set, overrides `scheduler`.
   SchedulerFactory scheduler_factory;
+  /// Prebuilt kernel for the trial's protocol (the BatchRunner compiles one
+  /// per spec and shares it across trials/threads). Null: a one-shot kernel
+  /// is compiled per trial.
+  const kernel::CompiledProtocol* kernel = nullptr;
+  /// false = legacy virtual-dispatch interaction loop (the bench baseline);
+  /// bitwise-identical results, slower wall clock. Ignores `kernel`.
+  bool use_kernel = true;
 };
 
 /// Outcome of running any plurality protocol on a workload.

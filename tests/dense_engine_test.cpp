@@ -180,17 +180,19 @@ TEST(DenseEngineTest, DeterministicPerSeed) {
   }
 }
 
-TEST(DenseEngineTest, UncachedTableFallbackMatchesCached) {
+TEST(DenseEngineTest, VirtualDispatchPathMatchesCompiledKernel) {
   const auto protocol = sim::ProtocolRegistry::global().create("circles",
                                                                {.k = 3});
-  DenseEngine cached(*protocol, {}, DenseMode::kBatched);
-  DenseEngine uncached(*protocol, {}, DenseMode::kBatched,
-                       /*max_table_entries=*/0);
+  DenseEngine compiled(*protocol, {}, DenseMode::kBatched);
+  DenseEngine virtual_path(*protocol, {}, DenseMode::kBatched,
+                           /*use_kernel=*/false);
+  EXPECT_NE(compiled.compiled(), nullptr);
+  EXPECT_EQ(virtual_path.compiled(), nullptr);
   DenseConfig a =
       DenseConfig::from_workload(*protocol, workload_of({12, 9, 6}));
   DenseConfig b = a;
-  const pp::RunResult ra = cached.run(a, 321);
-  const pp::RunResult rb = uncached.run(b, 321);
+  const pp::RunResult ra = compiled.run(a, 321);
+  const pp::RunResult rb = virtual_path.run(b, 321);
   EXPECT_EQ(a.counts, b.counts);
   EXPECT_EQ(ra.interactions, rb.interactions);
   EXPECT_EQ(ra.state_changes, rb.state_changes);
