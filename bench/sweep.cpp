@@ -8,9 +8,18 @@
 // Prints one row per grid cell with correctness, silence and interaction
 // stats. Exit code 0 iff every cell was 100% correct (use --workload=tie:2
 // with tie-capable protocols and --tie_aware for tie grading).
+//
+// Trajectory recording (obs::): --trace attaches probes to every cell, e.g.
+//   --trace=energy@log:256,counts --trace-out=traces/
+// writes one cross-trial envelope per (cell, probe) as CSV + JSONL under
+// traces/. --sample-points=0.1,0.5,0.9 overrides every probe's grid with
+// explicit horizon fractions.
+#include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
 
 #include "exp_common.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) try {
@@ -22,8 +31,53 @@ int main(int argc, char** argv) try {
   const bool kernel = cli.bool_flag(
       "kernel", true,
       "compile protocol kernels (off = legacy virtual-dispatch loops)");
+  const std::string trace_flag = cli.string_flag(
+      "trace", "",
+      "comma-separated probes per cell (counts, states, energy, active, "
+      "convergence; optional @grid like energy@log:256)");
+  const std::string trace_out = cli.string_flag(
+      "trace-out", "", "directory for per-cell trace envelopes (CSV + JSONL)");
+  const std::vector<double> sample_points = cli.double_list_flag(
+      "sample-points", "",
+      "explicit sample fractions of the budget overriding every probe grid");
   const auto batch = bench::batch_options(cli, sweep.base_seed);
   cli.finish();
+
+  // --trace splits on commas, but frac: grids legitimately contain commas
+  // ("energy@frac:0.1,0.9"): a purely numeric token continues the previous
+  // probe's grid (no probe kind is a number), everything else starts one.
+  std::vector<std::string> probe_texts;
+  for (const std::string& token : util::split_commas(trace_flag)) {
+    char* end = nullptr;
+    (void)std::strtod(token.c_str(), &end);
+    const bool numeric = end != token.c_str() && *end == '\0';
+    if (numeric && !probe_texts.empty()) {
+      probe_texts.back() += "," + token;
+    } else {
+      probe_texts.push_back(token);
+    }
+  }
+  std::vector<obs::ProbeSpec> probes;
+  for (const std::string& text : probe_texts) {
+    probes.push_back(obs::ProbeSpec::parse(text));
+  }
+  if (!sample_points.empty()) {
+    if (probes.empty()) {
+      throw std::invalid_argument("--sample-points needs --trace probes");
+    }
+    for (const double f : sample_points) {
+      // Same domain GridSpec::parse enforces for frac: grids, so the spec
+      // still round-trips through to_string()/parse().
+      if (!(f > 0.0) || f > 1.0) {
+        throw std::invalid_argument(
+            "--sample-points fractions must lie in (0, 1]");
+      }
+    }
+    for (auto& probe : probes) probe.grid.fractions = sample_points;
+  }
+  if (!trace_out.empty() && probes.empty()) {
+    throw std::invalid_argument("--trace-out needs --trace probes");
+  }
 
   if (tie_aware) {
     for (auto& spec : sweep.specs) spec.grading = sim::Grading::kTieAware;
@@ -31,6 +85,7 @@ int main(int argc, char** argv) try {
   if (!kernel) {
     for (auto& spec : sweep.specs) spec.use_kernel = false;
   }
+  for (auto& spec : sweep.specs) spec.probes = probes;
 
   bench::print_header("SWEEP", "declarative protocol sweep (" +
                                    std::to_string(sweep.specs.size()) +
@@ -65,6 +120,25 @@ int main(int argc, char** argv) try {
                    kernel_cell});
   }
   table.print("sweep results");
+
+  if (!trace_out.empty()) {
+    std::filesystem::create_directories(trace_out);
+    std::size_t written = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const sim::SpecResult& r = results[i];
+      for (std::size_t j = 0; j < r.trace_envelopes.size(); ++j) {
+        const std::string stem =
+            trace_out + "/spec" + std::to_string(i) + "_probe" +
+            std::to_string(j) + "_" + obs::to_string(r.spec.probes[j].kind);
+        r.trace_envelopes[j].write_csv(stem + ".csv");
+        r.trace_envelopes[j].write_jsonl(stem + ".jsonl");
+        written += 2;
+      }
+    }
+    std::printf("\nwrote %zu trace envelope files to %s\n", written,
+                trace_out.c_str());
+  }
+
   return bench::verdict(all_correct, all_correct
                                          ? "every cell 100% correct"
                                          : "some cells had failures");

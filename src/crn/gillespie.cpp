@@ -1,10 +1,13 @@
 #include "crn/gillespie.hpp"
 
 #include <cmath>
+#include <optional>
 #include <queue>
 #include <set>
+#include <vector>
 
 #include "kernel/compiled_protocol.hpp"
+#include "obs/monitor_probe.hpp"
 #include "pp/scheduler.hpp"
 #include "util/check.hpp"
 
@@ -52,15 +55,25 @@ GillespieResult run_gillespie_impl(const pp::Protocol& protocol,
                                    const kernel::CompiledProtocol* kernel,
                                    std::span<const pp::ColorId> colors,
                                    std::uint64_t seed,
-                                   pp::EngineOptions options) {
+                                   pp::EngineOptions options,
+                                   obs::Recorder* recorder) {
   util::Rng rng(seed);
   pp::Population population(protocol, colors);
   auto scheduler = pp::make_scheduler(
       pp::SchedulerKind::kUniformRandom,
       static_cast<std::uint32_t>(colors.size()), rng(), &protocol);
   ExponentialClockMonitor clock(rng(), kernel);
-  pp::Monitor* monitors[] = {&clock};
-  const std::span<pp::Monitor* const> monitor_span(monitors, 1);
+  // The clock monitor runs first so the recorder's snapshots read the
+  // already-advanced chemical time of the interaction they describe.
+  std::optional<obs::RecorderMonitor> recorder_monitor;
+  std::vector<pp::Monitor*> monitors{&clock};
+  if (recorder != nullptr) {
+    recorder_monitor.emplace(*recorder, kernel,
+                             [&clock]() { return clock.now(); });
+    monitors.push_back(&*recorder_monitor);
+  }
+  const std::span<pp::Monitor* const> monitor_span(monitors.data(),
+                                                   monitors.size());
 
   pp::Engine engine(options);
   GillespieResult result;
@@ -80,24 +93,30 @@ GillespieResult run_gillespie_impl(const pp::Protocol& protocol,
 GillespieResult run_gillespie(const kernel::CompiledProtocol& kernel,
                               std::span<const pp::ColorId> colors,
                               std::uint64_t seed,
-                              pp::EngineOptions options) {
-  return run_gillespie_impl(kernel.protocol(), &kernel, colors, seed, options);
+                              pp::EngineOptions options,
+                              obs::Recorder* recorder) {
+  return run_gillespie_impl(kernel.protocol(), &kernel, colors, seed, options,
+                            recorder);
 }
 
 GillespieResult run_gillespie(const pp::Protocol& protocol,
                               std::span<const pp::ColorId> colors,
                               std::uint64_t seed,
-                              pp::EngineOptions options) {
+                              pp::EngineOptions options,
+                              obs::Recorder* recorder) {
   const kernel::CompiledProtocol kernel(protocol,
                                         kernel::CompileOptions::one_shot());
-  return run_gillespie_impl(protocol, &kernel, colors, seed, options);
+  return run_gillespie_impl(protocol, &kernel, colors, seed, options,
+                            recorder);
 }
 
 GillespieResult run_gillespie_virtual(const pp::Protocol& protocol,
                                       std::span<const pp::ColorId> colors,
                                       std::uint64_t seed,
-                                      pp::EngineOptions options) {
-  return run_gillespie_impl(protocol, nullptr, colors, seed, options);
+                                      pp::EngineOptions options,
+                                      obs::Recorder* recorder) {
+  return run_gillespie_impl(protocol, nullptr, colors, seed, options,
+                            recorder);
 }
 
 std::string Reaction::to_string(const pp::Protocol& protocol) const {

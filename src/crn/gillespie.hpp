@@ -27,6 +27,10 @@ namespace circles::kernel {
 class CompiledProtocol;
 }
 
+namespace circles::obs {
+class Recorder;
+}
+
 namespace circles::crn {
 
 /// Accumulates exponential inter-collision times alongside a discrete run:
@@ -70,17 +74,22 @@ struct GillespieResult {
 };
 
 /// Runs `protocol` on `colors` under chemical kinetics until silence (or the
-/// engine budget). Deterministic in `seed`. Compiles a one-shot kernel; the
-/// overload below shares a prebuilt one across trials.
+/// engine budget). Deterministic in `seed` (a recorder never perturbs the
+/// run's RNG streams). Compiles a one-shot kernel; the overload below shares
+/// a prebuilt one across trials. `recorder`, when non-null, receives count
+/// snapshots stamped with the exponential clock — pair it with
+/// obs::RecorderOptions::Clock::kChemical for chemical-time cadence.
 GillespieResult run_gillespie(const pp::Protocol& protocol,
                               std::span<const pp::ColorId> colors,
                               std::uint64_t seed,
-                              pp::EngineOptions options = {});
+                              pp::EngineOptions options = {},
+                              obs::Recorder* recorder = nullptr);
 
 GillespieResult run_gillespie(const kernel::CompiledProtocol& kernel,
                               std::span<const pp::ColorId> colors,
                               std::uint64_t seed,
-                              pp::EngineOptions options = {});
+                              pp::EngineOptions options = {},
+                              obs::Recorder* recorder = nullptr);
 
 /// The legacy virtual-dispatch path (no kernel anywhere): the baseline for
 /// virtual-vs-compiled comparisons and the honest RunSpec::use_kernel=false
@@ -88,7 +97,8 @@ GillespieResult run_gillespie(const kernel::CompiledProtocol& kernel,
 GillespieResult run_gillespie_virtual(const pp::Protocol& protocol,
                                       std::span<const pp::ColorId> colors,
                                       std::uint64_t seed,
-                                      pp::EngineOptions options = {});
+                                      pp::EngineOptions options = {},
+                                      obs::Recorder* recorder = nullptr);
 
 /// One reaction of the network induced by a protocol.
 struct Reaction {

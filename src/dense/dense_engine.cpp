@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dense/sampling.hpp"
+#include "obs/recorder.hpp"
 #include "util/check.hpp"
 
 namespace circles::dense {
@@ -145,12 +146,14 @@ struct DenseEngine::Sim {
   }
 };
 
-pp::RunResult DenseEngine::run(DenseConfig& config, std::uint64_t seed) const {
+pp::RunResult DenseEngine::run(DenseConfig& config, std::uint64_t seed,
+                               obs::Recorder* recorder) const {
   util::Rng rng(seed);
-  return run(config, rng);
+  return run(config, rng, recorder);
 }
 
-pp::RunResult DenseEngine::run(DenseConfig& config, util::Rng& rng) const {
+pp::RunResult DenseEngine::run(DenseConfig& config, util::Rng& rng,
+                               obs::Recorder* recorder) const {
   CIRCLES_CHECK_MSG(config.num_states() == num_states_,
                     "configuration does not match the engine's protocol");
   Sim sim(*this, config, rng);
@@ -162,6 +165,14 @@ pp::RunResult DenseEngine::run(DenseConfig& config, util::Rng& rng) const {
 
   pp::RunResult result;
   if (options_.stop_when_silent && sim.active == 0) result.silent = true;
+
+  if (recorder != nullptr) {
+    obs::ProbeContext ctx;
+    ctx.protocol = protocol_;
+    ctx.kernel = kernel_;
+    ctx.n = sim.n;
+    recorder->begin(ctx, sim.counts, sim.active, sim.present);
+  }
 
   if (mode_ == DenseMode::kPerStep) {
     while (!result.silent &&
@@ -177,9 +188,13 @@ pp::RunResult DenseEngine::run(DenseConfig& config, util::Rng& rng) const {
       }
       result.interactions += 1;
       if (options_.stop_when_silent && sim.active == 0) result.silent = true;
+      if (recorder != nullptr) {
+        recorder->advance(result.interactions, 0.0, sim.counts, sim.active,
+                          sim.present);
+      }
     }
   } else {
-    run_batched(sim, result);
+    run_batched(sim, result, recorder);
   }
 
   if (!result.silent && result.interactions >= options_.max_interactions) {
@@ -194,10 +209,15 @@ pp::RunResult DenseEngine::run(DenseConfig& config, util::Rng& rng) const {
   }
 
   result.final_outputs = config.output_histogram(*protocol_);
+  if (recorder != nullptr) {
+    recorder->finish(result.interactions, 0.0, sim.counts, sim.active,
+                     sim.present);
+  }
   return result;
 }
 
-void DenseEngine::run_batched(Sim& sim, pp::RunResult& result) const {
+void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
+                              obs::Recorder* recorder) const {
   const std::uint64_t n = sim.n;
   auto& counts = sim.counts;
   auto& rng = sim.rng;
@@ -272,6 +292,13 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result) const {
       result.interactions += 1;
       sim.refresh_active();
       if (options_.stop_when_silent && sim.active == 0) result.silent = true;
+      if (recorder != nullptr) {
+        // One collapsed sample per fast-forward jump: the counts were
+        // constant across the skipped null run, so the post-change index is
+        // the exact position of this observation.
+        recorder->advance(result.interactions, 0.0, sim.counts, sim.active,
+                          sim.present);
+      }
       continue;
     }
 
@@ -399,6 +426,13 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result) const {
     // active-pair count — untouched.
     if (epoch_productive > 0) sim.refresh_active();
     if (options_.stop_when_silent && sim.active == 0) result.silent = true;
+    if (recorder != nullptr) {
+      // Epoch-boundary sampling: counts are only well-defined between
+      // epochs, so the snapshot carries the boundary's exact interaction
+      // index rather than interpolating into the epoch.
+      recorder->advance(result.interactions, 0.0, sim.counts, sim.active,
+                        sim.present);
+    }
   }
 
   // Resolve the exact step of the final change. Within an epoch the slot

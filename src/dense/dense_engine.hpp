@@ -47,6 +47,10 @@
 #include "pp/run_result.hpp"
 #include "util/rng.hpp"
 
+namespace circles::obs {
+class Recorder;
+}
+
 namespace circles::dense {
 
 enum class DenseMode {
@@ -77,9 +81,15 @@ class DenseEngine {
 
   /// Advances `config` in place until exact silence (if stop_when_silent)
   /// or budget exhaustion. Thread-safe: all mutable state is local, so one
-  /// engine may serve concurrent trials.
-  pp::RunResult run(DenseConfig& config, util::Rng& rng) const;
-  pp::RunResult run(DenseConfig& config, std::uint64_t seed) const;
+  /// engine may serve concurrent trials. `recorder`, when non-null,
+  /// receives count snapshots at its grid's cadence — exact per-interaction
+  /// indices in per-step mode, epoch-boundary indices in batched mode (the
+  /// recorder is per-trial state and does not affect thread safety of the
+  /// engine itself).
+  pp::RunResult run(DenseConfig& config, util::Rng& rng,
+                    obs::Recorder* recorder = nullptr) const;
+  pp::RunResult run(DenseConfig& config, std::uint64_t seed,
+                    obs::Recorder* recorder = nullptr) const;
 
   const pp::Protocol& protocol() const { return *protocol_; }
   /// Null iff constructed with use_kernel = false.
@@ -90,7 +100,8 @@ class DenseEngine {
  private:
   struct Sim;
 
-  void run_batched(Sim& sim, pp::RunResult& result) const;
+  void run_batched(Sim& sim, pp::RunResult& result,
+                   obs::Recorder* recorder) const;
 
   pp::Transition transition(pp::StateId a, pp::StateId b) const {
     if (kernel_ != nullptr) return kernel_->transition(a, b);

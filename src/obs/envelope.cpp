@@ -1,0 +1,111 @@
+#include "obs/envelope.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace circles::obs {
+
+namespace {
+
+std::string quantile_suffix(double q) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "_p%g", q * 100.0);
+  return buffer;
+}
+
+}  // namespace
+
+TraceTable envelope(std::span<const TraceTable> traces,
+                    const EnvelopeOptions& options) {
+  std::vector<const TraceTable*> pointers;
+  pointers.reserve(traces.size());
+  for (const TraceTable& trace : traces) pointers.push_back(&trace);
+  return envelope(std::span<const TraceTable* const>(pointers), options);
+}
+
+TraceTable envelope(std::span<const TraceTable* const> traces,
+                    const EnvelopeOptions& options) {
+  std::vector<const TraceTable*> live;
+  for (const TraceTable* trace : traces) {
+    if (trace == nullptr || trace->num_rows() == 0) continue;
+    if (!live.empty() && trace->columns != live.front()->columns) {
+      throw std::invalid_argument(
+          "envelope: traces carry different headers");
+    }
+    live.push_back(trace);
+  }
+  if (live.empty()) return TraceTable{};
+
+  const std::size_t x_col = live.front()->column_index(options.x_column);
+  const std::size_t width = live.front()->num_columns();
+  std::vector<bool> skip(width, false);
+  skip[x_col] = true;
+  for (const std::string& name : options.exclude_columns) {
+    for (std::size_t c = 0; c < width; ++c) {
+      if (live.front()->columns[c] == name) skip[c] = true;
+    }
+  }
+
+  double x_max = options.x_max;
+  if (x_max <= 0.0) {
+    for (const TraceTable* trace : live) {
+      x_max = std::max(x_max, trace->at(trace->num_rows() - 1, x_col));
+    }
+  }
+  std::vector<double> grid;
+  if (!options.grid_fractions.empty()) {
+    grid.push_back(0.0);
+    std::vector<double> fractions = options.grid_fractions;
+    std::sort(fractions.begin(), fractions.end());
+    for (const double f : fractions) {
+      const double v = f * x_max;
+      if (v > grid.back()) grid.push_back(v);
+    }
+  } else {
+    grid = envelope_grid(options.spacing, options.points, x_max);
+  }
+
+  std::vector<std::string> columns{options.x_column};
+  for (std::size_t c = 0; c < width; ++c) {
+    if (skip[c]) continue;
+    for (const double q : options.quantiles) {
+      columns.push_back(live.front()->columns[c] + quantile_suffix(q));
+    }
+  }
+  TraceTable out(std::move(columns));
+
+  // Per trace: the row index of the last sample at or before the current
+  // grid point (last observation carried forward; every trace starts at its
+  // first row even if the grid point precedes it).
+  std::vector<std::size_t> cursor(live.size(), 0);
+  std::vector<double> row;
+  std::vector<double> values(live.size());
+  for (const double g : grid) {
+    row.clear();
+    row.push_back(g);
+    for (std::size_t t = 0; t < live.size(); ++t) {
+      const TraceTable& trace = *live[t];
+      while (cursor[t] + 1 < trace.num_rows() &&
+             trace.at(cursor[t] + 1, x_col) <= g) {
+        cursor[t] += 1;
+      }
+    }
+    for (std::size_t c = 0; c < width; ++c) {
+      if (skip[c]) continue;
+      for (std::size_t t = 0; t < live.size(); ++t) {
+        values[t] = live[t]->at(cursor[t], c);
+      }
+      std::sort(values.begin(), values.end());
+      for (const double q : options.quantiles) {
+        row.push_back(util::quantile_sorted(values, q));
+      }
+    }
+    out.add_row(row);
+  }
+  return out;
+}
+
+}  // namespace circles::obs

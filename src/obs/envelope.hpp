@@ -1,0 +1,50 @@
+// Cross-trial trace aggregation: quantile envelopes on a common grid.
+//
+// Per-trial traces land on different x positions (batched epochs end where
+// their collision draws say, silence times vary), so curves cannot be
+// averaged row-by-row. envelope() resamples every trace onto one grid —
+// traces are step functions of the run, so resampling is
+// last-observation-carried-forward — and reports per-point quantiles
+// (median/p10/p90 by default) across trials for every value column.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/grid.hpp"
+#include "obs/trace_table.hpp"
+
+namespace circles::obs {
+
+struct EnvelopeOptions {
+  /// Ascending quantiles to report per grid point.
+  std::vector<double> quantiles{0.1, 0.5, 0.9};
+  /// Resampling grid resolution and spacing.
+  std::size_t points = 256;
+  GridSpec::Spacing spacing = GridSpec::Spacing::kLinear;
+  /// When non-empty, overrides points/spacing: resample at 0 plus these
+  /// fractions of x_max (the envelope face of a frac: sample grid).
+  std::vector<double> grid_fractions;
+  /// Which column is the x axis ("interactions" or "chemical_time").
+  std::string x_column = "interactions";
+  /// Grid endpoint; 0 derives it from the traces (max final x). Fix it
+  /// explicitly to compare envelopes from different runs point-by-point.
+  double x_max = 0.0;
+  /// Columns to drop from the output (e.g. the clock column that is NOT
+  /// the x axis); names not present in the traces are ignored.
+  std::vector<std::string> exclude_columns;
+};
+
+/// Aggregates traces with identical headers into one table: column 0 is the
+/// x axis, followed by <col>_p10, <col>_p50, ... for every non-x column.
+/// Traces without rows are skipped; no traces with rows yields an empty
+/// table. Throws std::invalid_argument on mismatched headers or a missing
+/// x column. The pointer overload aggregates in place (no copies) —
+/// what the BatchRunner uses over its per-trial records.
+TraceTable envelope(std::span<const TraceTable> traces,
+                    const EnvelopeOptions& options = {});
+TraceTable envelope(std::span<const TraceTable* const> traces,
+                    const EnvelopeOptions& options = {});
+
+}  // namespace circles::obs

@@ -1,0 +1,52 @@
+// Adaptive decimation: where along a run the Recorder takes samples.
+//
+// A 4e11-interaction run cannot be recorded per interaction; a GridSpec
+// names ~1k sample points over the run's horizon — linearly spaced, log
+// spaced (geometric, the natural axis for descent curves), or an explicit
+// list of horizon fractions (--sample-points=0.1,0.5,0.9). Grids are
+// materialized once per trial; the per-interaction cost of observation is a
+// single comparison against the next due point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace circles::obs {
+
+struct GridSpec {
+  enum class Spacing { kLinear, kLog };
+
+  Spacing spacing = Spacing::kLog;
+  std::uint32_t points = 1024;
+  /// When non-empty, overrides spacing/points: sample at these fractions of
+  /// the horizon (each clamped into (0, 1]).
+  std::vector<double> fractions;
+
+  /// "log:1024", "linear:256", "frac:0.1,0.5,0.9". parse() inverts it and
+  /// also accepts bare "log"/"linear" (default point count).
+  std::string to_string() const;
+  static GridSpec parse(const std::string& text);
+
+  bool operator==(const GridSpec&) const = default;
+};
+
+/// Sample points over an interaction budget: ascending, unique, in
+/// [1, horizon]. The initial configuration (index 0) is always sampled
+/// separately by the Recorder, so 0 never appears. When points exceeds the
+/// horizon the grid collapses to every index once (never duplicates).
+std::vector<std::uint64_t> interaction_grid(const GridSpec& spec,
+                                            std::uint64_t horizon);
+
+/// Sample points over a chemical-time horizon: ascending, unique, in
+/// (0, horizon]. Log spacing is geometric from horizon * 1e-6 (chemical
+/// time has no natural smallest unit; one interaction takes ~1/n expected
+/// time, far below any practical horizon fraction).
+std::vector<double> chemical_grid(const GridSpec& spec, double horizon);
+
+/// Resampling grid for cross-trial envelopes: `points + 1` ascending values
+/// from 0 to x_max inclusive (log spacing: 0, then geometric 1 → x_max).
+std::vector<double> envelope_grid(GridSpec::Spacing spacing,
+                                  std::size_t points, double x_max);
+
+}  // namespace circles::obs

@@ -1,0 +1,35 @@
+#include "obs/monitor_probe.hpp"
+
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+
+namespace circles::obs {
+
+void RecorderMonitor::on_start(const pp::Population& population,
+                               const pp::Protocol& protocol) {
+  if (begun_) {
+    // Engine re-entry within one trial (fault bursts): keep counting from
+    // where the previous segment stopped.
+    base_steps_ = last_abs_step_;
+    return;
+  }
+  begun_ = true;
+  ProbeContext ctx;
+  ctx.protocol = &protocol;
+  ctx.kernel = kernel_;
+  ctx.n = population.size();
+  recorder_->begin(ctx, population.counts());
+}
+
+void RecorderMonitor::on_interaction(const pp::InteractionEvent& event,
+                                     const pp::Population& population) {
+  const std::uint64_t step = base_steps_ + event.step + 1;
+  last_abs_step_ = step;
+  recorder_->advance(step, now(), population.counts());
+}
+
+void RecorderMonitor::on_finish(const pp::Population& population) {
+  recorder_->finish(last_abs_step_, now(), population.counts());
+}
+
+}  // namespace circles::obs

@@ -1,0 +1,69 @@
+// Bridges between the event world (pp::Monitor) and the count world (obs).
+//
+//  * RecorderMonitor — drives a Recorder from the agent-array engine.
+//    pp::Population already maintains the per-state count vector, so the
+//    monitor only forwards snapshots at the recorder's cadence; between due
+//    points an interaction costs one comparison. Survives engine re-entry
+//    (fault-injection bursts) by offsetting the per-run step counter.
+//
+//  * MonitorProbeAdapter — runs an existing pp::Monitor unchanged inside
+//    the probe pipeline on the agent backend: hosts that have interaction
+//    events attach as_monitor() next to the RecorderMonitor, so bra-ket
+//    invariant checkers and potential-descent checkers keep working without
+//    a rewrite. Count-only backends cannot drive it; the BatchRunner's
+//    validation points monitor-based features here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "obs/recorder.hpp"
+#include "pp/monitor.hpp"
+
+namespace circles::obs {
+
+class RecorderMonitor final : public pp::Monitor {
+ public:
+  /// `kernel`, when available, accelerates on-demand active-pair counts.
+  /// `chemical_now`, when set, is read per interaction and stamped on every
+  /// snapshot (the Gillespie host passes its exponential clock).
+  explicit RecorderMonitor(Recorder& recorder,
+                           const kernel::CompiledProtocol* kernel = nullptr,
+                           std::function<double()> chemical_now = {})
+      : recorder_(&recorder),
+        kernel_(kernel),
+        chemical_now_(std::move(chemical_now)) {}
+
+  void on_start(const pp::Population& population,
+                const pp::Protocol& protocol) override;
+  void on_interaction(const pp::InteractionEvent& event,
+                      const pp::Population& population) override;
+  void on_finish(const pp::Population& population) override;
+
+ private:
+  double now() const { return chemical_now_ ? chemical_now_() : 0.0; }
+
+  Recorder* recorder_;
+  const kernel::CompiledProtocol* kernel_;
+  std::function<double()> chemical_now_;
+  /// Steps executed in earlier engine entries of the same trial; the
+  /// engine's event.step restarts at 0 per run.
+  std::uint64_t base_steps_ = 0;
+  std::uint64_t last_abs_step_ = 0;
+  bool begun_ = false;
+};
+
+class MonitorProbeAdapter final : public Probe {
+ public:
+  explicit MonitorProbeAdapter(pp::Monitor& monitor) : monitor_(&monitor) {}
+
+  /// Count snapshots are ignored — the wrapped monitor sees the richer
+  /// event stream directly.
+  void on_sample(const Snapshot& snapshot) override { (void)snapshot; }
+  pp::Monitor* as_monitor() override { return monitor_; }
+
+ private:
+  pp::Monitor* monitor_;
+};
+
+}  // namespace circles::obs

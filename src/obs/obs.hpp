@@ -1,0 +1,11 @@
+// Umbrella header for the observation subsystem.
+#pragma once
+
+#include "obs/envelope.hpp"      // IWYU pragma: export
+#include "obs/grid.hpp"          // IWYU pragma: export
+#include "obs/monitor_probe.hpp" // IWYU pragma: export
+#include "obs/probe.hpp"         // IWYU pragma: export
+#include "obs/probe_spec.hpp"    // IWYU pragma: export
+#include "obs/probes.hpp"        // IWYU pragma: export
+#include "obs/recorder.hpp"      // IWYU pragma: export
+#include "obs/trace_table.hpp"   // IWYU pragma: export

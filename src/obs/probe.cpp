@@ -1,0 +1,50 @@
+#include "obs/probe.hpp"
+
+#include "kernel/compiled_protocol.hpp"
+#include "pp/protocol.hpp"
+#include "util/check.hpp"
+
+namespace circles::obs {
+
+std::uint64_t active_pairs_from_counts(const ProbeContext& ctx,
+                                       std::span<const std::uint64_t> counts,
+                                       std::span<const pp::StateId> present) {
+  CIRCLES_CHECK_MSG(ctx.protocol != nullptr || ctx.kernel != nullptr,
+                    "active-pair count needs a protocol or kernel");
+  std::vector<pp::StateId> scratch;
+  if (present.empty()) {
+    for (std::size_t s = 0; s < counts.size(); ++s) {
+      if (counts[s] > 0) scratch.push_back(static_cast<pp::StateId>(s));
+    }
+    present = scratch;
+  }
+
+  std::uint64_t sum = 0;
+  const kernel::CompiledProtocol* k = ctx.kernel;
+  if (k != nullptr && k->has_adjacency()) {
+    for (const pp::StateId s : present) {
+      if (counts[s] == 0) continue;
+      for (const pp::StateId t : k->active_responders(s)) {
+        sum += counts[s] * (counts[t] - (s == t ? 1 : 0));
+      }
+    }
+    return sum;
+  }
+  for (const pp::StateId s : present) {
+    if (counts[s] == 0) continue;
+    for (const pp::StateId t : present) {
+      if (counts[t] == 0) continue;
+      bool nonnull;
+      if (k != nullptr) {
+        nonnull = k->nonnull(s, t);
+      } else {
+        const pp::Transition tr = ctx.protocol->transition(s, t);
+        nonnull = tr.initiator != s || tr.responder != t;
+      }
+      if (nonnull) sum += counts[s] * (counts[t] - (s == t ? 1 : 0));
+    }
+  }
+  return sum;
+}
+
+}  // namespace circles::obs

@@ -1,0 +1,90 @@
+#include "obs/probe_spec.hpp"
+
+#include <stdexcept>
+
+#include "core/circles_protocol.hpp"
+
+namespace circles::obs {
+
+std::string to_string(ProbeSpec::Kind kind) {
+  switch (kind) {
+    case ProbeSpec::Kind::kCounts:
+      return "counts";
+    case ProbeSpec::Kind::kStates:
+      return "states";
+    case ProbeSpec::Kind::kEnergy:
+      return "energy";
+    case ProbeSpec::Kind::kActivePairs:
+      return "active";
+    case ProbeSpec::Kind::kConvergence:
+      return "convergence";
+  }
+  return "?";
+}
+
+std::string ProbeSpec::to_string() const {
+  return obs::to_string(kind) + "@" + grid.to_string();
+}
+
+ProbeSpec ProbeSpec::parse(const std::string& text) {
+  ProbeSpec spec;
+  const auto at = text.find('@');
+  const std::string head = text.substr(0, at);
+  if (head == "counts") {
+    spec.kind = Kind::kCounts;
+  } else if (head == "states") {
+    spec.kind = Kind::kStates;
+  } else if (head == "energy") {
+    spec.kind = Kind::kEnergy;
+  } else if (head == "active") {
+    spec.kind = Kind::kActivePairs;
+  } else if (head == "convergence") {
+    spec.kind = Kind::kConvergence;
+  } else {
+    throw std::invalid_argument(
+        "unknown probe '" + text +
+        "' (expected counts, states, energy, active or convergence, "
+        "optionally @<grid> like energy@log:1024)");
+  }
+  if (at != std::string::npos) {
+    spec.grid = GridSpec::parse(text.substr(at + 1));
+  }
+  return spec;
+}
+
+std::unique_ptr<Probe> make_probe(const ProbeSpec& spec,
+                                  const pp::Protocol& protocol,
+                                  std::optional<pp::OutputSymbol> expected) {
+  switch (spec.kind) {
+    case ProbeSpec::Kind::kCounts:
+      return std::make_unique<CountsTrace>(CountsTrace::Projection::kOutputs);
+    case ProbeSpec::Kind::kStates:
+      // Enforced again at on_begin() for directly-constructed probes, but
+      // checked here so RunSpec validation fails up front, not in a worker.
+      if (protocol.num_states() > CountsTrace::kMaxStateColumns) {
+        throw std::invalid_argument(
+            "states probe over " + std::to_string(protocol.num_states()) +
+            " states (cap " + std::to_string(CountsTrace::kMaxStateColumns) +
+            "); use the counts probe (output projection)");
+      }
+      return std::make_unique<CountsTrace>(CountsTrace::Projection::kStates);
+    case ProbeSpec::Kind::kEnergy: {
+      const auto* circles =
+          dynamic_cast<const core::CirclesProtocol*>(&protocol);
+      if (circles == nullptr) {
+        throw std::invalid_argument(
+            "energy probe requires the circles protocol (its weight "
+            "function decodes bra-kets); protocol '" + protocol.name() +
+            "' has none");
+      }
+      return std::make_unique<EnergyTrace>(EnergyTrace::for_circles(*circles));
+    }
+    case ProbeSpec::Kind::kActivePairs:
+      return std::make_unique<ActivePairsTrace>();
+    case ProbeSpec::Kind::kConvergence:
+      return std::make_unique<ConvergenceProbe>(expected);
+  }
+  throw std::logic_error("unknown probe kind");
+}
+
+}  // namespace circles::obs

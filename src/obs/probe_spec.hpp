@@ -1,0 +1,50 @@
+// ProbeSpec: declarative probe description, the RunSpec-level face of obs/.
+//
+// A spec is a probe kind plus its sample grid, rendered as
+// "energy@log:1024" — the format RunSpec::to_string round-trips and the
+// sweep driver's --trace flag accepts. make_probe() materializes the
+// concrete probe for one trial's protocol.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "obs/grid.hpp"
+#include "obs/probes.hpp"
+
+namespace circles::obs {
+
+struct ProbeSpec {
+  enum class Kind {
+    kCounts,       // CountsTrace over output opinions
+    kStates,       // CountsTrace over raw states (small protocols)
+    kEnergy,       // EnergyTrace (circles-family protocols)
+    kActivePairs,  // ActivePairsTrace
+    kConvergence,  // ConvergenceProbe
+  };
+
+  Kind kind = Kind::kEnergy;
+  GridSpec grid;
+
+  /// "energy@log:1024" (kind@grid, always fully rendered so parse inverts
+  /// it exactly).
+  std::string to_string() const;
+  /// Accepts "energy", "counts@linear:256", "active@frac:0.1,0.9", ...
+  static ProbeSpec parse(const std::string& text);
+
+  bool operator==(const ProbeSpec&) const = default;
+};
+
+std::string to_string(ProbeSpec::Kind kind);
+
+/// Builds the probe a spec describes for a concrete trial. `expected` feeds
+/// ConvergenceProbe (the graded target symbol). Throws
+/// std::invalid_argument when the probe cannot observe this protocol (e.g.
+/// energy on a non-circles protocol).
+std::unique_ptr<Probe> make_probe(const ProbeSpec& spec,
+                                  const pp::Protocol& protocol,
+                                  std::optional<pp::OutputSymbol> expected = {});
+
+}  // namespace circles::obs

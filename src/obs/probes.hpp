@@ -1,0 +1,130 @@
+// Built-in probes: the observations every experiment in the paper needs.
+//
+//  * CountsTrace       — state-count (or output-opinion) time series.
+//  * EnergyTrace       — the paper's energy potential, computed from counts:
+//                        scalar total energy Σ w(s)·c_s, the minimum present
+//                        weight, and the diagonal population. Works on every
+//                        backend, unlike core::EnergyTraceMonitor.
+//  * ActivePairsTrace  — the exact silence clock (active ordered pairs).
+//  * ConvergenceProbe  — first time the plurality opinion is correct and
+//                        stays correct (at sample-grid resolution).
+//
+// All probes fill a TraceTable whose first two columns are "interactions"
+// and "chemical_time", so one envelope/sink pipeline serves all of them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/circles_protocol.hpp"
+#include "obs/probe.hpp"
+
+namespace circles::obs {
+
+/// Shared row plumbing: owns the table and prefixes every row with the
+/// snapshot's x coordinates.
+class TraceProbe : public Probe {
+ public:
+  const TraceTable* table() const override { return &table_; }
+  TraceTable take_table() override { return std::move(table_); }
+
+ protected:
+  /// Sets the header to interactions, chemical_time, value_columns...
+  void start_table(std::vector<std::string> value_columns);
+  void add_sample_row(const Snapshot& snapshot,
+                      std::span<const double> values);
+
+  TraceTable table_;
+
+ private:
+  std::vector<double> row_scratch_;
+};
+
+class CountsTrace final : public TraceProbe {
+ public:
+  enum class Projection {
+    kOutputs,  // one column per output symbol: agents announcing it
+    kStates,   // one column per state (small protocols only)
+  };
+
+  explicit CountsTrace(Projection projection = Projection::kOutputs)
+      : projection_(projection) {}
+
+  void on_begin(const ProbeContext& ctx) override;
+  void on_sample(const Snapshot& snapshot) override;
+
+  /// kStates refuses protocols wider than this (the circles protocol at
+  /// k = 16 already has 4096 states; a row per sample point times that many
+  /// columns is where "trace" stops meaning anything).
+  static constexpr std::uint64_t kMaxStateColumns = 4096;
+
+ private:
+  Projection projection_;
+  std::vector<double> scratch_;
+};
+
+class EnergyTrace final : public TraceProbe {
+ public:
+  /// `weights[s]` is the paper's weight of state s; `k` is the diagonal
+  /// weight (weights equal to k count as diagonal agents).
+  EnergyTrace(std::vector<std::uint32_t> weights, std::uint32_t k);
+
+  /// The standard instantiation: w(⟨i|j⟩) from the protocol's bra-ket
+  /// decode, independent of the out field.
+  static EnergyTrace for_circles(const core::CirclesProtocol& protocol);
+
+  void on_begin(const ProbeContext& ctx) override;
+  void on_sample(const Snapshot& snapshot) override;
+
+  const std::vector<std::uint32_t>& weights() const { return weights_; }
+
+ private:
+  std::vector<std::uint32_t> weights_;
+  std::uint32_t k_;
+};
+
+class ActivePairsTrace final : public TraceProbe {
+ public:
+  void on_begin(const ProbeContext& ctx) override;
+  void on_sample(const Snapshot& snapshot) override;
+  bool wants_active_pairs() const override { return true; }
+};
+
+class ConvergenceProbe final : public TraceProbe {
+ public:
+  /// `expected` is the output symbol the run should converge to (the
+  /// workload's plurality winner, or a tie symbol under tie grading).
+  /// nullopt — e.g. a tied workload under plain grading — never converges.
+  explicit ConvergenceProbe(std::optional<pp::OutputSymbol> expected)
+      : expected_(expected) {}
+
+  void on_begin(const ProbeContext& ctx) override;
+  void on_sample(const Snapshot& snapshot) override;
+  void on_finish(const Snapshot& snapshot) override;
+
+  /// Valid after the run: the expected symbol was the strict plurality
+  /// opinion at the end and at every sample since first_correct_*.
+  bool converged() const { return converged_; }
+  std::uint64_t first_correct_interactions() const {
+    return first_correct_interactions_;
+  }
+  double first_correct_chemical_time() const {
+    return first_correct_chemical_;
+  }
+
+ private:
+  bool leader_ok(const Snapshot& snapshot);
+
+  std::optional<pp::OutputSymbol> expected_;
+  std::vector<std::uint64_t> histogram_;
+  /// True iff the latest sample was correct AND every sample since
+  /// first_correct_* was too (reset to false by any incorrect sample).
+  bool candidate_ = false;
+  bool converged_ = false;
+  std::uint64_t first_correct_interactions_ = 0;
+  double first_correct_chemical_ = 0.0;
+};
+
+}  // namespace circles::obs

@@ -1,0 +1,57 @@
+// TraceTable: the in-memory trajectory record every probe fills.
+//
+// A trace is a small rectangular table of doubles — one row per sample
+// point, one named column per recorded quantity — deliberately dumb so the
+// same value flows unchanged from a probe, through the BatchRunner's
+// cross-trial envelopes, into CSV/JSONL artifacts and tests. Interaction
+// indices are stored as doubles; they are exact up to 2^53, far beyond any
+// simulated budget.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace circles::obs {
+
+struct TraceTable {
+  std::vector<std::string> columns;
+  std::vector<double> data;  // row-major, rows x columns.size()
+
+  TraceTable() = default;
+  explicit TraceTable(std::vector<std::string> columns)
+      : columns(std::move(columns)) {}
+
+  std::size_t num_columns() const { return columns.size(); }
+  std::size_t num_rows() const {
+    return columns.empty() ? 0 : data.size() / columns.size();
+  }
+  bool empty() const { return data.empty(); }
+
+  double at(std::size_t row, std::size_t col) const;
+  std::span<const double> row(std::size_t row) const;
+
+  /// Appends one row; the cell count must match the column count.
+  void add_row(std::span<const double> cells);
+  void add_row(std::initializer_list<double> cells) {
+    add_row(std::span<const double>(cells.begin(), cells.size()));
+  }
+
+  /// Index of a named column; throws std::invalid_argument when missing.
+  std::size_t column_index(const std::string& name) const;
+  std::vector<double> column(std::size_t index) const;
+
+  /// Sinks. CSV: one header row, full-precision %.17g cells. JSONL: one
+  /// JSON object per row keyed by column name (no trailing newline games —
+  /// every row ends in '\n', so `wc -l` counts samples).
+  std::string to_csv() const;
+  std::string to_jsonl() const;
+  void write_csv(const std::string& path) const;
+  void write_jsonl(const std::string& path) const;
+
+  bool operator==(const TraceTable&) const = default;
+};
+
+}  // namespace circles::obs

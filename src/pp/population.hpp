@@ -30,6 +30,9 @@ class Population {
   void set_state(AgentId agent, StateId next);
 
   std::uint64_t count(StateId state) const { return counts_[state]; }
+  /// The full per-state count vector (indexed by StateId) — the snapshot
+  /// shape the obs:: probes consume.
+  std::span<const std::uint64_t> counts() const { return counts_; }
   std::span<const StateId> agents() const { return agents_; }
 
   /// Number of distinct states currently present.

@@ -1,5 +1,6 @@
 #include "sim/batch_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <stdexcept>
@@ -10,6 +11,7 @@
 #include "core/invariants.hpp"
 #include "crn/gillespie.hpp"
 #include "dense/dense_engine.hpp"
+#include "obs/monitor_probe.hpp"
 #include "util/check.hpp"
 
 namespace circles::sim {
@@ -64,6 +66,32 @@ void aggregate(SpecResult& result, bool keep_trials) {
   result.ket_exchanges = util::summarize(exchanges);
   result.stabilization_time = util::summarize(stabilization);
   result.convergence_time = util::summarize(convergence);
+
+  // Cross-trial trace aggregation: one quantile envelope per probe spec,
+  // resampled onto the probe's grid shape (before keep_trials can discard
+  // the per-trial traces).
+  result.trace_envelopes.clear();
+  for (std::size_t j = 0; j < result.spec.probes.size(); ++j) {
+    std::vector<const obs::TraceTable*> traces;
+    traces.reserve(result.trials.size());
+    for (const TrialRecord& rec : result.trials) {
+      if (j < rec.traces.size()) traces.push_back(&rec.traces[j]);
+    }
+    obs::EnvelopeOptions envelope_options;
+    const obs::GridSpec& grid = result.spec.probes[j].grid;
+    envelope_options.points = grid.points;
+    envelope_options.spacing = grid.spacing;
+    envelope_options.grid_fractions = grid.fractions;
+    if (result.spec.chemical_time) {
+      envelope_options.x_column = "chemical_time";
+    } else {
+      envelope_options.x_column = "interactions";
+      // All-zero on discrete backends; quantiles of it are noise.
+      envelope_options.exclude_columns = {"chemical_time"};
+    }
+    result.trace_envelopes.push_back(obs::envelope(traces, envelope_options));
+  }
+
   if (!keep_trials) {
     result.trials.clear();
     result.trials.shrink_to_fit();
@@ -95,16 +123,52 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
     expected = winner.has_value() ? *winner : protocol.num_colors();
   }
 
+  // Probe pipeline, shared by every backend: one recorder per trial, one
+  // probe instance per spec entry, traces collected onto the record.
+  std::vector<std::unique_ptr<obs::Probe>> probe_objects;
+  std::optional<obs::Recorder> recorder;
+  if (!spec.probes.empty()) {
+    obs::RecorderOptions recorder_options;
+    recorder_options.interaction_horizon = spec.engine.max_interactions;
+    if (spec.chemical_time) {
+      recorder_options.clock = obs::RecorderOptions::Clock::kChemical;
+      recorder_options.chemical_horizon =
+          static_cast<double>(spec.engine.max_interactions) /
+          static_cast<double>(std::max<std::uint64_t>(rec.workload.n(), 1));
+    }
+    recorder.emplace(recorder_options);
+    // ConvergenceProbe grades against the same target symbol the trial
+    // grading uses: the tie-aware expectation when set, else the workload's
+    // unique plurality winner.
+    std::optional<pp::OutputSymbol> target = expected;
+    if (!target.has_value()) {
+      if (const auto winner = rec.workload.winner()) target = *winner;
+    }
+    for (const obs::ProbeSpec& probe_spec : spec.probes) {
+      probe_objects.push_back(obs::make_probe(probe_spec, protocol, target));
+      recorder->add(probe_objects.back().get(), probe_spec.grid);
+    }
+  }
+  const auto collect_traces = [&]() {
+    if (!recorder.has_value()) return;
+    rec.traces.reserve(probe_objects.size());
+    for (const auto& probe : probe_objects) {
+      rec.traces.push_back(probe->take_table());
+    }
+  };
+
   if (spec.backend != EngineKind::kAgentArray) {
     TrialOptions options;
     options.seed = trial_seed;
     options.engine = spec.engine;
     options.kernel = kernel;
     options.use_kernel = spec.use_kernel;
+    options.recorder = recorder.has_value() ? &*recorder : nullptr;
     rec.outcome =
         run_dense_trial(protocol, rec.workload, options,
                         spec.backend == EngineKind::kDenseBatched, expected,
                         dense_engine);
+    collect_traces();
     return rec;
   }
 
@@ -118,18 +182,22 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
   const std::uint64_t derived_seed = rng.split()();
 
   if (spec.chemical_time) {
+    obs::Recorder* chem_recorder = recorder.has_value() ? &*recorder : nullptr;
     crn::GillespieResult result;
     if (kernel != nullptr) {
-      result = crn::run_gillespie(*kernel, colors, derived_seed, spec.engine);
+      result = crn::run_gillespie(*kernel, colors, derived_seed, spec.engine,
+                                  chem_recorder);
     } else if (spec.use_kernel) {
-      result = crn::run_gillespie(protocol, colors, derived_seed, spec.engine);
+      result = crn::run_gillespie(protocol, colors, derived_seed, spec.engine,
+                                  chem_recorder);
     } else {
       result = crn::run_gillespie_virtual(protocol, colors, derived_seed,
-                                          spec.engine);
+                                          spec.engine, chem_recorder);
     }
     rec.outcome = grade_run(result.run, rec.workload, expected);
     rec.stabilization_time = result.stabilization_time;
     rec.convergence_time = result.convergence_time;
+    collect_traces();
     return rec;
   }
 
@@ -155,8 +223,6 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
                     {&*exchange_counter, &*invariant, &*potential});
   }
   if (spec.track_used_states) monitors.push_back(&used_states);
-  const std::span<pp::Monitor* const> monitor_span(monitors.data(),
-                                                   monitors.size());
 
   pp::Population population(protocol, colors);
   auto scheduler =
@@ -173,6 +239,22 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
     local_kernel.emplace(protocol, kernel::CompileOptions::one_shot());
     trial_kernel = &*local_kernel;
   }
+
+  // The count pipeline rides the monitor list; probes wrapping legacy
+  // monitors (Probe::as_monitor) see the raw event stream next to it.
+  std::optional<obs::RecorderMonitor> recorder_monitor;
+  if (recorder.has_value()) {
+    recorder_monitor.emplace(*recorder, trial_kernel);
+    monitors.push_back(&*recorder_monitor);
+    for (obs::Probe* probe : recorder->probes()) {
+      if (pp::Monitor* monitor = probe->as_monitor()) {
+        monitors.push_back(monitor);
+      }
+    }
+  }
+  const std::span<pp::Monitor* const> monitor_span(monitors.data(),
+                                                   monitors.size());
+
   const auto run_engine = [&](const pp::EngineOptions& engine_options) {
     pp::Engine engine(engine_options);
     if (trial_kernel != nullptr) {
@@ -215,6 +297,7 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
             .matches;
   }
   if (spec.track_used_states) rec.used_states = used_states.used();
+  collect_traces();
   return rec;
 }
 
@@ -259,6 +342,16 @@ std::vector<SpecResult> BatchRunner::run(
           "circles_stats requested for non-circles protocol '" +
           spec.protocol + "'");
     }
+    for (const obs::ProbeSpec& probe_spec : spec.probes) {
+      // Probe/protocol mismatches (e.g. an energy probe on a weightless
+      // protocol) fail here, naming the spec, instead of inside a worker.
+      try {
+        (void)obs::make_probe(probe_spec, *protocol);
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument("RunSpec '" + spec.to_string() +
+                                    "': " + e.what());
+      }
+    }
     if (spec.chemical_time &&
         (spec.circles_stats || spec.track_used_states ||
          spec.reboot_faults > 0 || spec.grader || spec.scheduler_factory)) {
@@ -269,16 +362,33 @@ std::vector<SpecResult> BatchRunner::run(
           "scheduler_factory)");
     }
     if (spec.backend != EngineKind::kAgentArray) {
-      // The dense backends have no agent array: anything that names or
-      // touches individual agents cannot be expressed on counts.
-      if (spec.circles_stats || spec.track_used_states ||
-          spec.reboot_faults > 0 || spec.grader || spec.scheduler_factory ||
-          spec.chemical_time) {
+      // The dense backends have no agent array. Count-level probes
+      // (spec.probes) run on every backend; the checks below single out
+      // what genuinely cannot be expressed on counts, each with its own
+      // message so the fix is obvious.
+      if (spec.circles_stats || spec.track_used_states) {
         throw std::invalid_argument(
             "RunSpec '" + spec.to_string() +
-            "' combines a dense backend with agent-level features "
-            "(circles_stats / track_used_states / reboot_faults / grader / "
-            "scheduler_factory / chemical_time)");
+            "' requests pp::Monitor-based instrumentation (circles_stats / "
+            "track_used_states), which needs the agent backend's "
+            "per-interaction events; dense backends observe runs through "
+            "count-level snapshots — attach an obs::Probe via "
+            "RunSpec::probes (trace=...) instead");
+      }
+      if (spec.reboot_faults > 0 || spec.grader || spec.scheduler_factory) {
+        throw std::invalid_argument(
+            "RunSpec '" + spec.to_string() +
+            "' addresses individual agents (reboot_faults / grader / "
+            "scheduler_factory), which the dense count representation "
+            "cannot express; use backend=agent");
+      }
+      if (spec.chemical_time) {
+        throw std::invalid_argument(
+            "RunSpec '" + spec.to_string() +
+            "' combines chemical_time with a dense backend; the Gillespie "
+            "clock rides the agent engine's event stream — use "
+            "backend=agent (count probes still record chemical-time "
+            "cadence there)");
       }
       if (spec.scheduler != pp::SchedulerKind::kUniformRandom) {
         throw std::invalid_argument(

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "kernel/compiled_protocol.hpp"
+#include "obs/envelope.hpp"
 #include "sim/run_spec.hpp"
 #include "util/stats.hpp"
 
@@ -42,6 +43,10 @@ struct TrialRecord {
   // Valid iff spec.chemical_time.
   double stabilization_time = 0.0;
   double convergence_time = 0.0;
+
+  /// One trace per spec.probes entry (index-aligned), recorded on whichever
+  /// backend ran the trial.
+  std::vector<obs::TraceTable> traces;
 };
 
 /// Aggregated result of one spec's trials.
@@ -72,6 +77,12 @@ struct SpecResult {
   util::Summary ket_exchanges;       // all-zero unless circles_stats
   util::Summary stabilization_time;  // all-zero unless chemical_time
   util::Summary convergence_time;    // all-zero unless chemical_time
+
+  /// One quantile envelope per spec.probes entry (index-aligned): the
+  /// per-trial traces resampled onto a common grid with p10/p50/p90 columns
+  /// per recorded quantity (see obs::envelope). Computed before keep_trials
+  /// discards the per-trial records.
+  std::vector<obs::TraceTable> trace_envelopes;
 
   double correct_rate() const {
     return trial_count ? double(correct) / trial_count : 0.0;

@@ -188,6 +188,9 @@ std::string RunSpec::to_string() const {
     out += " backend=" + sim::to_string(backend);
   }
   if (!use_kernel) out += " kernel=off";
+  for (const obs::ProbeSpec& probe : probes) {
+    out += " trace=" + probe.to_string();
+  }
   if (!label.empty()) out += " [" + label + "]";
   return out;
 }
@@ -271,6 +274,8 @@ RunSpec RunSpec::parse(const std::string& text) {
               "'");
         }
         spec.use_kernel = value == "on";
+      } else if (key == "trace") {
+        spec.probes.push_back(obs::ProbeSpec::parse(value));
       } else {
         throw std::invalid_argument("RunSpec parse: unknown field '" + key +
                                     "' in '" + text + "'");

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "analysis/workload.hpp"
+#include "obs/probe_spec.hpp"
 #include "pp/engine.hpp"
 #include "pp/scheduler.hpp"
 #include "sim/registry.hpp"
@@ -141,6 +142,15 @@ struct RunSpec {
 
   /// Count the distinct states occupied over the run.
   bool track_used_states = false;
+
+  /// Count-level trajectory probes (obs::), attached per trial on EVERY
+  /// backend — the agent engine feeds them through an obs::RecorderMonitor,
+  /// the dense engines sample their count vectors directly, and
+  /// chemical-time specs record on the exponential clock. Each trial's
+  /// traces land on the TrialRecord; the BatchRunner aggregates them into
+  /// per-spec quantile envelopes. Rendered as "trace=energy@log:1024"
+  /// tokens by to_string()/parse().
+  std::vector<obs::ProbeSpec> probes;
 
   /// Run under continuous-time (Gillespie) semantics instead of the engine
   /// loop; records chemical stabilization/convergence times. The embedded

@@ -1,12 +1,15 @@
 #include "sim/trial.hpp"
 
 #include <array>
+#include <optional>
+#include <vector>
 
 #include "core/decomposition.hpp"
 #include "core/invariants.hpp"
 #include "dense/dense_config.hpp"
 #include "dense/dense_engine.hpp"
 #include "kernel/compiled_protocol.hpp"
+#include "obs/monitor_probe.hpp"
 #include "util/check.hpp"
 
 namespace circles::sim {
@@ -68,6 +71,23 @@ TrialOutcome run_trial_keep_population(
                        ? options.scheduler_factory(n, scheduler_seed)
                        : pp::make_scheduler(options.scheduler, n,
                                             scheduler_seed, &protocol);
+
+  // Probe pipeline: the recorder monitor feeds count snapshots, and probes
+  // wrapping legacy monitors (Probe::as_monitor) ride the event stream.
+  std::optional<obs::RecorderMonitor> recorder_monitor;
+  std::vector<pp::Monitor*> all_monitors(monitors.begin(), monitors.end());
+  if (options.recorder != nullptr) {
+    recorder_monitor.emplace(*options.recorder,
+                             options.use_kernel ? options.kernel : nullptr);
+    all_monitors.push_back(&*recorder_monitor);
+    for (obs::Probe* probe : options.recorder->probes()) {
+      if (pp::Monitor* monitor = probe->as_monitor()) {
+        all_monitors.push_back(monitor);
+      }
+    }
+    monitors = std::span<pp::Monitor* const>(all_monitors.data(),
+                                             all_monitors.size());
+  }
 
   pp::Engine engine(options.engine);
   TrialOutcome outcome;
@@ -134,7 +154,7 @@ TrialOutcome run_dense_trial(const pp::Protocol& protocol,
               options.engine.stop_when_silent,
       "prebuilt dense engine does not match the trial");
   TrialOutcome outcome;
-  outcome.run = engine->run(config, engine_seed);
+  outcome.run = engine->run(config, engine_seed, options.recorder);
   grade_against(outcome, workload, expected_symbol);
   return outcome;
 }

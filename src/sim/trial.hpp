@@ -25,6 +25,10 @@ namespace circles::kernel {
 class CompiledProtocol;
 }
 
+namespace circles::obs {
+class Recorder;
+}
+
 namespace circles::sim {
 
 /// Optional scheduler override: receives (n, seed) and returns the scheduler
@@ -46,6 +50,12 @@ struct TrialOptions {
   /// false = legacy virtual-dispatch interaction loop (the bench baseline);
   /// bitwise-identical results, slower wall clock. Ignores `kernel`.
   bool use_kernel = true;
+  /// Count-level observation (obs::): when set, the trial attaches an
+  /// obs::RecorderMonitor on the agent backend (plus any probe's
+  /// as_monitor() escape hatch) or hands the recorder to the dense engine,
+  /// so one probe pipeline observes every backend. Never perturbs the
+  /// trial's RNG streams — results are bitwise identical with or without.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Outcome of running any plurality protocol on a workload.

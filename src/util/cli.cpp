@@ -94,8 +94,6 @@ bool Cli::bool_flag(const std::string& name, bool def,
   std::exit(2);
 }
 
-namespace {
-
 std::vector<std::string> split_commas(const std::string& raw) {
   std::vector<std::string> parts;
   std::size_t start = 0;
@@ -108,8 +106,6 @@ std::vector<std::string> split_commas(const std::string& raw) {
   }
   return parts;
 }
-
-}  // namespace
 
 std::vector<std::int64_t> Cli::int_list_flag(const std::string& name,
                                              const std::string& def,
@@ -132,6 +128,28 @@ std::vector<std::int64_t> Cli::int_list_flag(const std::string& name,
     std::fprintf(stderr, "flag --%s expects at least one value\n",
                  name.c_str());
     std::exit(2);
+  }
+  return values;
+}
+
+std::vector<double> Cli::double_list_flag(const std::string& name,
+                                          const std::string& def,
+                                          const std::string& help) {
+  help_.push_back({name, help, def.empty() ? "(unset)" : def});
+  std::string raw;
+  if (!lookup(name, &raw)) raw = def;
+  std::vector<double> values;
+  for (const auto& part : split_commas(raw)) {
+    try {
+      std::size_t used = 0;
+      values.push_back(std::stod(part, &used));
+      if (used != part.size()) throw std::invalid_argument(part);
+    } catch (const std::exception&) {
+      std::fprintf(stderr,
+                   "flag --%s expects comma-separated numbers, got '%s'\n",
+                   name.c_str(), raw.c_str());
+      std::exit(2);
+    }
   }
   return values;
 }

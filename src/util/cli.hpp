@@ -11,6 +11,11 @@
 
 namespace circles::util {
 
+/// Splits on ',', dropping empty segments ("a,,b" -> {"a", "b"}). The one
+/// comma-splitting rule shared by the list flags, the obs grid grammar and
+/// the sweep --trace parser.
+std::vector<std::string> split_commas(const std::string& raw);
+
 class Cli {
  public:
   /// Parses argv; exits with a message on malformed input.
@@ -35,6 +40,12 @@ class Cli {
   std::vector<std::string> string_list_flag(const std::string& name,
                                             const std::string& def,
                                             const std::string& help);
+  /// Comma-separated doubles (`--sample-points=0.1,0.5,0.9`). Unlike the
+  /// other list flags an empty default is legal and yields an empty vector,
+  /// so optional axes (probe grids) can stay unset.
+  std::vector<double> double_list_flag(const std::string& name,
+                                       const std::string& def,
+                                       const std::string& help);
 
   /// Call after all flags are declared: errors on unknown flags, handles
   /// --help by printing usage and exiting.

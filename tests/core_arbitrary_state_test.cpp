@@ -14,6 +14,7 @@
 #include "core/invariants.hpp"
 #include "extensions/tie_report.hpp"
 #include "extensions/unordered_circles.hpp"
+#include "obs/obs.hpp"
 #include "pp/engine.hpp"
 #include "pp/scheduler.hpp"
 #include "util/rng.hpp"
@@ -37,9 +38,23 @@ TEST_P(ArbitraryStateSweep, StabilizesFromAnyConfiguration) {
   }
   pp::Population population(protocol.num_states(), states);
 
+  // The legacy event-level monitor runs unchanged inside the obs:: probe
+  // pipeline (the MonitorProbeAdapter usage example): the adapter exposes
+  // it through Probe::as_monitor(), the RecorderMonitor feeds the
+  // count-level probes alongside, and the engine sees one monitor list.
   CirclesBraKetView view(protocol);
   PotentialDescentMonitor potential(view);
-  std::array<pp::Monitor*, 1> monitors{&potential};
+  obs::MonitorProbeAdapter adapter(potential);
+  obs::EnergyTrace energy = obs::EnergyTrace::for_circles(protocol);
+
+  obs::RecorderOptions recorder_options;
+  recorder_options.interaction_horizon = pp::EngineOptions{}.max_interactions;
+  obs::Recorder recorder(recorder_options);
+  recorder.add(&adapter);
+  recorder.add(&energy, obs::GridSpec::parse("log:64"));
+  obs::RecorderMonitor recorder_monitor(recorder);
+  std::array<pp::Monitor*, 2> monitors{&recorder_monitor,
+                                       adapter.as_monitor()};
 
   auto scheduler =
       pp::make_scheduler(pp::SchedulerKind::kUniformRandom, n, rng());
@@ -52,6 +67,13 @@ TEST_P(ArbitraryStateSweep, StabilizesFromAnyConfiguration) {
   EXPECT_TRUE(result.silent);
   EXPECT_FALSE(result.budget_exhausted);
   EXPECT_EQ(potential.descent_violations(), 0u);
+  // The count pipeline observed the same run: at least the initial and
+  // final configurations, strictly increasing interaction indices.
+  const obs::TraceTable& trace = *energy.table();
+  ASSERT_GE(trace.num_rows(), 1u);
+  for (std::size_t row = 1; row < trace.num_rows(); ++row) {
+    EXPECT_GT(trace.at(row, 0), trace.at(row - 1, 0));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,151 @@
+// Quantile-envelope math against hand-computed fixtures: resampling is
+// last-observation-carried-forward, quantiles are util::quantile_sorted.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "obs/envelope.hpp"
+
+namespace circles::obs {
+namespace {
+
+TraceTable make_trace(std::vector<std::pair<double, double>> rows) {
+  TraceTable trace({"interactions", "v"});
+  for (const auto& [x, v] : rows) trace.add_row({x, v});
+  return trace;
+}
+
+EnvelopeOptions min_med_max(std::size_t points) {
+  EnvelopeOptions options;
+  options.quantiles = {0.0, 0.5, 1.0};
+  options.points = points;
+  options.spacing = GridSpec::Spacing::kLinear;
+  return options;
+}
+
+TEST(EnvelopeTest, HandComputedMinMedianMax) {
+  const std::vector<TraceTable> traces{
+      make_trace({{0, 10}, {10, 0}}),
+      make_trace({{0, 20}, {5, 10}, {10, 2}}),
+      make_trace({{0, 30}, {2, 6}}),
+  };
+  const TraceTable env = envelope(traces, min_med_max(2));
+
+  ASSERT_EQ(env.columns,
+            (std::vector<std::string>{"interactions", "v_p0", "v_p50",
+                                      "v_p100"}));
+  ASSERT_EQ(env.num_rows(), 3u);  // grid {0, 5, 10}, x_max derived = 10
+
+  // x = 0: values {10, 20, 30}.
+  EXPECT_DOUBLE_EQ(env.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(env.at(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(env.at(0, 2), 20.0);
+  EXPECT_DOUBLE_EQ(env.at(0, 3), 30.0);
+
+  // x = 5 (LOCF): trace A still 10, B sampled 10 at exactly 5, C carried 6.
+  EXPECT_DOUBLE_EQ(env.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(env.at(1, 1), 6.0);
+  EXPECT_DOUBLE_EQ(env.at(1, 2), 10.0);
+  EXPECT_DOUBLE_EQ(env.at(1, 3), 10.0);
+
+  // x = 10: {0, 2, 6}.
+  EXPECT_DOUBLE_EQ(env.at(2, 0), 10.0);
+  EXPECT_DOUBLE_EQ(env.at(2, 1), 0.0);
+  EXPECT_DOUBLE_EQ(env.at(2, 2), 2.0);
+  EXPECT_DOUBLE_EQ(env.at(2, 3), 6.0);
+}
+
+TEST(EnvelopeTest, InterpolatedQuantilesAcrossFourTraces) {
+  // Four constant traces {1, 2, 3, 4}: p50 interpolates to 2.5, p25 to 1.75.
+  std::vector<TraceTable> traces;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) {
+    traces.push_back(make_trace({{0, v}, {4, v}}));
+  }
+  EnvelopeOptions options;
+  options.quantiles = {0.25, 0.5};
+  options.points = 1;
+  options.spacing = GridSpec::Spacing::kLinear;
+  const TraceTable env = envelope(traces, options);
+  ASSERT_EQ(env.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(env.at(0, env.column_index("v_p25")), 1.75);
+  EXPECT_DOUBLE_EQ(env.at(0, env.column_index("v_p50")), 2.5);
+}
+
+TEST(EnvelopeTest, ExplicitXMaxExtendsByCarryForward) {
+  const std::vector<TraceTable> traces{make_trace({{0, 8}, {2, 4}})};
+  EnvelopeOptions options = min_med_max(2);
+  options.x_max = 20.0;
+  const TraceTable env = envelope(traces, options);
+  ASSERT_EQ(env.num_rows(), 3u);  // {0, 10, 20}
+  EXPECT_DOUBLE_EQ(env.at(1, 0), 10.0);
+  EXPECT_DOUBLE_EQ(env.at(1, 2), 4.0);  // carried past the last sample
+  EXPECT_DOUBLE_EQ(env.at(2, 2), 4.0);
+}
+
+TEST(EnvelopeTest, FractionGridResamplesAtRequestedPositions) {
+  // frac: sample grids envelope at the user's fractions of x_max, not on a
+  // uniform grid.
+  const std::vector<TraceTable> traces{
+      make_trace({{0, 100}, {1, 80}, {5, 50}, {10, 20}})};
+  EnvelopeOptions options = min_med_max(99);  // ignored when fractions set
+  options.grid_fractions = {0.1, 0.5, 1.0};
+  const TraceTable env = envelope(traces, options);
+  ASSERT_EQ(env.num_rows(), 4u);  // 0 plus the three fractions of x_max=10
+  EXPECT_DOUBLE_EQ(env.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(env.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(env.at(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(env.at(3, 0), 10.0);
+  EXPECT_DOUBLE_EQ(env.at(1, 2), 80.0);
+  EXPECT_DOUBLE_EQ(env.at(2, 2), 50.0);
+}
+
+TEST(EnvelopeTest, SingleTraceQuantilesCollapse) {
+  const std::vector<TraceTable> traces{make_trace({{0, 7}, {10, 3}})};
+  const TraceTable env = envelope(traces, min_med_max(1));
+  ASSERT_EQ(env.num_rows(), 2u);
+  for (const std::size_t col : {1u, 2u, 3u}) {
+    EXPECT_DOUBLE_EQ(env.at(0, col), 7.0);
+    EXPECT_DOUBLE_EQ(env.at(1, col), 3.0);
+  }
+}
+
+TEST(EnvelopeTest, EmptyAndRowlessTraces) {
+  EXPECT_TRUE(envelope(std::span<const TraceTable>{}).empty());
+  const std::vector<TraceTable> rowless{TraceTable({"interactions", "v"})};
+  EXPECT_TRUE(envelope(rowless).empty());
+  // Rowless traces are skipped, not fatal, next to populated ones.
+  const std::vector<TraceTable> mixed{TraceTable({"interactions", "v"}),
+                                      make_trace({{0, 1}, {2, 2}})};
+  EXPECT_GT(envelope(mixed, min_med_max(1)).num_rows(), 0u);
+}
+
+TEST(EnvelopeTest, MismatchedHeadersThrow) {
+  std::vector<TraceTable> traces{make_trace({{0, 1}})};
+  TraceTable other({"interactions", "w"});
+  other.add_row({0.0, 1.0});
+  traces.push_back(other);
+  EXPECT_THROW(envelope(traces), std::invalid_argument);
+}
+
+TEST(EnvelopeTest, MissingXColumnThrows) {
+  const std::vector<TraceTable> traces{make_trace({{0, 1}})};
+  EnvelopeOptions options;
+  options.x_column = "chemical_time";
+  EXPECT_THROW(envelope(traces, options), std::invalid_argument);
+}
+
+TEST(EnvelopeTest, ExcludedColumnsDropOut) {
+  TraceTable trace({"interactions", "chemical_time", "v"});
+  trace.add_row({0.0, 0.0, 5.0});
+  trace.add_row({4.0, 0.0, 1.0});
+  EnvelopeOptions options = min_med_max(1);
+  options.exclude_columns = {"chemical_time", "not_a_column"};
+  const TraceTable env = envelope({&trace, 1}, options);
+  ASSERT_EQ(env.columns,
+            (std::vector<std::string>{"interactions", "v_p0", "v_p50",
+                                      "v_p100"}));
+}
+
+}  // namespace
+}  // namespace circles::obs

@@ -1,0 +1,166 @@
+// Decimation grids: linear/log/fraction spacing, edge cases, and the
+// GridSpec / ProbeSpec string round-trips the RunSpec format relies on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "obs/grid.hpp"
+#include "obs/probe_spec.hpp"
+
+namespace circles::obs {
+namespace {
+
+GridSpec linear(std::uint32_t points) {
+  GridSpec spec;
+  spec.spacing = GridSpec::Spacing::kLinear;
+  spec.points = points;
+  return spec;
+}
+
+GridSpec logspec(std::uint32_t points) {
+  GridSpec spec;
+  spec.spacing = GridSpec::Spacing::kLog;
+  spec.points = points;
+  return spec;
+}
+
+TEST(InteractionGridTest, LinearExactValues) {
+  EXPECT_EQ(interaction_grid(linear(4), 100),
+            (std::vector<std::uint64_t>{25, 50, 75, 100}));
+}
+
+TEST(InteractionGridTest, LinearCoversEveryStepWhenPointsExceedHorizon) {
+  // n_points > steps: the grid collapses to each index exactly once.
+  EXPECT_EQ(interaction_grid(linear(50), 10),
+            (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+}
+
+TEST(InteractionGridTest, LogStrictlyAscendingAndEndsAtHorizon) {
+  const auto grid = interaction_grid(logspec(64), 1u << 20);
+  ASSERT_FALSE(grid.empty());
+  EXPECT_LE(grid.size(), 64u);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_LT(grid[i - 1], grid[i]);
+  }
+  EXPECT_GE(grid.front(), 1u);
+  EXPECT_EQ(grid.back(), 1u << 20);
+}
+
+TEST(InteractionGridTest, LogPointsExceedHorizonNeverDuplicates) {
+  const auto grid = interaction_grid(logspec(100), 10);
+  const std::set<std::uint64_t> unique(grid.begin(), grid.end());
+  EXPECT_EQ(unique.size(), grid.size());
+  EXPECT_EQ(grid.back(), 10u);
+  for (const auto v : grid) {
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(InteractionGridTest, EdgeHorizons) {
+  EXPECT_TRUE(interaction_grid(logspec(16), 0).empty());
+  EXPECT_TRUE(interaction_grid(linear(16), 0).empty());
+  EXPECT_EQ(interaction_grid(logspec(16), 1),
+            (std::vector<std::uint64_t>{1}));
+}
+
+TEST(InteractionGridTest, FractionsScaleAndClamp) {
+  GridSpec spec;
+  spec.fractions = {0.1, 0.5, 0.9};
+  EXPECT_EQ(interaction_grid(spec, 1000),
+            (std::vector<std::uint64_t>{100, 500, 900}));
+  // Fractions rounding to zero clamp up to the first interaction.
+  GridSpec tiny;
+  tiny.fractions = {0.001, 1.0};
+  EXPECT_EQ(interaction_grid(tiny, 10), (std::vector<std::uint64_t>{1, 10}));
+}
+
+TEST(ChemicalGridTest, LinearExactValues) {
+  const auto grid = chemical_grid(linear(4), 1.0);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_DOUBLE_EQ(grid[0], 0.25);
+  EXPECT_DOUBLE_EQ(grid[3], 1.0);
+}
+
+TEST(ChemicalGridTest, LogAscendingEndsAtHorizon) {
+  const auto grid = chemical_grid(logspec(32), 50.0);
+  ASSERT_FALSE(grid.empty());
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_LT(grid[i - 1], grid[i]);
+  }
+  EXPECT_GT(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 50.0);
+}
+
+TEST(ChemicalGridTest, NonPositiveHorizonEmpty) {
+  EXPECT_TRUE(chemical_grid(logspec(8), 0.0).empty());
+  EXPECT_TRUE(chemical_grid(linear(8), -1.0).empty());
+}
+
+TEST(EnvelopeGridTest, LinearIncludesZeroAndEndpoint) {
+  EXPECT_EQ(envelope_grid(GridSpec::Spacing::kLinear, 4, 8.0),
+            (std::vector<double>{0.0, 2.0, 4.0, 6.0, 8.0}));
+}
+
+TEST(EnvelopeGridTest, LogStartsAtZeroEndsAtMax) {
+  const auto grid = envelope_grid(GridSpec::Spacing::kLog, 16, 1e6);
+  ASSERT_GE(grid.size(), 2u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1e6);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_LT(grid[i - 1], grid[i]);
+  }
+}
+
+TEST(EnvelopeGridTest, ZeroMaxCollapses) {
+  EXPECT_EQ(envelope_grid(GridSpec::Spacing::kLinear, 4, 0.0),
+            (std::vector<double>{0.0}));
+}
+
+TEST(GridSpecTest, RoundTrips) {
+  for (const std::string text :
+       {"log:1024", "linear:256", "log:7", "frac:0.1,0.5,0.9"}) {
+    EXPECT_EQ(GridSpec::parse(text).to_string(), text) << text;
+  }
+  // Bare spacing names pick up the default point count.
+  EXPECT_EQ(GridSpec::parse("log").to_string(), "log:1024");
+  EXPECT_EQ(GridSpec::parse("linear").to_string(), "linear:1024");
+}
+
+TEST(GridSpecTest, ParseRejectsMalformedInput) {
+  for (const std::string text :
+       {"banana", "linear:0", "frac:", "frac:2", "frac:0", "frac:-0.5",
+        "log:x", "log:1,024", "linear:64abc", "frac:0.5x"}) {
+    EXPECT_THROW(GridSpec::parse(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(GridSpecTest, FractionRoundTripIsBitExact) {
+  GridSpec spec;
+  spec.fractions = {1.0 / 3.0, 0.1, 1.0};
+  const GridSpec parsed = GridSpec::parse(spec.to_string());
+  ASSERT_EQ(parsed.fractions.size(), 3u);
+  // parse() sorts ascending; every value must survive bit-for-bit.
+  EXPECT_EQ(parsed.fractions[0], 0.1);
+  EXPECT_EQ(parsed.fractions[1], 1.0 / 3.0);
+  EXPECT_EQ(parsed.fractions[2], 1.0);
+}
+
+TEST(ProbeSpecTest, RoundTrips) {
+  for (const std::string text :
+       {"energy@log:1024", "counts@linear:256", "states@log:64",
+        "active@frac:0.25,0.75", "convergence@log:128"}) {
+    EXPECT_EQ(ProbeSpec::parse(text).to_string(), text) << text;
+  }
+  // Bare kinds render with the default grid.
+  EXPECT_EQ(ProbeSpec::parse("energy").to_string(), "energy@log:1024");
+}
+
+TEST(ProbeSpecTest, ParseRejectsUnknownKindsAndGrids) {
+  EXPECT_THROW(ProbeSpec::parse("volts"), std::invalid_argument);
+  EXPECT_THROW(ProbeSpec::parse("energy@banana"), std::invalid_argument);
+  EXPECT_THROW(ProbeSpec::parse(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace circles::obs

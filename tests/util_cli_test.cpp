@@ -1,0 +1,80 @@
+// util::Cli list-flag parsing, focused on double_list_flag (probe grids,
+// --sample-points=0.1,0.5,0.9).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace circles::util {
+namespace {
+
+/// Builds a Cli from literal arguments (argv[0] is supplied).
+Cli make_cli(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Cli(static_cast<int>(args.size()),
+             const_cast<char**>(args.data()));
+}
+
+TEST(CliDoubleListFlagTest, ParsesCommaSeparatedDoubles) {
+  Cli cli = make_cli({"--sample-points=0.1,0.5,0.9"});
+  const auto values =
+      cli.double_list_flag("sample-points", "", "sample fractions");
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 0.1);
+  EXPECT_DOUBLE_EQ(values[1], 0.5);
+  EXPECT_DOUBLE_EQ(values[2], 0.9);
+  cli.finish();
+}
+
+TEST(CliDoubleListFlagTest, ParsesScientificAndIntegerForms) {
+  Cli cli = make_cli({"--points=1e-3,2,0.25"});
+  const auto values = cli.double_list_flag("points", "", "help");
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 1e-3);
+  EXPECT_DOUBLE_EQ(values[1], 2.0);
+  EXPECT_DOUBLE_EQ(values[2], 0.25);
+}
+
+TEST(CliDoubleListFlagTest, UsesDefaultWhenUnset) {
+  Cli cli = make_cli({});
+  const auto values = cli.double_list_flag("points", "0.25,0.75", "help");
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 0.25);
+  EXPECT_DOUBLE_EQ(values[1], 0.75);
+}
+
+TEST(CliDoubleListFlagTest, EmptyDefaultMeansOptionalFlag) {
+  // Unlike int_list_flag, an empty default is legal: the flag is simply
+  // unset and callers skip the feature (no probe-grid override).
+  Cli cli = make_cli({});
+  EXPECT_TRUE(cli.double_list_flag("points", "", "help").empty());
+}
+
+TEST(CliDoubleListFlagTest, SingleValue) {
+  Cli cli = make_cli({"--points=0.5"});
+  const auto values = cli.double_list_flag("points", "", "help");
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_DOUBLE_EQ(values[0], 0.5);
+}
+
+TEST(CliDoubleListFlagDeathTest, MalformedValueExits) {
+  EXPECT_EXIT(
+      {
+        Cli cli = make_cli({"--points=0.1,banana"});
+        (void)cli.double_list_flag("points", "", "help");
+      },
+      testing::ExitedWithCode(2), "expects comma-separated numbers");
+}
+
+TEST(CliDoubleListFlagDeathTest, TrailingGarbageExits) {
+  EXPECT_EXIT(
+      {
+        Cli cli = make_cli({"--points=0.5x"});
+        (void)cli.double_list_flag("points", "", "help");
+      },
+      testing::ExitedWithCode(2), "expects comma-separated numbers");
+}
+
+}  // namespace
+}  // namespace circles::util
