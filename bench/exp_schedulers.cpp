@@ -3,17 +3,44 @@
 // the winner and the stable decomposition must be identical everywhere,
 // while time-to-silence varies by orders of magnitude (the scheduler owns
 // the clock, not the correctness).
+//
+// Second section (E7b): the lumpable schedulers (uniform, clustered) also
+// run on the count-level urn backends. Correctness must be 100% on every
+// backend and the stabilization-time distributions must agree with the
+// agent engine (two-sample KS test at alpha = 0.001) — the agent-vs-urn
+// agreement check CI asserts on.
+#include <cmath>
 #include <vector>
 
 #include "exp_common.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+std::vector<double> last_change_samples(const circles::sim::SpecResult& r) {
+  std::vector<double> out;
+  out.reserve(r.trials.size());
+  for (const auto& rec : r.trials) {
+    out.push_back(static_cast<double>(rec.outcome.run.last_change_step));
+  }
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace circles;
   util::Cli cli(argc, argv);
+  const bool smoke =
+      cli.bool_flag("smoke", false, "fast CI subset (fewer/smaller cells)");
   const auto trials = static_cast<std::uint32_t>(
       cli.int_flag("trials", 5, "trials per scheduler"));
+  const auto urn_trials = static_cast<std::uint32_t>(cli.int_flag(
+      "urn_trials", smoke ? 24 : 40, "trials per backend in the urn section"));
+  const auto urn_n = static_cast<std::uint64_t>(cli.int_flag(
+      "urn_n", smoke ? 300 : 1000, "population size for the urn section"));
   const auto seed =
       static_cast<std::uint64_t>(cli.int_flag("seed", 7, "rng seed"));
   const auto batch = bench::batch_options(cli, seed);
@@ -59,8 +86,76 @@ int main(int argc, char** argv) {
                    util::Table::num(r.ket_exchanges.mean, 1)});
   }
   table.print("one protocol, five schedulers (k=6)");
+
+  // --- E7b: dense-urn backends on the lumpable schedulers ------------------
+  const std::uint32_t urn_k = 3;
+  const analysis::Workload urn_workload =
+      analysis::random_unique_winner(rng, urn_n, urn_k);
+  const sim::EngineKind backends[] = {sim::EngineKind::kAgentArray,
+                                      sim::EngineKind::kDense,
+                                      sim::EngineKind::kDenseBatched};
+  std::vector<sim::RunSpec> urn_specs;
+  for (const pp::SchedulerKind kind :
+       {pp::SchedulerKind::kUniformRandom, pp::SchedulerKind::kClustered}) {
+    for (const sim::EngineKind backend : backends) {
+      sim::RunSpec spec;
+      spec.protocol = "circles";
+      spec.params.k = urn_k;
+      spec.workload = sim::WorkloadSpec::explicit_counts(urn_workload.counts);
+      spec.scheduler = kind;
+      if (kind == pp::SchedulerKind::kClustered) {
+        spec.clusters = 2;
+        spec.bridge = 0.02;
+      }
+      spec.backend = backend;
+      spec.trials = urn_trials;
+      // One pinned seed per scheduler: every backend sees identical
+      // per-trial workloads, only the (equally distributed) schedule
+      // streams differ.
+      spec.seed = sim::mix_seed(seed, static_cast<std::uint64_t>(kind));
+      urn_specs.push_back(std::move(spec));
+    }
+  }
+  const auto urn_results = sim::BatchRunner(batch).run(urn_specs);
+
+  // KS critical value at alpha = 0.001 for two samples of urn_trials.
+  const double ks_crit =
+      1.95 * std::sqrt(2.0 / static_cast<double>(urn_trials));
+  util::Table urn_table({"scheduler", "backend", "correct", "silent",
+                         "mean interactions", "KS vs agent"});
+  bool urn_ok = true;
+  for (std::size_t s = 0; s < urn_results.size(); s += 3) {
+    const sim::SpecResult& agent = urn_results[s];
+    const auto agent_samples = last_change_samples(agent);
+    for (std::size_t b = 0; b < 3; ++b) {
+      const sim::SpecResult& r = urn_results[s + b];
+      urn_ok = urn_ok && r.all_correct() && r.all_silent();
+      double ks = 0.0;
+      if (b > 0) {
+        ks = util::ks_distance(agent_samples, last_change_samples(r));
+        urn_ok = urn_ok && ks < ks_crit;
+      }
+      urn_table.add_row(
+          {pp::to_string(r.spec.scheduler), sim::to_string(r.backend_resolved),
+           util::Table::percent(r.correct_rate(), 0),
+           util::Table::percent(r.silent_rate(), 0),
+           util::Table::num(r.interactions.mean, 0),
+           b == 0 ? "—" : util::Table::num(ks, 3)});
+    }
+  }
+  urn_table.print("count-level (urn) backends on lumpable schedulers (k=" +
+                  std::to_string(urn_k) + ", n=" + std::to_string(urn_n) +
+                  ", " + std::to_string(urn_trials) +
+                  " trials, KS critical " + util::Table::num(ks_crit, 3) +
+                  ")");
+  std::printf("\nagent-vs-urn agreement: %s\n", urn_ok ? "PASS" : "FAIL");
+
+  all_ok = all_ok && urn_ok;
   return bench::verdict(all_ok,
                         all_ok ? "correctness and decomposition held under "
-                                 "every scheduler including the adversary"
-                               : "a scheduler broke correctness");
+                                 "every scheduler including the adversary; "
+                                 "urn backends agree with the agent engine "
+                                 "on every lumpable scheduler"
+                               : "a scheduler or backend broke correctness "
+                                 "or agreement");
 }

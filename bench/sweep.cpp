@@ -106,11 +106,16 @@ int main(int argc, char** argv) try {
             ? kernel::to_string(r.kernel_stats.kind) + " " +
                   util::Table::num(r.kernel_stats.build_ms, 2) + "ms"
             : "off";
+    // auto cells show what the runner actually picked.
+    const std::string backend_cell =
+        r.spec.backend == sim::EngineKind::kAuto
+            ? "auto:" + sim::to_string(r.backend_resolved)
+            : sim::to_string(r.backend_resolved);
     table.add_row({r.spec.protocol,
                    util::Table::num(std::uint64_t{r.spec.params.k}),
                    util::Table::num(r.spec.effective_n()),
                    pp::to_string(r.spec.scheduler),
-                   sim::to_string(r.spec.backend),
+                   backend_cell,
                    r.spec.workload.to_string(),
                    util::Table::num(std::uint64_t{r.trial_count}),
                    util::Table::percent(r.correct_rate(), 0),

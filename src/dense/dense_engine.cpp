@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "dense/sampling.hpp"
 #include "obs/recorder.hpp"
@@ -16,7 +17,9 @@ constexpr std::uint64_t kNoExclude = ~std::uint64_t{0};
 
 /// Where the most recent state change happened, at epoch granularity. The
 /// exact step index inside the epoch is only sampled once, at the end of the
-/// run, for the epoch that turned out to contain the final change.
+/// run, for the epoch that turned out to contain the final change. Single-urn
+/// epochs need only (length, productive); multi-urn epochs also snapshot the
+/// block sequence so the last productive slot can be placed per block.
 struct LastChangeMark {
   bool valid = false;
   bool exact = false;           // index holds the step directly
@@ -24,18 +27,24 @@ struct LastChangeMark {
   std::uint64_t start = 0;      // else: epoch start step ...
   std::uint64_t length = 0;     // ... its collision-free slot count ...
   std::uint64_t productive = 0; // ... and how many slots changed state
+  bool multi = false;           // multi-urn epoch: the fields below are live
+  std::vector<std::uint32_t> seq;              // block id per epoch slot
+  std::vector<std::uint64_t> block_len;        // per-block slot counts
+  std::vector<std::uint64_t> block_productive; // per-block state changes
 };
 
 }  // namespace
 
 DenseEngine::DenseEngine(const pp::Protocol& protocol,
                          pp::EngineOptions options, DenseMode mode,
-                         bool use_kernel)
+                         bool use_kernel, pp::UrnLumping lumping)
     : protocol_(&protocol),
       options_(options),
       mode_(mode),
-      num_states_(protocol.num_states()) {
+      num_states_(protocol.num_states()),
+      lumping_(std::move(lumping)) {
   CIRCLES_CHECK_MSG(num_states_ >= 1, "protocol needs at least one state");
+  if (!lumping_.sizes.empty()) lumping_.validate();
   if (use_kernel) {
     owned_kernel_ = std::make_shared<const kernel::CompiledProtocol>(protocol);
     kernel_ = owned_kernel_.get();
@@ -43,106 +52,344 @@ DenseEngine::DenseEngine(const pp::Protocol& protocol,
 }
 
 DenseEngine::DenseEngine(std::shared_ptr<const kernel::CompiledProtocol> kernel,
-                         pp::EngineOptions options, DenseMode mode)
+                         pp::EngineOptions options, DenseMode mode,
+                         pp::UrnLumping lumping)
     : protocol_(&kernel->protocol()),
       owned_kernel_(std::move(kernel)),
       kernel_(owned_kernel_.get()),
       options_(options),
       mode_(mode),
-      num_states_(kernel_->num_states()) {}
+      num_states_(kernel_->num_states()),
+      lumping_(std::move(lumping)) {
+  if (!lumping_.sizes.empty()) lumping_.validate();
+}
 
 /// Run-local state shared by both modes.
 struct DenseEngine::Sim {
+  /// One urn (cluster): a count-vector view plus its presence bookkeeping.
+  /// `present` contains every state with count > 0, possibly plus stale
+  /// zero-count entries; compact() drops the latter. The categorical walks
+  /// skip zero counts naturally.
+  struct Urn {
+    std::span<std::uint64_t> counts;
+    std::uint64_t n = 0;  // fixed urn size (counts always sum to this)
+    std::vector<pp::StateId> present;
+    std::vector<std::uint8_t> in_present;
+    // Epoch scratch: post-transition state histogram of this epoch's
+    // participants, reset via `touched`.
+    std::vector<std::uint64_t> used;
+    std::vector<pp::StateId> touched;
+    std::uint64_t used_total = 0;
+  };
+
   const DenseEngine& engine;
-  std::vector<std::uint64_t>& counts;
   util::Rng& rng;
-  const std::uint64_t n;
+  std::vector<Urn> urns;
+  std::size_t num_urns = 0;
+  std::uint64_t n = 0;  // total population
 
-  // `present` contains every state with count > 0, possibly plus stale
-  // zero-count entries; compact() drops the latter. The categorical walks
-  // skip zero counts naturally.
-  std::vector<pp::StateId> present;
-  std::vector<std::uint8_t> in_present;
+  // Block structure: row-major num_urns x num_urns. rates sums to 1;
+  // pair_capacity[b] is the number of ordered agent pairs block b can
+  // schedule (n_u * n_v off-diagonal, n_u * (n_u - 1) on it).
+  std::vector<double> rates;
+  std::vector<double> pair_capacity;
 
-  // Number of ordered agent pairs whose interaction would change a state.
-  // Zero iff the configuration is silent (the exact certificate).
-  std::uint64_t active = 0;
+  // Number of ordered agent pairs per block whose interaction would change
+  // a state; live_active sums the blocks with positive rate. live_active is
+  // zero iff the configuration is silent under the lumped scheduler (the
+  // exact certificate).
+  std::vector<std::uint64_t> active;
+  std::uint64_t live_active = 0;
 
-  Sim(const DenseEngine& engine, DenseConfig& config, util::Rng& rng)
-      : engine(engine),
-        counts(config.counts),
-        rng(rng),
-        n(config.n()),
-        present(config.present_states()),
-        in_present(engine.num_states_, 0) {
-    for (const pp::StateId s : present) in_present[s] = 1;
+  // Aggregate view for the recorder: single-urn runs alias urn 0; multi-urn
+  // runs maintain summed counts incrementally (only when a recorder is
+  // attached — aggregate_enabled).
+  bool aggregate_enabled = false;
+  std::vector<std::uint64_t> agg_counts;
+  std::vector<pp::StateId> agg_present;
+  std::vector<std::uint8_t> agg_in_present;
+  std::vector<std::uint64_t> urn_sizes;
+  std::vector<std::span<const std::uint64_t>> urn_spans;
+
+  Sim(const DenseEngine& engine, std::span<std::span<std::uint64_t>> counts,
+      std::span<const double> rate_matrix, util::Rng& rng, bool want_aggregate)
+      : engine(engine), rng(rng) {
+    num_urns = counts.size();
+    rates.assign(rate_matrix.begin(), rate_matrix.end());
+    urns.resize(num_urns);
+    for (std::size_t u = 0; u < num_urns; ++u) {
+      Urn& urn = urns[u];
+      urn.counts = counts[u];
+      urn.in_present.assign(engine.num_states_, 0);
+      urn.used.assign(engine.num_states_, 0);
+      for (std::size_t s = 0; s < urn.counts.size(); ++s) {
+        urn.n += urn.counts[s];
+        if (urn.counts[s] > 0) {
+          urn.present.push_back(static_cast<pp::StateId>(s));
+          urn.in_present[s] = 1;
+        }
+      }
+      n += urn.n;
+      urn_sizes.push_back(urn.n);
+      urn_spans.push_back(
+          std::span<const std::uint64_t>(urn.counts.data(), urn.counts.size()));
+    }
+    pair_capacity.resize(num_urns * num_urns);
+    active.assign(num_urns * num_urns, 0);
+    for (std::size_t u = 0; u < num_urns; ++u) {
+      for (std::size_t v = 0; v < num_urns; ++v) {
+        const double nu = static_cast<double>(urns[u].n);
+        const double nv = static_cast<double>(urns[v].n);
+        pair_capacity[u * num_urns + v] = u == v ? nu * (nv - 1.0) : nu * nv;
+      }
+    }
+    aggregate_enabled = want_aggregate && num_urns > 1;
+    if (aggregate_enabled) {
+      agg_counts.assign(engine.num_states_, 0);
+      agg_in_present.assign(engine.num_states_, 0);
+      for (const Urn& urn : urns) {
+        for (std::size_t s = 0; s < urn.counts.size(); ++s) {
+          agg_counts[s] += urn.counts[s];
+        }
+      }
+      for (std::size_t s = 0; s < agg_counts.size(); ++s) {
+        if (agg_counts[s] > 0) {
+          agg_present.push_back(static_cast<pp::StateId>(s));
+          agg_in_present[s] = 1;
+        }
+      }
+    }
     refresh_active();
   }
 
-  void note_state(pp::StateId s) {
-    if (!in_present[s]) {
-      in_present[s] = 1;
-      present.push_back(s);
+  void note_state(Urn& urn, pp::StateId s) {
+    if (!urn.in_present[s]) {
+      urn.in_present[s] = 1;
+      urn.present.push_back(s);
     }
   }
 
-  void compact() {
+  void note_agg(pp::StateId s) {
+    if (!agg_in_present[s]) {
+      agg_in_present[s] = 1;
+      agg_present.push_back(s);
+    }
+  }
+
+  /// Mirrors one applied transition group onto the aggregate view.
+  void apply_agg(pp::StateId si, pp::StateId sr, const pp::Transition& tr,
+                 std::uint64_t m) {
+    if (!aggregate_enabled) return;
+    agg_counts[si] -= m;
+    agg_counts[sr] -= m;
+    agg_counts[tr.initiator] += m;
+    agg_counts[tr.responder] += m;
+    note_agg(tr.initiator);
+    note_agg(tr.responder);
+  }
+
+  void compact(Urn& urn) {
     std::size_t w = 0;
-    for (const pp::StateId s : present) {
-      if (counts[s] > 0) {
-        present[w++] = s;
+    for (const pp::StateId s : urn.present) {
+      if (urn.counts[s] > 0) {
+        urn.present[w++] = s;
       } else {
-        in_present[s] = 0;
+        urn.in_present[s] = 0;
       }
     }
-    present.resize(w);
+    urn.present.resize(w);
   }
 
-  void refresh_active() {
-    compact();
+  std::uint64_t block_active(std::size_t u, std::size_t v) const {
+    const Urn& urn_i = urns[u];
+    const Urn& urn_r = urns[v];
+    const bool diag = u == v;
     std::uint64_t sum = 0;
     const kernel::CompiledProtocol* k = engine.kernel_;
     if (k != nullptr && k->has_adjacency()) {
       // The kernel's active-responder index skips null pairs wholesale; the
       // sum is order-independent, so this matches the fallback bit for bit.
-      for (const pp::StateId s : present) {
+      for (const pp::StateId s : urn_i.present) {
         for (const pp::StateId t : k->active_responders(s)) {
-          sum += counts[s] * (counts[t] - (s == t ? 1 : 0));
+          sum += urn_i.counts[s] *
+                 (urn_r.counts[t] - (diag && s == t ? 1 : 0));
         }
       }
     } else {
-      for (const pp::StateId s : present) {
-        for (const pp::StateId t : present) {
+      for (const pp::StateId s : urn_i.present) {
+        for (const pp::StateId t : urn_r.present) {
           if (!engine.nonnull(s, t)) continue;
-          sum += counts[s] * (counts[t] - (s == t ? 1 : 0));
+          sum += urn_i.counts[s] *
+                 (urn_r.counts[t] - (diag && s == t ? 1 : 0));
         }
       }
     }
-    active = sum;
+    return sum;
   }
 
-  /// Weighted draw of a state from the counts; `exclude` (a StateId, or
-  /// kNoExclude) has its count reduced by one — the "responder cannot be
-  /// the initiator" correction. `total` must equal the walked mass.
-  pp::StateId pick_state(std::uint64_t total, std::uint64_t exclude) {
+  void refresh_active() {
+    for (Urn& urn : urns) compact(urn);
+    live_active = 0;
+    for (std::size_t u = 0; u < num_urns; ++u) {
+      for (std::size_t v = 0; v < num_urns; ++v) {
+        const std::size_t b = u * num_urns + v;
+        active[b] = block_active(u, v);
+        if (rates[b] > 0.0) live_active += active[b];
+      }
+    }
+  }
+
+  /// Weighted draw of a state from an urn's counts; `exclude` (a StateId,
+  /// or kNoExclude) has its count reduced by one — the "responder cannot be
+  /// the initiator" correction on intra blocks. `total` must equal the
+  /// walked mass.
+  pp::StateId pick_state(Urn& urn, std::uint64_t total, std::uint64_t exclude) {
     std::uint64_t r = rng.uniform_below(total);
-    for (const pp::StateId s : present) {
-      std::uint64_t c = counts[s];
+    for (const pp::StateId s : urn.present) {
+      std::uint64_t c = urn.counts[s];
       if (s == exclude) c -= 1;
       if (r < c) return s;
       r -= c;
     }
     CIRCLES_CHECK_MSG(false, "dense state draw walked past the population");
-    return present.back();
+    return urn.present.back();
   }
 
-  void apply(pp::StateId si, pp::StateId sr, const pp::Transition& tr) {
-    counts[si] -= 1;
-    counts[sr] -= 1;
-    counts[tr.initiator] += 1;
-    counts[tr.responder] += 1;
-    note_state(tr.initiator);
-    note_state(tr.responder);
+  void apply(std::size_t bu, std::size_t bv, pp::StateId si, pp::StateId sr,
+             const pp::Transition& tr) {
+    urns[bu].counts[si] -= 1;
+    urns[bv].counts[sr] -= 1;
+    urns[bu].counts[tr.initiator] += 1;
+    urns[bv].counts[tr.responder] += 1;
+    note_state(urns[bu], tr.initiator);
+    note_state(urns[bv], tr.responder);
+    apply_agg(si, sr, tr, 1);
+  }
+
+  /// Draw an ordered block with probability proportional to its rate.
+  /// Callers skip this for single-urn runs (there is nothing to draw), so
+  /// the single-urn RNG stream matches the historical engine's.
+  std::size_t pick_block_by_rate() {
+    const double r = rng.uniform01();
+    double acc = 0.0;
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < rates.size(); ++b) {
+      if (rates[b] <= 0.0) continue;
+      last = b;
+      if (r < acc + rates[b]) return b;
+      acc += rates[b];
+    }
+    return last;  // numeric fallback for r at the rounded-off tail
+  }
+
+  /// Draw the block containing the next state change: weights
+  /// rate_b * active_b / capacity_b, whose sum `total` the caller computed.
+  std::size_t pick_block_by_activity(double total) {
+    double r = rng.uniform01() * total;
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < rates.size(); ++b) {
+      if (rates[b] <= 0.0 || active[b] == 0) continue;
+      last = b;
+      const double w =
+          rates[b] * (static_cast<double>(active[b]) / pair_capacity[b]);
+      if (r < w) return b;
+      r -= w;
+    }
+    return last;
+  }
+
+  /// Draw the ordered active state pair within block (bu, bv), conditioned
+  /// on being active (weights c_u[s] * (c_v[t] - [diag][s == t])).
+  void pick_active_pair(std::size_t bu, std::size_t bv, pp::StateId& si,
+                        pp::StateId& sr) {
+    const Urn& urn_i = urns[bu];
+    const Urn& urn_r = urns[bv];
+    const bool diag = bu == bv;
+    std::uint64_t r = rng.uniform_below(active[bu * num_urns + bv]);
+    for (const pp::StateId s : urn_i.present) {
+      if (urn_i.counts[s] == 0) continue;
+      for (const pp::StateId t : urn_r.present) {
+        if (!engine.nonnull(s, t)) continue;
+        const std::uint64_t w =
+            urn_i.counts[s] * (urn_r.counts[t] - (diag && s == t ? 1 : 0));
+        if (r < w) {
+          si = s;
+          sr = t;
+          return;
+        }
+        r -= w;
+      }
+    }
+    CIRCLES_CHECK_MSG(false, "active-pair draw walked past the count");
+  }
+
+  void touch_used(Urn& urn, pp::StateId s, std::uint64_t m) {
+    if (urn.used[s] == 0) urn.touched.push_back(s);
+    urn.used[s] += m;
+    urn.used_total += m;
+  }
+
+  void reset_used() {
+    for (Urn& urn : urns) {
+      for (const pp::StateId s : urn.touched) urn.used[s] = 0;
+      urn.touched.clear();
+      urn.used_total = 0;
+    }
+  }
+
+  pp::StateId pick_used(Urn& urn, std::uint64_t total, std::uint64_t exclude) {
+    std::uint64_t r = rng.uniform_below(total);
+    for (const pp::StateId s : urn.touched) {
+      std::uint64_t c = urn.used[s];
+      if (s == exclude) c -= 1;
+      if (r < c) return s;
+      r -= c;
+    }
+    CIRCLES_CHECK_MSG(false, "used-agent draw walked past the epoch");
+    return urn.touched.back();
+  }
+
+  pp::StateId pick_fresh(Urn& urn, std::uint64_t total) {
+    std::uint64_t r = rng.uniform_below(total);
+    for (const pp::StateId s : urn.present) {
+      const std::uint64_t c = urn.counts[s] - urn.used[s];
+      if (r < c) return s;
+      r -= c;
+    }
+    CIRCLES_CHECK_MSG(false, "fresh-agent draw walked past the epoch");
+    return urn.present.back();
+  }
+
+  // --- recorder views ------------------------------------------------------
+
+  std::span<const std::uint64_t> rec_counts() const {
+    if (num_urns == 1) {
+      return std::span<const std::uint64_t>(urns[0].counts.data(),
+                                            urns[0].counts.size());
+    }
+    return agg_counts;
+  }
+  std::span<const pp::StateId> rec_present() const {
+    return num_urns == 1 ? std::span<const pp::StateId>(urns[0].present)
+                         : std::span<const pp::StateId>(agg_present);
+  }
+  std::span<const std::span<const std::uint64_t>> rec_urns() const {
+    if (num_urns == 1) return {};
+    return urn_spans;
+  }
+
+  std::vector<std::uint64_t> output_histogram() const {
+    std::vector<std::uint64_t> histogram(
+        engine.protocol_->num_output_symbols(), 0);
+    for (const Urn& urn : urns) {
+      for (std::size_t s = 0; s < urn.counts.size(); ++s) {
+        if (urn.counts[s] > 0) {
+          histogram[engine.protocol_->output(static_cast<pp::StateId>(s))] +=
+              urn.counts[s];
+        }
+      }
+    }
+    return histogram;
   }
 };
 
@@ -156,7 +403,58 @@ pp::RunResult DenseEngine::run(DenseConfig& config, util::Rng& rng,
                                obs::Recorder* recorder) const {
   CIRCLES_CHECK_MSG(config.num_states() == num_states_,
                     "configuration does not match the engine's protocol");
-  Sim sim(*this, config, rng);
+  CIRCLES_CHECK_MSG(lumping_.sizes.size() <= 1,
+                    "engine was built for a multi-urn lumping; pass an "
+                    "UrnConfig partitioned to match");
+  std::span<std::uint64_t> span(config.counts);
+  Sim sim(*this, std::span<std::span<std::uint64_t>>(&span, 1),
+          std::span<const double>(&kUniformRate, 1), rng,
+          recorder != nullptr);
+  if (!lumping_.sizes.empty()) {
+    CIRCLES_CHECK_MSG(sim.n == lumping_.sizes[0],
+                      "configuration does not match the engine's urn sizes");
+  }
+  return run_impl(sim, recorder);
+}
+
+pp::RunResult DenseEngine::run(UrnConfig& config, std::uint64_t seed,
+                               obs::Recorder* recorder) const {
+  util::Rng rng(seed);
+  return run(config, rng, recorder);
+}
+
+pp::RunResult DenseEngine::run(UrnConfig& config, util::Rng& rng,
+                               obs::Recorder* recorder) const {
+  CIRCLES_CHECK_MSG(config.num_urns() >= 1, "urn config needs >= 1 urn");
+  CIRCLES_CHECK_MSG(config.num_states() == num_states_,
+                    "configuration does not match the engine's protocol");
+  std::vector<std::span<std::uint64_t>> spans;
+  spans.reserve(config.num_urns());
+  for (auto& urn : config.urns) spans.push_back(std::span<std::uint64_t>(urn));
+
+  if (lumping_.sizes.empty()) {
+    CIRCLES_CHECK_MSG(config.num_urns() == 1,
+                      "multi-urn configuration on a single-urn engine; "
+                      "construct the DenseEngine with the scheduler's "
+                      "UrnLumping");
+    Sim sim(*this, spans, std::span<const double>(&kUniformRate, 1), rng,
+            recorder != nullptr);
+    return run_impl(sim, recorder);
+  }
+  CIRCLES_CHECK_MSG(config.num_urns() == lumping_.num_urns(),
+                    "configuration urn count does not match the engine's "
+                    "lumping");
+  Sim sim(*this, spans, lumping_.rates, rng, recorder != nullptr);
+  for (std::size_t u = 0; u < sim.num_urns; ++u) {
+    CIRCLES_CHECK_MSG(sim.urns[u].n == lumping_.sizes[u],
+                      "urn population does not match the engine's lumping");
+  }
+  return run_impl(sim, recorder);
+}
+
+const double DenseEngine::kUniformRate = 1.0;
+
+pp::RunResult DenseEngine::run_impl(Sim& sim, obs::Recorder* recorder) const {
   CIRCLES_CHECK_MSG(sim.n >= 2, "dense engine requires at least two agents");
   // The active-pair count is bounded by n(n-1), which must fit in uint64;
   // beyond 2^32 agents the arithmetic would silently wrap.
@@ -164,42 +462,27 @@ pp::RunResult DenseEngine::run(DenseConfig& config, util::Rng& rng,
                     "dense engine supports at most 2^32 agents");
 
   pp::RunResult result;
-  if (options_.stop_when_silent && sim.active == 0) result.silent = true;
+  if (options_.stop_when_silent && sim.live_active == 0) result.silent = true;
 
   if (recorder != nullptr) {
     obs::ProbeContext ctx;
     ctx.protocol = protocol_;
     ctx.kernel = kernel_;
     ctx.n = sim.n;
-    recorder->begin(ctx, sim.counts, sim.active, sim.present);
+    if (sim.num_urns > 1) ctx.urn_sizes = sim.urn_sizes;
+    recorder->begin(ctx, sim.rec_counts(), sim.live_active, sim.rec_present(),
+                    sim.rec_urns());
   }
 
   if (mode_ == DenseMode::kPerStep) {
-    while (!result.silent &&
-           result.interactions < options_.max_interactions) {
-      const pp::StateId si = sim.pick_state(sim.n, kNoExclude);
-      const pp::StateId sr = sim.pick_state(sim.n - 1, si);
-      const pp::Transition tr = transition(si, sr);
-      if (tr.initiator != si || tr.responder != sr) {
-        sim.apply(si, sr, tr);
-        result.state_changes += 1;
-        result.last_change_step = result.interactions;
-        sim.refresh_active();
-      }
-      result.interactions += 1;
-      if (options_.stop_when_silent && sim.active == 0) result.silent = true;
-      if (recorder != nullptr) {
-        recorder->advance(result.interactions, 0.0, sim.counts, sim.active,
-                          sim.present);
-      }
-    }
+    run_per_step(sim, result, recorder);
   } else {
     run_batched(sim, result, recorder);
   }
 
   if (!result.silent && result.interactions >= options_.max_interactions) {
     result.budget_exhausted = true;
-    result.silent = sim.active == 0;
+    result.silent = sim.live_active == 0;
   } else if (result.silent) {
     // The run stopped on the exact silence certificate: the minimal stopping
     // time is the step after the final change (the epoch tail processed
@@ -208,36 +491,94 @@ pp::RunResult DenseEngine::run(DenseConfig& config, util::Rng& rng,
         result.state_changes == 0 ? 0 : result.last_change_step + 1;
   }
 
-  result.final_outputs = config.output_histogram(*protocol_);
+  result.final_outputs = sim.output_histogram();
   if (recorder != nullptr) {
-    recorder->finish(result.interactions, 0.0, sim.counts, sim.active,
-                     sim.present);
+    recorder->finish(result.interactions, 0.0, sim.rec_counts(),
+                     sim.live_active, sim.rec_present(), sim.rec_urns());
   }
   return result;
 }
 
+void DenseEngine::run_per_step(Sim& sim, pp::RunResult& result,
+                               obs::Recorder* recorder) const {
+  const std::size_t u_count = sim.num_urns;
+  while (!result.silent && result.interactions < options_.max_interactions) {
+    std::size_t block = 0;
+    if (u_count > 1) block = sim.pick_block_by_rate();
+    const std::size_t bu = block / u_count;
+    const std::size_t bv = block % u_count;
+    Sim::Urn& urn_i = sim.urns[bu];
+    Sim::Urn& urn_r = sim.urns[bv];
+    pp::StateId si, sr;
+    if (bu == bv) {
+      si = sim.pick_state(urn_i, urn_i.n, kNoExclude);
+      sr = sim.pick_state(urn_i, urn_i.n - 1, si);
+    } else {
+      si = sim.pick_state(urn_i, urn_i.n, kNoExclude);
+      sr = sim.pick_state(urn_r, urn_r.n, kNoExclude);
+    }
+    const pp::Transition tr = transition(si, sr);
+    if (tr.initiator != si || tr.responder != sr) {
+      sim.apply(bu, bv, si, sr, tr);
+      result.state_changes += 1;
+      result.last_change_step = result.interactions;
+      sim.refresh_active();
+    }
+    result.interactions += 1;
+    if (options_.stop_when_silent && sim.live_active == 0) {
+      result.silent = true;
+    }
+    if (recorder != nullptr) {
+      recorder->advance(result.interactions, 0.0, sim.rec_counts(),
+                        sim.live_active, sim.rec_present(), sim.rec_urns());
+    }
+  }
+}
+
 void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
                               obs::Recorder* recorder) const {
-  const std::uint64_t n = sim.n;
-  auto& counts = sim.counts;
   auto& rng = sim.rng;
-  const CollisionFreeRunLength run_length(n);
-  const double total_pairs =
-      static_cast<double>(n) * static_cast<double>(n - 1);
+  const std::size_t u_count = sim.num_urns;
+  const std::size_t num_blocks = u_count * u_count;
+  const bool single = u_count == 1;
+
+  // Single-urn epochs sample their length from the precomputed survival
+  // table (one uniform draw — the historical engine's stream, preserved
+  // bitwise). Multi-urn epochs have no closed-form length distribution (the
+  // collision hazard depends on the drawn block sequence), so they sample
+  // the exact sequential chain instead.
+  std::optional<CollisionFreeRunLength> run_length;
+  if (single) run_length.emplace(sim.n);
+
+  // Expected epoch length, for the fast-forward threshold only (any value
+  // yields an exact sampler; this is purely a performance knob). Multi-urn:
+  // birthday heuristic — collisions appear once sum_u (drawn_u^2 / n_u) ~ 2.
+  double epoch_mean;
+  if (single) {
+    epoch_mean = run_length->mean_length();
+  } else {
+    double inv = 0.0;
+    for (std::size_t u = 0; u < u_count; ++u) {
+      double r_u = 0.0;
+      for (std::size_t v = 0; v < u_count; ++v) {
+        r_u += sim.rates[u * u_count + v] + sim.rates[v * u_count + u];
+      }
+      inv += r_u * r_u / static_cast<double>(sim.urns[u].n);
+    }
+    epoch_mean = 0.886 * std::sqrt(2.0 / inv);
+  }
 
   LastChangeMark mark;
 
-  // Per-epoch scratch, hoisted out of the loop. `used` tracks the
-  // post-transition states of this epoch's participants (indexed by state,
-  // reset via the `touched` list).
-  std::vector<std::uint64_t> pool, drawn, init, resp;
-  std::vector<std::uint64_t> used(num_states_, 0);
-  std::vector<pp::StateId> touched;
-
-  const auto touch_used = [&](pp::StateId s, std::uint64_t m) {
-    if (used[s] == 0) touched.push_back(s);
-    used[s] += m;
-  };
+  // Per-epoch scratch, hoisted out of the loop.
+  std::vector<std::uint32_t> seq;                  // multi-urn block sequence
+  std::vector<std::uint64_t> block_len(num_blocks, 0);
+  std::vector<std::uint64_t> block_productive(num_blocks, 0);
+  std::vector<std::uint64_t> phase1_used(u_count, 0);
+  std::vector<std::vector<std::uint64_t>> block_init(num_blocks),
+      block_resp(num_blocks);
+  std::vector<std::size_t> width(u_count, 0);
+  std::vector<std::uint64_t> pool, drawn, rem;
 
   while (!result.silent && result.interactions < options_.max_interactions) {
     const std::uint64_t remaining =
@@ -249,12 +590,17 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
     // between is one log). Below ~3 expected changes per epoch the
     // geometric path wins; it is an exact sampler either way, so the
     // threshold is purely a performance knob.
-    const double p_active = static_cast<double>(sim.active) / total_pairs;
-    if (p_active * run_length.mean_length() < 3.0) {
+    double p_change = 0.0;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      if (sim.rates[b] <= 0.0) continue;
+      p_change += sim.rates[b] *
+                  (static_cast<double>(sim.active[b]) / sim.pair_capacity[b]);
+    }
+    if (p_change * epoch_mean < 3.0) {
       std::uint64_t nulls = remaining;
-      if (p_active > 0.0) {
+      if (p_change > 0.0) {
         const double g = std::floor(std::log1p(-rng.uniform01()) /
-                                    std::log1p(-p_active));
+                                    std::log1p(-p_change));
         if (g < static_cast<double>(remaining)) {
           nulls = static_cast<std::uint64_t>(g);
         }
@@ -264,187 +610,354 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
         break;  // the budget ran out inside a null run
       }
       result.interactions += nulls;
-      // The next interaction is a state change: draw the ordered pair
-      // conditioned on being active (weights c_s * (c_t - [s == t])).
-      std::uint64_t r = rng.uniform_below(sim.active);
+      // The next interaction is a state change: draw its block (weights
+      // rate_b * active_b / capacity_b), then the ordered pair conditioned
+      // on being active.
+      std::size_t block = 0;
+      if (!single) block = sim.pick_block_by_activity(p_change);
+      const std::size_t bu = block / u_count;
+      const std::size_t bv = block % u_count;
       pp::StateId si = 0, sr = 0;
-      bool found = false;
-      for (const pp::StateId s : sim.present) {
-        if (counts[s] == 0) continue;
-        for (const pp::StateId t : sim.present) {
-          if (!nonnull(s, t)) continue;
-          const std::uint64_t w = counts[s] * (counts[t] - (s == t ? 1 : 0));
-          if (r < w) {
-            si = s;
-            sr = t;
-            found = true;
-            break;
-          }
-          r -= w;
-        }
-        if (found) break;
-      }
-      CIRCLES_CHECK_MSG(found, "active-pair draw walked past the count");
-      sim.apply(si, sr, transition(si, sr));
+      sim.pick_active_pair(bu, bv, si, sr);
+      sim.apply(bu, bv, si, sr, transition(si, sr));
       result.state_changes += 1;
       result.last_change_step = result.interactions;
-      mark = {.valid = true, .exact = true, .index = result.interactions};
+      mark.valid = true;
+      mark.exact = true;
+      mark.index = result.interactions;
       result.interactions += 1;
       sim.refresh_active();
-      if (options_.stop_when_silent && sim.active == 0) result.silent = true;
+      if (options_.stop_when_silent && sim.live_active == 0) {
+        result.silent = true;
+      }
       if (recorder != nullptr) {
         // One collapsed sample per fast-forward jump: the counts were
         // constant across the skipped null run, so the post-change index is
         // the exact position of this observation.
-        recorder->advance(result.interactions, 0.0, sim.counts, sim.active,
-                          sim.present);
+        recorder->advance(result.interactions, 0.0, sim.rec_counts(),
+                          sim.live_active, sim.rec_present(), sim.rec_urns());
       }
       continue;
     }
 
-    // One epoch: L collision-free interactions (2L distinct agents), then
-    // the colliding interaction that ended the run, then reset.
-    std::uint64_t len = run_length.sample(rng);
-    bool collided = true;
-    if (len >= remaining) {
-      len = remaining;
-      collided = false;  // budget cut the epoch before any collision
+    // One epoch: L collision-free interactions (participants distinct
+    // within every urn), then the colliding interaction that ended the run,
+    // then reset.
+    std::fill(block_len.begin(), block_len.end(), 0);
+    std::fill(block_productive.begin(), block_productive.end(), 0);
+    std::uint64_t len = 0;
+    bool collided = false;
+    std::size_t col_block = 0;
+
+    if (single) {
+      len = run_length->sample(rng);
+      collided = true;
+      if (len >= remaining) {
+        len = remaining;
+        collided = false;  // budget cut the epoch before any collision
+      }
+      block_len[0] = len;
+    } else {
+      // Exact sequential chain: each step draws its block from the rate
+      // matrix and collides with the probability that a uniform agent draw
+      // in the block's urns re-touches a used agent; one uniform drives
+      // both decisions (the conditional remainder within the block's rate
+      // interval is itself uniform).
+      seq.clear();
+      std::fill(phase1_used.begin(), phase1_used.end(), 0);
+      while (static_cast<std::uint64_t>(seq.size()) < remaining) {
+        const double r = rng.uniform01();
+        std::size_t b = num_blocks;
+        double r_in = 0.0;
+        {
+          double acc = 0.0;
+          std::size_t last = num_blocks;
+          for (std::size_t i = 0; i < num_blocks; ++i) {
+            const double rate = sim.rates[i];
+            if (rate <= 0.0) continue;
+            last = i;
+            if (r < acc + rate) {
+              b = i;
+              r_in = (r - acc) / rate;
+              break;
+            }
+            acc += rate;
+          }
+          if (b == num_blocks) {
+            b = last;  // rounding pushed r past the final live block
+            r_in = 0.0;
+          }
+        }
+        const std::size_t u = b / u_count;
+        const std::size_t v = b % u_count;
+        double p_col;
+        if (u == v) {
+          const double fresh =
+              static_cast<double>(sim.urns[u].n - phase1_used[u]);
+          p_col = 1.0 - fresh * (fresh - 1.0) /
+                            (static_cast<double>(sim.urns[u].n) *
+                             static_cast<double>(sim.urns[u].n - 1));
+        } else {
+          p_col = 1.0 -
+                  (static_cast<double>(sim.urns[u].n - phase1_used[u]) /
+                   static_cast<double>(sim.urns[u].n)) *
+                      (static_cast<double>(sim.urns[v].n - phase1_used[v]) /
+                       static_cast<double>(sim.urns[v].n));
+        }
+        if (r_in < p_col) {
+          collided = true;
+          col_block = b;
+          break;
+        }
+        seq.push_back(static_cast<std::uint32_t>(b));
+        block_len[b] += 1;
+        if (u == v) {
+          phase1_used[u] += 2;
+        } else {
+          phase1_used[u] += 1;
+          phase1_used[v] += 1;
+        }
+      }
+      len = seq.size();
     }
 
-    const std::size_t width = sim.present.size();
-    pool.resize(width);
-    drawn.resize(width);
-    init.resize(width);
-    resp.resize(width);
-    for (std::size_t i = 0; i < width; ++i) pool[i] = counts[sim.present[i]];
-
-    // States of the 2L distinct participants, then which L are initiators.
-    multivariate_hypergeometric(rng, pool, 2 * len, drawn);
-    multivariate_hypergeometric(rng, drawn, len, init);
-    for (std::size_t i = 0; i < width; ++i) resp[i] = drawn[i] - init[i];
-
-    for (const pp::StateId s : touched) used[s] = 0;
-    touched.clear();
-
-    // Pair initiators with responders: a uniformly random perfect matching,
-    // sampled group by group as a hypergeometric contingency table.
-    std::uint64_t epoch_productive = 0;
-    std::uint64_t resp_pool = len;
-    for (std::size_t a = 0; a < width; ++a) {
-      std::uint64_t need = init[a];
-      if (need == 0) continue;
-      std::uint64_t pool_total = resp_pool;
-      for (std::size_t b = 0; b < width && need > 0; ++b) {
-        const std::uint64_t avail = resp[b];
-        if (avail == 0) continue;
-        const std::uint64_t m = hypergeometric(rng, pool_total, avail, need);
-        pool_total -= avail;
-        resp[b] -= m;
-        need -= m;
-        if (m == 0) continue;
-        const pp::StateId s = sim.present[a];
-        const pp::StateId t = sim.present[b];
-        const pp::Transition tr = transition(s, t);
-        counts[s] -= m;
-        counts[t] -= m;
-        counts[tr.initiator] += m;
-        counts[tr.responder] += m;
-        sim.note_state(tr.initiator);
-        sim.note_state(tr.responder);
-        touch_used(tr.initiator, m);
-        touch_used(tr.responder, m);
-        if (tr.initiator != s || tr.responder != t) epoch_productive += m;
+    // Participant state draws, per urn: T_u agents leave urn u this epoch
+    // (initiators of blocks (u, *) plus responders of blocks (*, u); intra
+    // blocks contribute on both sides). drawn ~ multivariate hypergeometric
+    // from the urn's counts, then sequential splits deal the drawn states
+    // across the urn's roles. Single-urn runs draw on the main RNG stream
+    // (the historical order); multi-urn runs give urn u the forked
+    // sub-stream fork(u), so the draws do not depend on urn iteration order.
+    for (std::size_t u = 0; u < u_count; ++u) {
+      Sim::Urn& urn = sim.urns[u];
+      width[u] = urn.present.size();
+      std::uint64_t t_u = 0;
+      for (std::size_t v = 0; v < u_count; ++v) {
+        t_u += block_len[u * u_count + v] + block_len[v * u_count + u];
       }
-      CIRCLES_DCHECK(need == 0);
-      resp_pool -= init[a];
+      if (t_u == 0) continue;
+
+      util::Rng forked(0);
+      util::Rng* stream = &rng;
+      if (!single) {
+        forked = rng.fork(u);
+        stream = &forked;
+      }
+
+      pool.resize(width[u]);
+      for (std::size_t i = 0; i < width[u]; ++i) {
+        pool[i] = urn.counts[urn.present[i]];
+      }
+      drawn.resize(width[u]);
+      multivariate_hypergeometric(*stream, pool, t_u, drawn);
+
+      rem = drawn;
+      std::uint64_t rem_total = t_u;
+      const auto deal_role = [&](std::vector<std::uint64_t>& target,
+                                 std::uint64_t count) {
+        if (count == 0) return;
+        if (rem_total == count) {
+          target = rem;  // last live role takes the remainder outright
+          rem_total = 0;
+          return;
+        }
+        target.resize(width[u]);
+        multivariate_hypergeometric(*stream, rem, count, target);
+        for (std::size_t i = 0; i < width[u]; ++i) rem[i] -= target[i];
+        rem_total -= count;
+      };
+      for (std::size_t v = 0; v < u_count; ++v) {
+        deal_role(block_init[u * u_count + v], block_len[u * u_count + v]);
+      }
+      for (std::size_t v = 0; v < u_count; ++v) {
+        deal_role(block_resp[v * u_count + u], block_len[v * u_count + u]);
+      }
+    }
+
+    sim.reset_used();
+
+    // Pair initiators with responders per block: a uniformly random perfect
+    // matching, sampled group by group as a hypergeometric contingency
+    // table. Blocks iterate in ascending order but draw from their own
+    // forked sub-streams (fork(U + b)) on multi-urn runs.
+    std::uint64_t epoch_productive = 0;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      if (block_len[b] == 0) continue;
+      const std::size_t u = b / u_count;
+      const std::size_t v = b % u_count;
+      Sim::Urn& urn_i = sim.urns[u];
+      Sim::Urn& urn_r = sim.urns[v];
+      std::vector<std::uint64_t>& init = block_init[b];
+      std::vector<std::uint64_t>& resp = block_resp[b];
+
+      util::Rng forked(0);
+      util::Rng* stream = &rng;
+      if (!single) {
+        forked = rng.fork(u_count + b);
+        stream = &forked;
+      }
+
+      std::uint64_t resp_pool = block_len[b];
+      for (std::size_t a = 0; a < width[u]; ++a) {
+        std::uint64_t need = init[a];
+        if (need == 0) continue;
+        std::uint64_t pool_total = resp_pool;
+        for (std::size_t c = 0; c < width[v] && need > 0; ++c) {
+          const std::uint64_t avail = resp[c];
+          if (avail == 0) continue;
+          const std::uint64_t m =
+              hypergeometric(*stream, pool_total, avail, need);
+          pool_total -= avail;
+          resp[c] -= m;
+          need -= m;
+          if (m == 0) continue;
+          const pp::StateId s = urn_i.present[a];
+          const pp::StateId t = urn_r.present[c];
+          const pp::Transition tr = transition(s, t);
+          urn_i.counts[s] -= m;
+          urn_r.counts[t] -= m;
+          urn_i.counts[tr.initiator] += m;
+          urn_r.counts[tr.responder] += m;
+          sim.note_state(urn_i, tr.initiator);
+          sim.note_state(urn_r, tr.responder);
+          sim.touch_used(urn_i, tr.initiator, m);
+          sim.touch_used(urn_r, tr.responder, m);
+          sim.apply_agg(s, t, tr, m);
+          if (tr.initiator != s || tr.responder != t) {
+            block_productive[b] += m;
+          }
+        }
+        CIRCLES_DCHECK(need == 0);
+        resp_pool -= init[a];
+      }
+      epoch_productive += block_productive[b];
     }
 
     const std::uint64_t epoch_start = result.interactions;
     result.interactions += len;
     result.state_changes += epoch_productive;
     if (epoch_productive > 0) {
-      mark = {.valid = true,
-              .exact = false,
-              .index = 0,
-              .start = epoch_start,
-              .length = len,
-              .productive = epoch_productive};
+      mark.valid = true;
+      mark.exact = false;
+      mark.start = epoch_start;
+      mark.length = len;
+      mark.productive = epoch_productive;
+      mark.multi = !single;
+      if (!single) {
+        mark.seq.assign(seq.begin(), seq.end());
+        mark.block_len = block_len;
+        mark.block_productive = block_productive;
+      }
     }
 
     if (collided && result.interactions < options_.max_interactions) {
-      // The interaction that ended the epoch re-touches a used agent.
-      const std::uint64_t used_total = 2 * len;
-      const std::uint64_t fresh_total = n - used_total;
-      const std::uint64_t w_both = used_total * (used_total - 1);
-      const std::uint64_t w_mixed = used_total * fresh_total;
-
-      const auto pick_used = [&](std::uint64_t total, std::uint64_t exclude) {
-        std::uint64_t r = rng.uniform_below(total);
-        for (const pp::StateId s : touched) {
-          std::uint64_t c = used[s];
-          if (s == exclude) c -= 1;
-          if (r < c) return s;
-          r -= c;
-        }
-        CIRCLES_CHECK_MSG(false, "used-agent draw walked past the epoch");
-        return touched.back();
-      };
-      const auto pick_fresh = [&](std::uint64_t total) {
-        std::uint64_t r = rng.uniform_below(total);
-        for (const pp::StateId s : sim.present) {
-          const std::uint64_t c = counts[s] - used[s];
-          if (r < c) return s;
-          r -= c;
-        }
-        CIRCLES_CHECK_MSG(false, "fresh-agent draw walked past the epoch");
-        return sim.present.back();
-      };
-
+      // The interaction that ended the epoch re-touches a used agent: a
+      // uniform ordered pair of its block conditioned on at least one
+      // participant being used, drawn from the per-urn used/fresh masses.
+      const std::size_t bu = col_block / u_count;
+      const std::size_t bv = col_block % u_count;
       pp::StateId si, sr;
-      const std::uint64_t r = rng.uniform_below(w_both + 2 * w_mixed);
-      if (r < w_both) {
-        si = pick_used(used_total, kNoExclude);
-        sr = pick_used(used_total - 1, si);
-      } else if (r < w_both + w_mixed) {
-        si = pick_used(used_total, kNoExclude);
-        sr = pick_fresh(fresh_total);
+      if (bu == bv) {
+        Sim::Urn& urn = sim.urns[bu];
+        const std::uint64_t used_total = urn.used_total;
+        const std::uint64_t fresh_total = urn.n - used_total;
+        const std::uint64_t w_both = used_total * (used_total - 1);
+        const std::uint64_t w_mixed = used_total * fresh_total;
+        const std::uint64_t r = rng.uniform_below(w_both + 2 * w_mixed);
+        if (r < w_both) {
+          si = sim.pick_used(urn, used_total, kNoExclude);
+          sr = sim.pick_used(urn, used_total - 1, si);
+        } else if (r < w_both + w_mixed) {
+          si = sim.pick_used(urn, used_total, kNoExclude);
+          sr = sim.pick_fresh(urn, fresh_total);
+        } else {
+          si = sim.pick_fresh(urn, fresh_total);
+          sr = sim.pick_used(urn, used_total, kNoExclude);
+        }
       } else {
-        si = pick_fresh(fresh_total);
-        sr = pick_used(used_total, kNoExclude);
+        Sim::Urn& urn_i = sim.urns[bu];
+        Sim::Urn& urn_r = sim.urns[bv];
+        const std::uint64_t mu = urn_i.used_total;
+        const std::uint64_t mv = urn_r.used_total;
+        const std::uint64_t fu = urn_i.n - mu;
+        const std::uint64_t fv = urn_r.n - mv;
+        const std::uint64_t w_both = mu * mv;
+        const std::uint64_t w_used_fresh = mu * fv;
+        const std::uint64_t w_fresh_used = fu * mv;
+        const std::uint64_t r =
+            rng.uniform_below(w_both + w_used_fresh + w_fresh_used);
+        if (r < w_both) {
+          si = sim.pick_used(urn_i, mu, kNoExclude);
+          sr = sim.pick_used(urn_r, mv, kNoExclude);
+        } else if (r < w_both + w_used_fresh) {
+          si = sim.pick_used(urn_i, mu, kNoExclude);
+          sr = sim.pick_fresh(urn_r, fv);
+        } else {
+          si = sim.pick_fresh(urn_i, fu);
+          sr = sim.pick_used(urn_r, mv, kNoExclude);
+        }
       }
       const pp::Transition tr = transition(si, sr);
       if (tr.initiator != si || tr.responder != sr) {
-        sim.apply(si, sr, tr);
+        sim.apply(bu, bv, si, sr, tr);
         result.state_changes += 1;
         epoch_productive += 1;
-        mark = {.valid = true, .exact = true, .index = result.interactions};
+        mark.valid = true;
+        mark.exact = true;
+        mark.index = result.interactions;
       }
       result.interactions += 1;
     }
 
     // A change-free epoch leaves the configuration — and therefore the
-    // active-pair count — untouched.
+    // active-pair counts — untouched.
     if (epoch_productive > 0) sim.refresh_active();
-    if (options_.stop_when_silent && sim.active == 0) result.silent = true;
+    if (options_.stop_when_silent && sim.live_active == 0) {
+      result.silent = true;
+    }
     if (recorder != nullptr) {
       // Epoch-boundary sampling: counts are only well-defined between
       // epochs, so the snapshot carries the boundary's exact interaction
       // index rather than interpolating into the epoch.
-      recorder->advance(result.interactions, 0.0, sim.counts, sim.active,
-                        sim.present);
+      recorder->advance(result.interactions, 0.0, sim.rec_counts(),
+                        sim.live_active, sim.rec_present(), sim.rec_urns());
     }
   }
 
-  // Resolve the exact step of the final change. Within an epoch the slot
-  // order is exchangeable, so the productive slots form a uniform subset;
-  // only their maximum matters and only for the final epoch.
+  // Resolve the exact step of the final change. Within an epoch each
+  // block's slot assignment is exchangeable, so its productive slots form a
+  // uniform subset of its occurrence positions; only the maximum matters
+  // and only for the final epoch. Single-urn epochs are one block, so one
+  // last_special_slot draw (the historical stream); multi-urn epochs place
+  // each block's last productive occurrence and take the maximum.
   if (mark.valid) {
     if (mark.exact) {
       result.last_change_step = mark.index;
-    } else {
+    } else if (!mark.multi) {
       const std::uint64_t slot =
           last_special_slot(rng, mark.length, mark.productive);
       result.last_change_step = mark.start + slot - 1;
+    } else {
+      std::uint64_t best = 0;
+      for (std::size_t b = 0; b < mark.block_len.size(); ++b) {
+        if (mark.block_productive[b] == 0) continue;
+        const std::uint64_t slot = last_special_slot(
+            rng, mark.block_len[b], mark.block_productive[b]);
+        // Position (1-based, within the epoch) of block b's slot-th
+        // occurrence in the saved sequence.
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < mark.seq.size(); ++i) {
+          if (mark.seq[i] == b) {
+            ++seen;
+            if (seen == slot) {
+              best = std::max(best, static_cast<std::uint64_t>(i + 1));
+              break;
+            }
+          }
+        }
+      }
+      CIRCLES_DCHECK(best >= 1);
+      result.last_change_step = mark.start + best - 1;
     }
   }
 }

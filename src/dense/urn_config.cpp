@@ -1,0 +1,120 @@
+#include "dense/urn_config.hpp"
+
+#include <sstream>
+
+#include "dense/sampling.hpp"
+#include "util/check.hpp"
+
+namespace circles::dense {
+
+UrnConfig UrnConfig::from_workload(const pp::Protocol& protocol,
+                                   const analysis::Workload& workload,
+                                   std::span<const std::uint64_t> sizes,
+                                   util::Rng& rng) {
+  CIRCLES_CHECK_MSG(workload.k() == protocol.num_colors(),
+                    "workload color count does not match the protocol");
+  CIRCLES_CHECK_MSG(!sizes.empty(), "urn config needs at least one urn");
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : sizes) total += s;
+  CIRCLES_CHECK_MSG(total == workload.n(),
+                    "urn sizes do not sum to the workload's population");
+
+  UrnConfig config;
+  config.urns.assign(sizes.size(),
+                     std::vector<std::uint64_t>(protocol.num_states(), 0));
+
+  // Deal the color multiset into the urns: urn u draws sizes[u] agents
+  // without replacement from what the earlier urns left behind. The final
+  // urn takes the remainder outright (the degenerate draw is deterministic).
+  std::vector<std::uint64_t> remaining = workload.counts;
+  std::vector<std::uint64_t> share(workload.k(), 0);
+  for (std::size_t u = 0; u < sizes.size(); ++u) {
+    if (u + 1 == sizes.size()) {
+      share = remaining;
+    } else {
+      multivariate_hypergeometric(rng, remaining, sizes[u], share);
+      for (std::size_t c = 0; c < remaining.size(); ++c) {
+        remaining[c] -= share[c];
+      }
+    }
+    for (pp::ColorId c = 0; c < workload.k(); ++c) {
+      config.urns[u][protocol.input(c)] += share[c];
+    }
+  }
+  return config;
+}
+
+UrnConfig UrnConfig::from_dense(DenseConfig dense) {
+  UrnConfig config;
+  config.urns.push_back(std::move(dense.counts));
+  return config;
+}
+
+UrnConfig UrnConfig::from_population(const pp::Protocol& protocol,
+                                     const pp::Population& population,
+                                     std::span<const std::uint64_t> sizes) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : sizes) total += s;
+  CIRCLES_CHECK_MSG(total == population.size(),
+                    "urn sizes do not sum to the population");
+  UrnConfig config;
+  config.urns.assign(sizes.size(),
+                     std::vector<std::uint64_t>(protocol.num_states(), 0));
+  std::size_t u = 0;
+  std::uint64_t within = 0;
+  for (const pp::StateId s : population.agents()) {
+    while (within == sizes[u]) {
+      within = 0;
+      ++u;
+    }
+    config.urns[u][s] += 1;
+    ++within;
+  }
+  return config;
+}
+
+std::uint64_t UrnConfig::urn_n(std::size_t u) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : urns[u]) total += c;
+  return total;
+}
+
+std::uint64_t UrnConfig::n() const {
+  std::uint64_t total = 0;
+  for (std::size_t u = 0; u < urns.size(); ++u) total += urn_n(u);
+  return total;
+}
+
+std::vector<std::uint64_t> UrnConfig::sizes() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(urns.size());
+  for (std::size_t u = 0; u < urns.size(); ++u) out.push_back(urn_n(u));
+  return out;
+}
+
+DenseConfig UrnConfig::aggregate() const {
+  DenseConfig dense;
+  dense.counts.assign(num_states(), 0);
+  for (const auto& urn : urns) {
+    for (std::size_t s = 0; s < urn.size(); ++s) dense.counts[s] += urn[s];
+  }
+  return dense;
+}
+
+std::vector<std::uint64_t> UrnConfig::output_histogram(
+    const pp::Protocol& protocol) const {
+  return aggregate().output_histogram(protocol);
+}
+
+std::string UrnConfig::to_string(const pp::Protocol& protocol) const {
+  std::ostringstream os;
+  for (std::size_t u = 0; u < urns.size(); ++u) {
+    if (u) os << " | ";
+    DenseConfig view;
+    view.counts = urns[u];
+    os << "urn" << u << "{" << view.to_string(protocol) << "}";
+  }
+  return os.str();
+}
+
+}  // namespace circles::dense

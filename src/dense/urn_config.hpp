@@ -1,0 +1,69 @@
+// UrnConfig: a population partitioned into urns (clusters), each stored as
+// per-state counts.
+//
+// This is the count-level image of a clustered population: urn u holds the
+// agents of cluster u, and because a lumpable scheduler (pp::UrnLumping)
+// treats agents within a cluster as exchangeable, the per-urn count matrix
+// is a complete description of the process state. Memory is
+// O(num_urns * num_states), independent of n — the same property that lets
+// DenseConfig reach n = 10^8, now for clustered topologies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/workload.hpp"
+#include "dense/dense_config.hpp"
+#include "pp/population.hpp"
+#include "pp/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace circles::dense {
+
+struct UrnConfig {
+  /// urns[u][s] = number of agents of cluster u in state s; every row has
+  /// size protocol.num_states().
+  std::vector<std::vector<std::uint64_t>> urns;
+
+  /// The standard clustered initial configuration: materialize the workload
+  /// and deal its agents into urns of the given sizes uniformly at random
+  /// (sequential multivariate-hypergeometric splits — exactly the per-range
+  /// color distribution a uniformly shuffled agent array induces on id-range
+  /// clusters, so the urn process starts from the same distribution as
+  /// pp::Engine + ClusteredScheduler). Consumes `rng` deterministically.
+  static UrnConfig from_workload(const pp::Protocol& protocol,
+                                 const analysis::Workload& workload,
+                                 std::span<const std::uint64_t> sizes,
+                                 util::Rng& rng);
+
+  /// Wraps a single-urn configuration (moves the counts).
+  static UrnConfig from_dense(DenseConfig config);
+
+  /// Snapshot of an explicit agent array partitioned by id ranges of the
+  /// given sizes (cross-validation against the agent backend).
+  static UrnConfig from_population(const pp::Protocol& protocol,
+                                   const pp::Population& population,
+                                   std::span<const std::uint64_t> sizes);
+
+  std::size_t num_urns() const { return urns.size(); }
+  std::uint64_t num_states() const { return urns.empty() ? 0 : urns[0].size(); }
+  std::uint64_t urn_n(std::size_t u) const;
+  std::uint64_t n() const;
+  std::vector<std::uint64_t> sizes() const;
+
+  /// Summed counts across urns (what aggregate observers see).
+  DenseConfig aggregate() const;
+
+  /// Output-symbol histogram of the aggregate configuration.
+  std::vector<std::uint64_t> output_histogram(
+      const pp::Protocol& protocol) const;
+
+  /// Debug rendering: "urn0{...} | urn1{...}".
+  std::string to_string(const pp::Protocol& protocol) const;
+
+  bool operator==(const UrnConfig&) const = default;
+};
+
+}  // namespace circles::dense

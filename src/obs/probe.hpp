@@ -33,6 +33,10 @@ struct ProbeContext {
   /// active-pair counts, output-table lookups); may be null.
   const kernel::CompiledProtocol* kernel = nullptr;
   std::uint64_t n = 0;
+  /// Per-urn partition sizes when the host simulates a clustered population
+  /// (dense multi-urn runs); empty on unpartitioned hosts. Index-aligned
+  /// with Snapshot::urns.
+  std::span<const std::uint64_t> urn_sizes;
 };
 
 /// Sentinel: the host did not supply an active-pair count.
@@ -53,6 +57,11 @@ struct Snapshot {
   /// States possibly present — a superset hint that may contain stale
   /// zero-count entries; empty means unknown (scan all counts).
   std::span<const pp::StateId> present;
+  /// Per-urn per-state counts (one span per urn, each sized num_states) when
+  /// the host partitions the population into urns — clustered dense runs;
+  /// empty on unpartitioned hosts. `counts` holds the aggregate either way,
+  /// so probes that ignore this field work unchanged on every backend.
+  std::span<const std::span<const std::uint64_t>> urns;
   const ProbeContext* ctx = nullptr;
 };
 

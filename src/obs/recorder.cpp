@@ -14,7 +14,8 @@ void Recorder::add(Probe* probe, GridSpec grid) {
 void Recorder::begin(const ProbeContext& ctx,
                      std::span<const std::uint64_t> counts,
                      std::uint64_t active_pairs,
-                     std::span<const pp::StateId> present) {
+                     std::span<const pp::StateId> present,
+                     std::span<const std::span<const std::uint64_t>> urns) {
   if (begun_) return;
   begun_ = true;
   ctx_ = ctx;
@@ -34,7 +35,7 @@ void Recorder::begin(const ProbeContext& ctx,
   refresh_next_due();
 
   const Snapshot snapshot =
-      make_snapshot(0, 0.0, counts, active_pairs, present, need_active);
+      make_snapshot(0, 0.0, counts, active_pairs, present, urns, need_active);
   for (Entry& entry : entries_) {
     entry.probe->on_begin(ctx_);
     entry.probe->on_sample(snapshot);
@@ -47,6 +48,7 @@ Snapshot Recorder::make_snapshot(std::uint64_t interactions,
                                  std::span<const std::uint64_t> counts,
                                  std::uint64_t active_pairs,
                                  std::span<const pp::StateId> present,
+                                 std::span<const std::span<const std::uint64_t>> urns,
                                  bool need_active) const {
   Snapshot snapshot;
   snapshot.interactions = interactions;
@@ -54,6 +56,7 @@ Snapshot Recorder::make_snapshot(std::uint64_t interactions,
   snapshot.counts = counts;
   snapshot.active_pairs = active_pairs;
   snapshot.present = present;
+  snapshot.urns = urns;
   snapshot.ctx = &ctx_;
   if (need_active && snapshot.active_pairs == kUnknownActive) {
     snapshot.active_pairs = active_pairs_from_counts(ctx_, counts, present);
@@ -64,7 +67,8 @@ Snapshot Recorder::make_snapshot(std::uint64_t interactions,
 void Recorder::sample(std::uint64_t interactions, double chemical_time,
                       std::span<const std::uint64_t> counts,
                       std::uint64_t active_pairs,
-                      std::span<const pp::StateId> present) {
+                      std::span<const pp::StateId> present,
+                      std::span<const std::span<const std::uint64_t>> urns) {
   CIRCLES_CHECK_MSG(begun_, "Recorder::advance before begin()");
   const double x = position(interactions, chemical_time);
 
@@ -76,7 +80,8 @@ void Recorder::sample(std::uint64_t interactions, double chemical_time,
     }
   }
   const Snapshot snapshot = make_snapshot(interactions, chemical_time, counts,
-                                          active_pairs, present, need_active);
+                                          active_pairs, present, urns,
+                                          need_active);
   for (Entry& entry : entries_) {
     if (entry.cursor >= entry.due.size() || entry.due[entry.cursor] > x) {
       continue;
@@ -93,7 +98,8 @@ void Recorder::sample(std::uint64_t interactions, double chemical_time,
 void Recorder::finish(std::uint64_t interactions, double chemical_time,
                       std::span<const std::uint64_t> counts,
                       std::uint64_t active_pairs,
-                      std::span<const pp::StateId> present) {
+                      std::span<const pp::StateId> present,
+                      std::span<const std::span<const std::uint64_t>> urns) {
   if (!begun_) return;
   const double x = position(interactions, chemical_time);
 
@@ -102,7 +108,8 @@ void Recorder::finish(std::uint64_t interactions, double chemical_time,
     if (entry.probe->wants_active_pairs()) need_active = true;
   }
   const Snapshot snapshot = make_snapshot(interactions, chemical_time, counts,
-                                          active_pairs, present, need_active);
+                                          active_pairs, present, urns,
+                                          need_active);
   for (Entry& entry : entries_) {
     // A batched host can rewind its reported index to the exact silence
     // point, so `x` may sit below the last emitted sample; never emit a

@@ -53,17 +53,21 @@ class Recorder {
 
   /// Materializes the grids and emits the initial sample (x = 0) to every
   /// probe. Idempotent: engine re-entry (fault bursts) begins only once.
+  /// `urns`, on every host entry point, is the optional per-urn count matrix
+  /// of partitioned (clustered dense) hosts — see Snapshot::urns.
   void begin(const ProbeContext& ctx, std::span<const std::uint64_t> counts,
              std::uint64_t active_pairs = kUnknownActive,
-             std::span<const pp::StateId> present = {});
+             std::span<const pp::StateId> present = {},
+             std::span<const std::span<const std::uint64_t>> urns = {});
 
   /// Hot-path notification; returns immediately unless a probe is due.
   void advance(std::uint64_t interactions, double chemical_time,
                std::span<const std::uint64_t> counts,
                std::uint64_t active_pairs = kUnknownActive,
-               std::span<const pp::StateId> present = {}) {
+               std::span<const pp::StateId> present = {},
+               std::span<const std::span<const std::uint64_t>> urns = {}) {
     if (position(interactions, chemical_time) < next_due_) return;
-    sample(interactions, chemical_time, counts, active_pairs, present);
+    sample(interactions, chemical_time, counts, active_pairs, present, urns);
   }
 
   /// Final sample (if the run ended past each probe's last one) plus
@@ -71,7 +75,8 @@ class Recorder {
   void finish(std::uint64_t interactions, double chemical_time,
               std::span<const std::uint64_t> counts,
               std::uint64_t active_pairs = kUnknownActive,
-              std::span<const pp::StateId> present = {});
+              std::span<const pp::StateId> present = {},
+              std::span<const std::span<const std::uint64_t>> urns = {});
 
  private:
   struct Entry {
@@ -92,12 +97,14 @@ class Recorder {
                          std::span<const std::uint64_t> counts,
                          std::uint64_t active_pairs,
                          std::span<const pp::StateId> present,
+                         std::span<const std::span<const std::uint64_t>> urns,
                          bool need_active) const;
 
   void sample(std::uint64_t interactions, double chemical_time,
               std::span<const std::uint64_t> counts,
               std::uint64_t active_pairs,
-              std::span<const pp::StateId> present);
+              std::span<const pp::StateId> present,
+              std::span<const std::span<const std::uint64_t>> urns);
 
   void refresh_next_due();
 

@@ -8,7 +8,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "pp/population.hpp"
 #include "pp/types.hpp"
@@ -18,6 +20,44 @@ namespace circles::pp {
 struct AgentPair {
   AgentId initiator;
   AgentId responder;
+};
+
+/// Exact-lumping contract for count-level simulation.
+///
+/// A scheduler is *urn-lumpable* when its next() is equivalent to: draw an
+/// ordered urn pair (u, v) with probability rates[u * U + v], independent of
+/// history and of the population's states; then draw the initiator uniformly
+/// from urn u and the responder uniformly from urn v (distinct agents when
+/// u == v). Urn u consists of the agent-id range
+/// [sizes[0]+...+sizes[u-1], sizes[0]+...+sizes[u]). Because agents within
+/// an urn are exchangeable under this contract, the per-urn count process is
+/// an exact lumping of the agent process — the dense urn engine simulates
+/// precisely this chain.
+struct UrnLumping {
+  std::vector<std::uint64_t> sizes;  // per-urn agent counts; sum = n
+  /// Row-major U x U ordered-block probabilities; entries sum to 1. A zero
+  /// entry means that ordered block is never scheduled.
+  std::vector<double> rates;
+
+  std::size_t num_urns() const { return sizes.size(); }
+  double rate(std::size_t u, std::size_t v) const {
+    return rates[u * sizes.size() + v];
+  }
+  std::uint64_t n() const {
+    std::uint64_t total = 0;
+    for (const auto s : sizes) total += s;
+    return total;
+  }
+
+  /// The complete-graph uniform scheduler: one urn, rate 1.
+  static UrnLumping uniform(std::uint64_t n) {
+    return UrnLumping{.sizes = {n}, .rates = {1.0}};
+  }
+
+  /// Structural sanity: sizes non-empty and positive, rates shaped U x U,
+  /// non-negative, summing to 1 (within 1e-9), diagonal blocks of
+  /// single-agent urns unreachable. Throws std::invalid_argument otherwise.
+  void validate() const;
 };
 
 class Scheduler {
@@ -34,7 +74,30 @@ class Scheduler {
   /// once. 0 means "no such guarantee" (randomized schedulers).
   virtual std::uint64_t fairness_period() const { return 0; }
 
+  /// The scheduler's exact lumping, when one exists — "am I count-simulable?"
+  /// Engines that simulate counts instead of agents (dense::DenseEngine) ask
+  /// this and mirror the returned block structure exactly. Must not depend
+  /// on the seed. Default: no lumping (deterministic sweeps, adversaries and
+  /// graph-restricted schedulers are not exchangeable within any partition).
+  virtual std::optional<UrnLumping> lumping() const { return std::nullopt; }
+
   virtual std::string name() const = 0;
+};
+
+/// Shape parameters for the clustered scheduler (and, through lumping(), for
+/// the dense urn engine). Either `sizes` fixes the clusters explicitly, or
+/// `num_clusters` splits n as evenly as possible (remainder spread over the
+/// trailing clusters, matching the historical n/2 | n - n/2 split at U = 2).
+struct ClusteredOptions {
+  std::vector<std::uint64_t> sizes;  // explicit per-cluster sizes (sum = n)
+  std::uint32_t num_clusters = 2;    // used when sizes is empty
+  /// Total probability mass of inter-cluster ("bridge") interactions,
+  /// split evenly over the U(U-1) ordered cross blocks; the remaining
+  /// 1 - bridge_probability is split evenly over the U intra blocks.
+  double bridge_probability = 0.01;
+
+  /// Per-cluster sizes for a population of n agents.
+  std::vector<std::uint64_t> resolve_sizes(std::uint64_t n) const;
 };
 
 /// The scheduler kinds available through the factory.
@@ -49,9 +112,11 @@ enum class SchedulerKind {
 /// Builds a scheduler for a population of n agents. `protocol` is required
 /// only by kAdversarialDelay (it inspects transitions to find null
 /// interactions) and may be null otherwise; `seed` feeds randomized kinds.
-std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, std::uint32_t n,
-                                          std::uint64_t seed,
-                                          const Protocol* protocol = nullptr);
+/// `clustered`, when non-null, shapes kClustered (ignored by other kinds).
+std::unique_ptr<Scheduler> make_scheduler(
+    SchedulerKind kind, std::uint32_t n, std::uint64_t seed,
+    const Protocol* protocol = nullptr,
+    const ClusteredOptions* clustered = nullptr);
 
 /// Parses "uniform", "round_robin", "shuffled", "adversarial", "clustered".
 SchedulerKind scheduler_kind_from_string(const std::string& text);

@@ -1,8 +1,14 @@
-// Two-clique ("dumbbell") interaction pattern: agents are split into two
-// clusters; most interactions are intra-cluster, a small fraction crosses the
-// bridge. Weakly fair with probability 1 (the bridge probability is positive)
-// but information between the halves mixes slowly — a stress test for
-// convergence-time experiments.
+// Clustered ("dumbbell" and beyond) interaction pattern: agents are split
+// into clusters; most interactions are intra-cluster, a small fraction
+// crosses a bridge. Weakly fair with probability 1 whenever every ordered
+// cluster pair carries positive rate, but information between clusters mixes
+// slowly — a stress test for convergence-time experiments.
+//
+// The scheduler is exactly urn-lumpable (see pp::UrnLumping): each step
+// draws an ordered cluster pair from a fixed rate matrix, then uniform
+// agents within the chosen clusters. The dense urn engine simulates exactly
+// this chain on per-cluster counts, making this scheduler the agent-side
+// oracle for dense::DenseEngine's multi-urn mode.
 #pragma once
 
 #include "pp/scheduler.hpp"
@@ -12,17 +18,35 @@ namespace circles::pp {
 
 class ClusteredScheduler final : public Scheduler {
  public:
+  /// The historical dumbbell: two (near-)equal halves, cross mass
+  /// `bridge_probability` split over both orientations.
   ClusteredScheduler(std::uint32_t n, std::uint64_t seed,
                      double bridge_probability = 0.01);
 
+  /// General form: arbitrary cluster count and sizes (options.resolve_sizes)
+  /// with the bridge mass spread evenly over the ordered cross blocks.
+  ClusteredScheduler(std::uint32_t n, std::uint64_t seed,
+                     const ClusteredOptions& options);
+
+  /// Fully explicit rate matrix (must satisfy UrnLumping::validate()).
+  ClusteredScheduler(UrnLumping lumping, std::uint64_t seed);
+
   AgentPair next(const Population& population) override;
+  std::optional<UrnLumping> lumping() const override { return lumping_; }
   std::string name() const override { return "clustered"; }
 
  private:
-  std::uint32_t n_;
-  std::uint32_t half_;  // agents [0, half_) form cluster A, the rest cluster B
-  double bridge_probability_;
+  UrnLumping lumping_;
+  std::vector<std::uint64_t> offsets_;     // cluster u = ids [offsets_[u], offsets_[u] + sizes[u])
+  std::vector<double> cumulative_rates_;   // prefix sums over the rate matrix
   util::Rng rng_;
 };
+
+/// The rate matrix ClusteredOptions describes: cross mass
+/// `bridge_probability` split evenly over the U(U-1) ordered cross blocks,
+/// the rest split evenly over the U intra blocks (matching the historical
+/// two-cluster scheduler at U = 2). With U = 1 the single intra block gets
+/// rate 1 and the bridge probability is ignored.
+UrnLumping clustered_lumping(std::uint64_t n, const ClusteredOptions& options);
 
 }  // namespace circles::pp

@@ -10,9 +10,69 @@
 
 namespace circles::pp {
 
+void UrnLumping::validate() const {
+  if (sizes.empty()) {
+    throw std::invalid_argument("urn lumping needs at least one urn");
+  }
+  if (rates.size() != sizes.size() * sizes.size()) {
+    throw std::invalid_argument(
+        "urn lumping rate matrix must be num_urns x num_urns");
+  }
+  for (const std::uint64_t size : sizes) {
+    if (size == 0) {
+      throw std::invalid_argument("urn lumping forbids empty urns");
+    }
+  }
+  double total = 0.0;
+  for (std::size_t u = 0; u < sizes.size(); ++u) {
+    for (std::size_t v = 0; v < sizes.size(); ++v) {
+      const double r = rates[u * sizes.size() + v];
+      if (!(r >= 0.0)) {
+        throw std::invalid_argument("urn lumping rates must be non-negative");
+      }
+      if (u == v && r > 0.0 && sizes[u] < 2) {
+        throw std::invalid_argument(
+            "urn lumping schedules an intra block on a single-agent urn");
+      }
+      total += r;
+    }
+  }
+  if (total < 1.0 - 1e-9 || total > 1.0 + 1e-9) {
+    throw std::invalid_argument("urn lumping rates must sum to 1");
+  }
+}
+
+std::vector<std::uint64_t> ClusteredOptions::resolve_sizes(
+    std::uint64_t n) const {
+  if (!sizes.empty()) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t s : sizes) total += s;
+    if (total != n) {
+      throw std::invalid_argument(
+          "clustered sizes sum to " + std::to_string(total) +
+          " but the population has " + std::to_string(n) + " agents");
+    }
+    return sizes;
+  }
+  if (num_clusters == 0 || num_clusters > n) {
+    throw std::invalid_argument(
+        "clustered scheduler needs 1 <= num_clusters <= n");
+  }
+  // Even split; the remainder lands on the trailing clusters, matching the
+  // historical n/2 | n - n/2 dumbbell at num_clusters = 2.
+  const std::uint64_t base = n / num_clusters;
+  const std::uint64_t rem = n % num_clusters;
+  std::vector<std::uint64_t> out(num_clusters, base);
+  for (std::uint64_t i = 0; i < rem; ++i) {
+    out[num_clusters - 1 - i] += 1;
+  }
+  return out;
+}
+
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, std::uint32_t n,
                                           std::uint64_t seed,
-                                          const Protocol* protocol) {
+                                          const Protocol* protocol,
+                                          const ClusteredOptions* clustered) {
   switch (kind) {
     case SchedulerKind::kUniformRandom:
       return std::make_unique<UniformRandomScheduler>(n, seed);
@@ -25,6 +85,9 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, std::uint32_t n,
                         "adversarial scheduler needs the protocol");
       return std::make_unique<AdversarialDelayScheduler>(n, *protocol);
     case SchedulerKind::kClustered:
+      if (clustered != nullptr) {
+        return std::make_unique<ClusteredScheduler>(n, seed, *clustered);
+      }
       return std::make_unique<ClusteredScheduler>(n, seed);
   }
   throw std::invalid_argument("unknown scheduler kind");

@@ -13,6 +13,11 @@ class UniformRandomScheduler final : public Scheduler {
   UniformRandomScheduler(std::uint32_t n, std::uint64_t seed);
 
   AgentPair next(const Population& population) override;
+  /// Trivially lumpable: one urn holding everyone, rate 1 — the complete
+  /// graph the dense engines have always simulated.
+  std::optional<UrnLumping> lumping() const override {
+    return UrnLumping::uniform(n_);
+  }
   std::string name() const override { return "uniform"; }
 
  private:

@@ -107,7 +107,14 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
                                        const RunSpec& spec,
                                        std::uint64_t trial_seed,
                                        const kernel::CompiledProtocol* kernel,
-                                       const dense::DenseEngine* dense_engine) {
+                                       const dense::DenseEngine* dense_engine,
+                                       EngineKind backend_resolved) {
+  const EngineKind backend = backend_resolved == EngineKind::kAuto
+                                 ? spec.backend
+                                 : backend_resolved;
+  CIRCLES_CHECK_MSG(backend != EngineKind::kAuto,
+                    "execute_trial needs a concrete backend; backend=auto "
+                    "specs are resolved by BatchRunner::run");
   TrialRecord rec;
   rec.seed = trial_seed;
   util::Rng workload_rng(mix_seed(trial_seed, kWorkloadSalt));
@@ -157,16 +164,18 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
     }
   };
 
-  if (spec.backend != EngineKind::kAgentArray) {
+  if (backend != EngineKind::kAgentArray) {
     TrialOptions options;
     options.seed = trial_seed;
     options.engine = spec.engine;
+    options.scheduler = spec.scheduler;
+    options.clustered = spec.clustered_options();
     options.kernel = kernel;
     options.use_kernel = spec.use_kernel;
     options.recorder = recorder.has_value() ? &*recorder : nullptr;
     rec.outcome =
         run_dense_trial(protocol, rec.workload, options,
-                        spec.backend == EngineKind::kDenseBatched, expected,
+                        backend == EngineKind::kDenseBatched, expected,
                         dense_engine);
     collect_traces();
     return rec;
@@ -225,10 +234,12 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
   if (spec.track_used_states) monitors.push_back(&used_states);
 
   pp::Population population(protocol, colors);
+  const pp::ClusteredOptions clustered = spec.clustered_options();
   auto scheduler =
       spec.scheduler_factory
           ? spec.scheduler_factory(n, derived_seed)
-          : pp::make_scheduler(spec.scheduler, n, derived_seed, &protocol);
+          : pp::make_scheduler(spec.scheduler, n, derived_seed, &protocol,
+                               &clustered);
 
   // One kernel for all engine invocations of this trial (the fault bursts
   // below re-enter the engine): the spec's shared kernel when provided, a
@@ -315,6 +326,9 @@ std::vector<SpecResult> BatchRunner::run(
   // const/thread-safe.
   std::vector<std::unique_ptr<dense::DenseEngine>> dense_engines(specs.size());
   std::vector<std::uint64_t> spec_seeds(specs.size());
+  // Concrete backend per spec: spec.backend, with kAuto resolved from the
+  // scheduler's lumpability, the population size and the state count.
+  std::vector<EngineKind> backends(specs.size(), EngineKind::kAgentArray);
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const RunSpec& spec = specs[i];
@@ -361,7 +375,46 @@ std::vector<SpecResult> BatchRunner::run(
           "(circles_stats / track_used_states / reboot_faults / grader / "
           "scheduler_factory)");
     }
-    if (spec.backend != EngineKind::kAgentArray) {
+    if ((spec.clusters != 0 || !spec.cluster_sizes.empty()) &&
+        spec.scheduler != pp::SchedulerKind::kClustered) {
+      throw std::invalid_argument(
+          "RunSpec '" + spec.to_string() +
+          "' sets clusters= but its scheduler is '" +
+          pp::to_string(spec.scheduler) +
+          "'; the cluster shape belongs to scheduler=clustered");
+    }
+
+    // Resolve the concrete backend. Auto dispatch: agent-only features or a
+    // non-lumpable scheduler force the agent array; otherwise the
+    // population size and state count pick the count-level engine.
+    const bool agent_only_features =
+        spec.circles_stats || spec.track_used_states ||
+        spec.reboot_faults > 0 || static_cast<bool>(spec.grader) ||
+        static_cast<bool>(spec.scheduler_factory) || spec.chemical_time;
+    std::optional<pp::UrnLumping> lumping;
+    if (spec.backend != EngineKind::kAgentArray && !agent_only_features) {
+      try {
+        lumping = scheduler_lumping(spec, protocol.get());
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument("RunSpec '" + spec.to_string() +
+                                    "': " + e.what());
+      }
+    }
+    EngineKind backend = spec.backend;
+    if (backend == EngineKind::kAuto) {
+      const std::uint64_t auto_n = spec.effective_n();
+      if (agent_only_features || !lumping.has_value() ||
+          protocol->num_states() > auto_n || auto_n < kAutoDenseMinN) {
+        backend = EngineKind::kAgentArray;
+      } else if (auto_n >= kAutoBatchedMinN) {
+        backend = EngineKind::kDenseBatched;
+      } else {
+        backend = EngineKind::kDense;
+      }
+    }
+    backends[i] = backend;
+
+    if (backend != EngineKind::kAgentArray) {
       // The dense backends have no agent array. Count-level probes
       // (spec.probes) run on every backend; the checks below single out
       // what genuinely cannot be expressed on counts, each with its own
@@ -380,7 +433,8 @@ std::vector<SpecResult> BatchRunner::run(
             "RunSpec '" + spec.to_string() +
             "' addresses individual agents (reboot_faults / grader / "
             "scheduler_factory), which the dense count representation "
-            "cannot express; use backend=agent");
+            "cannot express; use backend=agent, or backend=auto to pick a "
+            "backend per spec");
       }
       if (spec.chemical_time) {
         throw std::invalid_argument(
@@ -390,30 +444,36 @@ std::vector<SpecResult> BatchRunner::run(
             "backend=agent (count probes still record chemical-time "
             "cadence there)");
       }
-      if (spec.scheduler != pp::SchedulerKind::kUniformRandom) {
+      if (!lumping.has_value()) {
         throw std::invalid_argument(
-            "RunSpec '" + spec.to_string() +
-            "' requests a dense backend, which simulates the uniform "
-            "scheduler only");
+            "RunSpec '" + spec.to_string() + "' requests backend=" +
+            sim::to_string(spec.backend) + " with scheduler '" +
+            pp::to_string(spec.scheduler) +
+            "', which has no exact count-level lumping "
+            "(count-simulable schedulers: uniform, clustered); use "
+            "backend=agent for this scheduler, or backend=auto to pick a "
+            "backend per spec");
       }
     }
     if (spec.use_kernel) {
       kernels[i] = std::make_shared<const kernel::CompiledProtocol>(*protocol);
     }
-    if (spec.backend != EngineKind::kAgentArray) {
-      const dense::DenseMode mode = spec.backend == EngineKind::kDenseBatched
+    if (backend != EngineKind::kAgentArray) {
+      const dense::DenseMode mode = backend == EngineKind::kDenseBatched
                                         ? dense::DenseMode::kBatched
                                         : dense::DenseMode::kPerStep;
       dense_engines[i] =
           spec.use_kernel
               ? std::make_unique<dense::DenseEngine>(kernels[i], spec.engine,
-                                                     mode)
+                                                     mode, *lumping)
               : std::make_unique<dense::DenseEngine>(*protocol, spec.engine,
-                                                     mode, /*use_kernel=*/false);
+                                                     mode, /*use_kernel=*/false,
+                                                     *lumping);
     }
     protocols.push_back(std::move(protocol));
     spec_seeds[i] = spec_seed(spec, options_.base_seed, i);
     results[i].spec = spec;
+    results[i].backend_resolved = backend;
     results[i].trials.resize(spec.trials);
   }
 
@@ -443,7 +503,7 @@ std::vector<SpecResult> BatchRunner::run(
             execute_trial(*protocols[job.spec], specs[job.spec],
                           trial_seed(spec_seeds[job.spec], job.trial),
                           kernels[job.spec].get(),
-                          dense_engines[job.spec].get());
+                          dense_engines[job.spec].get(), backends[job.spec]);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();

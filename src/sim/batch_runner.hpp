@@ -54,6 +54,11 @@ struct SpecResult {
   RunSpec spec;
   std::vector<TrialRecord> trials;  // cleared when keep_trials is off
 
+  /// Backend that actually ran the trials: spec.backend, or the concrete
+  /// engine the runner picked when spec.backend is EngineKind::kAuto
+  /// (scheduler lumpability + n + state count decide — see EngineKind).
+  EngineKind backend_resolved = EngineKind::kAgentArray;
+
   /// Kernel compile stats for this spec's protocol (valid iff
   /// kernel_compiled, i.e. spec.use_kernel). The kernel is compiled exactly
   /// once per spec and shared by every trial on every thread; build time is
@@ -129,12 +134,15 @@ class BatchRunner {
   /// path when spec.use_kernel is off). `dense_engine` is an optional
   /// per-spec engine for dense backends (built once by run() so the
   /// transition table is shared across trials); when null, a dense trial
-  /// builds its own.
+  /// builds its own. `backend_resolved` is the concrete backend to run
+  /// (kAuto = "use spec.backend", which must then itself be concrete —
+  /// run() resolves auto specs before dispatching here).
   static TrialRecord execute_trial(
       const pp::Protocol& protocol, const RunSpec& spec,
       std::uint64_t trial_seed,
       const kernel::CompiledProtocol* kernel = nullptr,
-      const dense::DenseEngine* dense_engine = nullptr);
+      const dense::DenseEngine* dense_engine = nullptr,
+      EngineKind backend_resolved = EngineKind::kAuto);
 
  private:
   BatchOptions options_;

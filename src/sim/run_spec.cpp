@@ -1,8 +1,11 @@
 #include "sim/run_spec.hpp"
 
 #include <cstdio>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
+
+#include "pp/schedulers/clustered.hpp"
 
 namespace circles::sim {
 
@@ -14,8 +17,10 @@ EngineKind engine_kind_from_string(const std::string& text) {
   if (text == "dense_batched" || text == "batched") {
     return EngineKind::kDenseBatched;
   }
+  if (text == "auto") return EngineKind::kAuto;
   throw std::invalid_argument("unknown backend '" + text +
-                              "' (expected agent, dense, dense_batched)");
+                              "' (expected agent, dense, dense_batched, "
+                              "auto)");
 }
 
 std::string to_string(EngineKind kind) {
@@ -26,6 +31,8 @@ std::string to_string(EngineKind kind) {
       return "dense";
     case EngineKind::kDenseBatched:
       return "dense_batched";
+    case EngineKind::kAuto:
+      return "auto";
   }
   return "?";
 }
@@ -178,11 +185,36 @@ std::uint64_t RunSpec::effective_n() const {
   return n;
 }
 
+pp::ClusteredOptions RunSpec::clustered_options() const {
+  pp::ClusteredOptions options;
+  options.sizes = cluster_sizes;
+  options.num_clusters = clusters != 0 ? clusters : 2;
+  options.bridge_probability = bridge;
+  return options;
+}
+
 std::string RunSpec::to_string() const {
   std::string out = protocol + "(k=" + std::to_string(params.k) + ")";
   out += " n=" + std::to_string(effective_n());
   out += " workload=" + workload.to_string();
   out += " scheduler=" + pp::to_string(scheduler);
+  if (!cluster_sizes.empty()) {
+    // A comma marks explicit sizes; a single explicit size keeps a trailing
+    // comma so parse() cannot mistake it for a cluster *count*.
+    out += " clusters=";
+    for (std::size_t i = 0; i < cluster_sizes.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(cluster_sizes[i]);
+    }
+    if (cluster_sizes.size() == 1) out += ",";
+  } else if (clusters != 0) {
+    out += " clusters=" + std::to_string(clusters);
+  }
+  if (bridge != 0.01) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), " bridge=%g", bridge);
+    out += buffer;
+  }
   out += " trials=" + std::to_string(trials);
   if (backend != EngineKind::kAgentArray) {
     out += " backend=" + sim::to_string(backend);
@@ -263,6 +295,40 @@ RunSpec RunSpec::parse(const std::string& text) {
         spec.workload = WorkloadSpec::parse(value);
       } else if (key == "scheduler") {
         spec.scheduler = pp::scheduler_kind_from_string(value);
+      } else if (key == "clusters") {
+        if (value.find(',') != std::string::npos) {
+          spec.cluster_sizes.clear();
+          std::size_t vpos = 0;
+          while (vpos < value.size()) {
+            const auto comma = value.find(',', vpos);
+            const auto vend = comma == std::string::npos ? value.size() : comma;
+            if (vend > vpos) {
+              spec.cluster_sizes.push_back(
+                  parse_unsigned(value.substr(vpos, vend - vpos)));
+            }
+            vpos = vend + 1;
+          }
+          if (spec.cluster_sizes.empty()) {
+            throw std::invalid_argument(
+                "RunSpec parse: clusters needs at least one size in '" +
+                text + "'");
+          }
+        } else {
+          spec.clusters = static_cast<std::uint32_t>(parse_unsigned(value));
+          if (spec.clusters == 0) {
+            throw std::invalid_argument(
+                "RunSpec parse: clusters must be >= 1 in '" + text + "'");
+          }
+        }
+      } else if (key == "bridge") {
+        std::size_t used = 0;
+        spec.bridge = std::stod(value, &used);
+        if (used != value.size() || !(spec.bridge > 0.0) ||
+            spec.bridge > 1.0) {
+          throw std::invalid_argument(
+              "RunSpec parse: bridge must be a probability in (0, 1], got '" +
+              value + "'");
+        }
       } else if (key == "trials") {
         spec.trials = static_cast<std::uint32_t>(parse_unsigned(value));
       } else if (key == "backend") {
@@ -288,6 +354,42 @@ RunSpec RunSpec::parse(const std::string& text) {
                                 "'");
   }
   return spec;
+}
+
+std::optional<pp::UrnLumping> scheduler_lumping(const RunSpec& spec,
+                                                const pp::Protocol* protocol) {
+  if (spec.scheduler_factory) return std::nullopt;
+  const std::uint64_t n = spec.effective_n();
+  if (n < 2) return std::nullopt;
+  // Probe instances of the lumpable kinds are O(U^2) to build; the other
+  // kinds answer nullopt but can be expensive to construct (a shuffled
+  // sweep materializes n(n-1) pairs — its header caps comfort at n ~ 1024),
+  // so the hook is only consulted on instances that are cheap to make.
+  const bool cheap = spec.scheduler == pp::SchedulerKind::kUniformRandom ||
+                     spec.scheduler == pp::SchedulerKind::kClustered;
+  if (!cheap && (n > 1024 || (protocol == nullptr &&
+                              spec.scheduler ==
+                                  pp::SchedulerKind::kAdversarialDelay))) {
+    return std::nullopt;
+  }
+  const pp::ClusteredOptions clustered = spec.clustered_options();
+  if (n <= std::numeric_limits<std::uint32_t>::max()) {
+    const auto probe =
+        pp::make_scheduler(spec.scheduler, static_cast<std::uint32_t>(n),
+                           /*seed=*/0, protocol, &clustered);
+    return probe->lumping();
+  }
+  // Beyond the agent-id range no probe instance can exist; the lumpable
+  // kinds' contracts are closed-form, everything else is agent-bound.
+  if (spec.scheduler == pp::SchedulerKind::kUniformRandom) {
+    return pp::UrnLumping::uniform(n);
+  }
+  if (spec.scheduler == pp::SchedulerKind::kClustered) {
+    pp::UrnLumping lumping = pp::clustered_lumping(n, clustered);
+    lumping.validate();
+    return lumping;
+  }
+  return std::nullopt;
 }
 
 std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {

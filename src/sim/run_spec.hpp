@@ -66,17 +66,30 @@ enum class EngineKind {
   /// pp::Engine over an explicit agent array — supports every scheduler,
   /// monitors, per-agent graders and fault injection.
   kAgentArray,
-  /// dense::DenseEngine, per-step mode: the uniform scheduler simulated
-  /// directly on per-state counts; O(present states) per interaction,
-  /// O(num_states) memory, exact silence detection.
+  /// dense::DenseEngine, per-step mode: a lumpable scheduler (uniform or
+  /// clustered — see pp::Scheduler::lumping) simulated directly on per-state
+  /// counts, one count vector per urn; O(present states) per interaction,
+  /// O(num_urns * num_states) memory, exact silence detection.
   kDense,
   /// dense::DenseEngine, batched mode: collision-free epochs of ~sqrt(n)
-  /// interactions advanced with hypergeometric draws — the scaling backend
-  /// for n >= 10^6. Uniform scheduler only, like kDense.
+  /// interactions advanced with hypergeometric draws per urn-pair block —
+  /// the scaling backend for n >= 10^6. Lumpable schedulers only, like
+  /// kDense.
   kDenseBatched,
+  /// Resolved per spec by the BatchRunner: dense_batched for lumpable
+  /// schedulers at large n, dense at moderate n, agent otherwise (agent-only
+  /// features, non-lumpable schedulers, tiny n, or num_states > n). The
+  /// resolution lands in SpecResult::backend_resolved.
+  kAuto,
 };
 
-/// Parses "agent", "dense", "dense_batched".
+/// Auto-dispatch thresholds: below kAutoDenseMinN the agent array is at
+/// least as fast and strictly more featureful; above kAutoBatchedMinN the
+/// sqrt(n) epochs beat per-step count sampling.
+inline constexpr std::uint64_t kAutoDenseMinN = 128;
+inline constexpr std::uint64_t kAutoBatchedMinN = 8192;
+
+/// Parses "agent", "dense", "dense_batched", "auto".
 EngineKind engine_kind_from_string(const std::string& text);
 std::string to_string(EngineKind kind);
 
@@ -102,11 +115,23 @@ struct RunSpec {
   /// When set, overrides `scheduler` (e.g. graph-restricted topologies).
   SchedulerFactory scheduler_factory;
 
-  /// Simulation backend. The dense backends simulate the uniform scheduler
-  /// on per-state counts (no agent array), so they reject the agent-level
-  /// features: non-uniform schedulers, scheduler_factory, circles_stats,
-  /// track_used_states, reboot_faults, grader and chemical_time — the
-  /// BatchRunner refuses such specs up front.
+  /// Clustered-scheduler shape (meaningful only when scheduler is
+  /// kClustered): number of equal clusters (0 = the scheduler's default of
+  /// two), or explicit per-cluster sizes (overrides `clusters`). Rendered
+  /// as "clusters=4" / "clusters=600,400" tokens by to_string()/parse().
+  std::uint32_t clusters = 0;
+  std::vector<std::uint64_t> cluster_sizes;
+  /// Total inter-cluster interaction probability of the clustered
+  /// scheduler; rendered as "bridge=0.001" when non-default.
+  double bridge = 0.01;
+
+  /// Simulation backend. The dense backends simulate lumpable schedulers
+  /// (uniform, clustered — pp::Scheduler::lumping) on per-state counts with
+  /// no agent array, so they reject the agent-level features: non-lumpable
+  /// schedulers, scheduler_factory, circles_stats, track_used_states,
+  /// reboot_faults, grader and chemical_time — the BatchRunner refuses such
+  /// specs up front. kAuto resolves to a concrete backend per spec instead
+  /// of refusing.
   EngineKind backend = EngineKind::kAgentArray;
 
   /// Compile the protocol into a kernel::CompiledProtocol once per spec and
@@ -173,6 +198,11 @@ struct RunSpec {
   /// n actually used: the explicit workload's total when fixed, else `n`.
   std::uint64_t effective_n() const;
 
+  /// The clustered-scheduler shape this spec describes (clusters /
+  /// cluster_sizes / bridge), in the form pp::make_scheduler and
+  /// pp::clustered_lumping consume.
+  pp::ClusteredOptions clustered_options() const;
+
   /// Human-readable one-line description, e.g.
   ///   "circles(k=3) n=100 workload=unique scheduler=uniform trials=5
   ///    backend=dense [tag]"
@@ -184,6 +214,17 @@ struct RunSpec {
   /// Throws std::invalid_argument on malformed text.
   static RunSpec parse(const std::string& text);
 };
+
+/// The exact count-level lumping of the spec's scheduler, if it has one:
+/// builds a probe scheduler instance (seed-independent by contract) and asks
+/// pp::Scheduler::lumping() — this is how the BatchRunner decides "is this
+/// spec count-simulable?" and with which urn structure. Returns nullopt for
+/// scheduler_factory specs and non-lumpable kinds. Probe instances of
+/// expensive kinds (a shuffled sweep materializes O(n^2) pairs) are only
+/// built at small n; their lumping() is nullopt anyway. `protocol` is
+/// needed only by kinds whose construction requires it (adversarial).
+std::optional<pp::UrnLumping> scheduler_lumping(
+    const RunSpec& spec, const pp::Protocol* protocol = nullptr);
 
 /// Deterministic seed derivation (splitmix64-based):
 ///   spec seed  = spec.seed, or mix(base_seed, spec_index) when unset;

@@ -65,6 +65,21 @@ class SessionBuilder {
     spec_.scheduler_factory = std::move(factory);
     return *this;
   }
+  /// Number of equal clusters for the clustered scheduler.
+  SessionBuilder& clusters(std::uint32_t count) {
+    spec_.clusters = count;
+    return *this;
+  }
+  /// Explicit per-cluster sizes for the clustered scheduler (sum must be n).
+  SessionBuilder& cluster_sizes(std::vector<std::uint64_t> sizes) {
+    spec_.cluster_sizes = std::move(sizes);
+    return *this;
+  }
+  /// Inter-cluster interaction probability of the clustered scheduler.
+  SessionBuilder& bridge(double probability) {
+    spec_.bridge = probability;
+    return *this;
+  }
   SessionBuilder& backend(EngineKind kind) {
     spec_.backend = kind;
     return *this;

@@ -32,7 +32,32 @@ SweepSpecs specs_from_flags(util::Cli& cli, const SweepFlagDefaults& defaults) {
       "clustered)");
   const auto backends = cli.string_list_flag(
       "backend", defaults.backends,
-      "simulation backends to sweep (agent, dense, dense_batched)");
+      "simulation backends to sweep (agent, dense, dense_batched, auto)");
+  const std::string clusters_flag = cli.string_flag(
+      "clusters", "",
+      "clustered-scheduler shape: one value = number of equal clusters, "
+      "several = explicit cluster sizes (clustered cells only)");
+  std::vector<std::int64_t> clusters;
+  for (const auto& part : util::split_commas(clusters_flag)) {
+    std::size_t used = 0;
+    std::int64_t value = 0;
+    try {
+      value = std::stoll(part, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    // Full-token match only ("4x" / "2.5" must not silently truncate), and
+    // zero is rejected here the same way RunSpec::parse rejects clusters=0.
+    if (used != part.size() || value < 1) {
+      throw std::invalid_argument(
+          "flag --clusters expects comma-separated positive integers, got '" +
+          clusters_flag + "'");
+    }
+    clusters.push_back(value);
+  }
+  const auto bridge = cli.double_flag(
+      "bridge", 0.01,
+      "clustered-scheduler inter-cluster interaction probability");
   const auto workload = WorkloadSpec::parse(cli.string_flag(
       "workload", defaults.workload,
       "workload family (unique, random, tie:<t>, margin1, dominant:<s>, "
@@ -48,6 +73,7 @@ SweepSpecs specs_from_flags(util::Cli& cli, const SweepFlagDefaults& defaults) {
   require_non_negative("n", ns);
   require_non_negative("trials", {trials});
   require_non_negative("budget", {budget});
+  require_non_negative("clusters", clusters);
 
   SweepSpecs out;
   out.base_seed = seed;
@@ -68,11 +94,23 @@ SweepSpecs specs_from_flags(util::Cli& cli, const SweepFlagDefaults& defaults) {
               spec.engine.max_interactions =
                   static_cast<std::uint64_t>(budget);
             }
-            // Dense backends simulate the uniform scheduler only. Skip the
-            // invalid corner of a multi-valued cross product; the guard
-            // below still rejects a grid that asked for nothing else.
+            if (spec.scheduler == pp::SchedulerKind::kClustered) {
+              if (clusters.size() == 1) {
+                spec.clusters = static_cast<std::uint32_t>(clusters[0]);
+              } else if (clusters.size() > 1) {
+                spec.cluster_sizes.assign(clusters.begin(), clusters.end());
+              }
+              spec.bridge = bridge;
+            }
+            // Dense backends simulate lumpable schedulers (uniform,
+            // clustered) only; backend=auto resolves instead of rejecting.
+            // Skip the invalid corner of a multi-valued cross product; the
+            // guard below still rejects a grid that asked for nothing else.
+            const bool lumpable =
+                spec.scheduler == pp::SchedulerKind::kUniformRandom ||
+                spec.scheduler == pp::SchedulerKind::kClustered;
             if (spec.backend != EngineKind::kAgentArray &&
-                spec.scheduler != pp::SchedulerKind::kUniformRandom) {
+                spec.backend != EngineKind::kAuto && !lumpable) {
               continue;
             }
             out.specs.push_back(std::move(spec));
@@ -84,7 +122,8 @@ SweepSpecs specs_from_flags(util::Cli& cli, const SweepFlagDefaults& defaults) {
   if (out.specs.empty()) {
     throw std::invalid_argument(
         "the requested grid is empty: dense backends (--backend=dense, "
-        "dense_batched) support --scheduler=uniform only");
+        "dense_batched) support lumpable schedulers only (uniform, "
+        "clustered) — use --backend=auto to pick per cell");
   }
   return out;
 }

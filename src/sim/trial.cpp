@@ -4,11 +4,15 @@
 #include <optional>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/decomposition.hpp"
 #include "core/invariants.hpp"
 #include "dense/dense_config.hpp"
 #include "dense/dense_engine.hpp"
+#include "dense/urn_config.hpp"
 #include "kernel/compiled_protocol.hpp"
+#include "pp/schedulers/clustered.hpp"
 #include "obs/monitor_probe.hpp"
 #include "util/check.hpp"
 
@@ -70,7 +74,8 @@ TrialOutcome run_trial_keep_population(
   auto scheduler = options.scheduler_factory
                        ? options.scheduler_factory(n, scheduler_seed)
                        : pp::make_scheduler(options.scheduler, n,
-                                            scheduler_seed, &protocol);
+                                            scheduler_seed, &protocol,
+                                            &options.clustered);
 
   // Probe pipeline: the recorder monitor feeds count snapshots, and probes
   // wrapping legacy monitors (Probe::as_monitor) ride the event stream.
@@ -115,22 +120,29 @@ TrialOutcome run_dense_trial(const pp::Protocol& protocol,
                              const dense::DenseEngine* engine) {
   CIRCLES_CHECK_MSG(workload.k() == protocol.num_colors(),
                     "workload color count does not match the protocol");
-  CIRCLES_CHECK_MSG(options.scheduler == pp::SchedulerKind::kUniformRandom &&
-                        !options.scheduler_factory,
-                    "dense trials simulate the uniform scheduler only");
-
-  dense::DenseConfig config =
-      dense::DenseConfig::from_workload(protocol, workload);
-  CIRCLES_CHECK_MSG(config.n() >= 2, "trials need at least two agents");
+  const bool uniform =
+      options.scheduler == pp::SchedulerKind::kUniformRandom;
+  CIRCLES_CHECK_MSG(
+      (uniform || options.scheduler == pp::SchedulerKind::kClustered) &&
+          !options.scheduler_factory,
+      "dense trials simulate lumpable schedulers only (uniform, clustered)");
+  CIRCLES_CHECK_MSG(workload.n() >= 2, "trials need at least two agents");
 
   // Mirror run_trial's stream discipline: the engine runs on a seed split
   // off the trial stream (the agent path spends the head of the stream on
-  // the color shuffle, which counts have no use for).
+  // the color shuffle, which counts have no use for). Clustered trials then
+  // spend the continuing trial stream on the urn split — the count-level
+  // image of the agent path's color shuffle.
   util::Rng rng(options.seed);
   const std::uint64_t engine_seed = rng.split()();
 
   const dense::DenseMode mode =
       batched ? dense::DenseMode::kBatched : dense::DenseMode::kPerStep;
+  pp::UrnLumping lumping;  // empty = single urn (uniform)
+  if (!uniform) {
+    lumping = pp::clustered_lumping(workload.n(), options.clustered);
+  }
+  const std::size_t want_urns = lumping.sizes.empty() ? 1 : lumping.num_urns();
   std::optional<dense::DenseEngine> local;
   if (engine == nullptr) {
     if (options.use_kernel && options.kernel != nullptr) {
@@ -139,9 +151,10 @@ TrialOutcome run_dense_trial(const pp::Protocol& protocol,
       // Aliasing share: the caller guarantees the kernel outlives the trial.
       local.emplace(std::shared_ptr<const kernel::CompiledProtocol>(
                         std::shared_ptr<const void>(), options.kernel),
-                    options.engine, mode);
+                    options.engine, mode, std::move(lumping));
     } else {
-      local.emplace(protocol, options.engine, mode, options.use_kernel);
+      local.emplace(protocol, options.engine, mode, options.use_kernel,
+                    std::move(lumping));
     }
     engine = &*local;
   }
@@ -153,8 +166,26 @@ TrialOutcome run_dense_trial(const pp::Protocol& protocol,
           engine->options().stop_when_silent ==
               options.engine.stop_when_silent,
       "prebuilt dense engine does not match the trial");
+  CIRCLES_CHECK_MSG(std::max<std::size_t>(engine->lumping().num_urns(), 1) ==
+                        want_urns,
+                    "dense engine's urn structure does not match the "
+                    "trial's scheduler");
+  CIRCLES_CHECK_MSG(want_urns == 1 ||
+                        (engine->lumping().sizes == lumping.sizes &&
+                         engine->lumping().rates == lumping.rates),
+                    "prebuilt dense engine's urn sizes or rate matrix do "
+                    "not match the trial's clustered options");
+
   TrialOutcome outcome;
-  outcome.run = engine->run(config, engine_seed, options.recorder);
+  if (engine->lumping().num_urns() > 1) {
+    dense::UrnConfig config = dense::UrnConfig::from_workload(
+        protocol, workload, engine->lumping().sizes, rng);
+    outcome.run = engine->run(config, engine_seed, options.recorder);
+  } else {
+    dense::DenseConfig config =
+        dense::DenseConfig::from_workload(protocol, workload);
+    outcome.run = engine->run(config, engine_seed, options.recorder);
+  }
   grade_against(outcome, workload, expected_symbol);
   return outcome;
 }

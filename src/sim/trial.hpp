@@ -43,6 +43,10 @@ struct TrialOptions {
   pp::EngineOptions engine = {};
   /// When set, overrides `scheduler`.
   SchedulerFactory scheduler_factory;
+  /// Clustered-scheduler shape, consumed only when `scheduler` is
+  /// kClustered (by the agent engine's scheduler and by the dense urn
+  /// engine's lumping alike).
+  pp::ClusteredOptions clustered;
   /// Prebuilt kernel for the trial's protocol (the BatchRunner compiles one
   /// per spec and shares it across trials/threads). Null: a one-shot kernel
   /// is compiled per trial.
@@ -96,14 +100,18 @@ TrialOutcome grade_run(const pp::RunResult& run,
                        const analysis::Workload& workload,
                        std::optional<pp::OutputSymbol> expected_symbol = {});
 
-/// Count-based trial: builds a dense::DenseConfig from the workload (no
+/// Count-based trial: builds a dense configuration from the workload (no
 /// agent array, so n is bounded by memory for counts, not agents), runs the
-/// dense engine under uniform-scheduler semantics, and grades the outcome
-/// exactly like run_trial. `batched` selects DenseMode::kBatched. Rejects
-/// options carrying agent-level features (non-uniform scheduler or a
-/// scheduler_factory). `engine`, when non-null, must be a DenseEngine built
-/// from (protocol, options.engine, batched) — the BatchRunner passes one
-/// per spec so the transition table is not rebuilt per trial.
+/// dense engine under the options' scheduler semantics, and grades the
+/// outcome exactly like run_trial. Lumpable schedulers only: uniform runs
+/// on a single count vector, clustered partitions the workload into urns
+/// (per options.clustered) and simulates the exact lumped block chain.
+/// `batched` selects DenseMode::kBatched. Rejects options carrying
+/// agent-level features (non-lumpable scheduler or a scheduler_factory).
+/// `engine`, when non-null, must be a DenseEngine built from
+/// (protocol, options.engine, batched) with the matching lumping — the
+/// BatchRunner passes one per spec so the transition table is not rebuilt
+/// per trial.
 TrialOutcome run_dense_trial(const pp::Protocol& protocol,
                              const analysis::Workload& workload,
                              const TrialOptions& options, bool batched,

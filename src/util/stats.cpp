@@ -88,4 +88,23 @@ double loglog_slope(std::span<const double> x, std::span<const double> y) {
   return (n * sxy - sx * sy) / denom;
 }
 
+double ks_distance(std::vector<double> a, std::vector<double> b) {
+  CIRCLES_CHECK_MSG(!a.empty() && !b.empty(),
+                    "ks_distance needs non-empty samples");
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] <= b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+    d = std::max(d, std::abs(static_cast<double>(i) / a.size() -
+                             static_cast<double>(j) / b.size()));
+  }
+  return d;
+}
+
 }  // namespace circles::util

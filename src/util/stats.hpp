@@ -53,4 +53,10 @@ double quantile_sorted(std::span<const double> sorted, double q);
 /// matching sizes >= 2.
 double loglog_slope(std::span<const double> x, std::span<const double> y);
 
+/// Two-sample Kolmogorov–Smirnov distance sup_x |F_a(x) - F_b(x)| between
+/// the empirical CDFs of two (unsorted) non-empty sample sets. The
+/// cross-backend equivalence checks compare it against the critical value
+/// c(alpha) * sqrt((m + n) / (m * n)), c(0.001) ~ 1.95.
+double ks_distance(std::vector<double> a, std::vector<double> b);
+
 }  // namespace circles::util

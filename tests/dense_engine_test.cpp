@@ -8,8 +8,13 @@
 #include <vector>
 
 #include "dense/dense_config.hpp"
+#include "dense/urn_config.hpp"
+#include "obs/probe.hpp"
+#include "obs/recorder.hpp"
+#include "pp/schedulers/clustered.hpp"
 #include "sim/sim.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace circles::dense {
 namespace {
@@ -198,6 +203,587 @@ TEST(DenseEngineTest, VirtualDispatchPathMatchesCompiledKernel) {
   EXPECT_EQ(ra.state_changes, rb.state_changes);
 }
 
+// --- single-urn bitwise regression ----------------------------------------
+
+/// The multi-urn refactor must leave single-urn runs on the exact historical
+/// RNG stream. These goldens were captured from the pre-refactor engine
+/// (PR 2/3 code) — interactions, state_changes, last_change_step and an
+/// FNV-1a hash of the final count vector, per (workload, seed, mode).
+TEST(DenseGoldenTest, SingleUrnStreamsMatchThePreRefactorEngine) {
+  struct Golden {
+    std::uint32_t k;
+    CountVector counts;
+    std::uint64_t seed;
+    bool batched;
+    std::uint64_t interactions;
+    std::uint64_t state_changes;
+    std::uint64_t last_change_step;
+    std::uint64_t final_hash;
+  };
+  const std::vector<Golden> goldens{
+      {3, {40, 30, 20}, 123ull, false, 4226ull, 203ull, 4225ull,
+       0xe9f6ad22c0cb1cffull},
+      {3, {40, 30, 20}, 123ull, true, 1769ull, 210ull, 1768ull,
+       0xe9f6ad22c0cb1cffull},
+      {3, {400, 350, 250}, 777ull, false, 73594ull, 3203ull, 73593ull,
+       0x69d34e9a4a4821b9ull},
+      {3, {400, 350, 250}, 777ull, true, 102155ull, 3134ull, 102154ull,
+       0x69d34e9a4a4821b9ull},
+      {2, {6, 5}, 9ull, false, 135ull, 18ull, 134ull,
+       0x580ddf4a9b4b380aull},
+      {2, {6, 5}, 9ull, true, 156ull, 22ull, 155ull, 0x580ddf4a9b4b380aull},
+      {4, {2000, 1500, 900, 600}, 20260728ull, false, 338900ull, 12617ull,
+       338899ull, 0x542d5bf6e303879bull},
+      {4, {2000, 1500, 900, 600}, 20260728ull, true, 273285ull, 12981ull,
+       273284ull, 0x542d5bf6e303879bull},
+  };
+  for (const Golden& g : goldens) {
+    const auto protocol =
+        sim::ProtocolRegistry::global().create("circles", {.k = g.k});
+    const DenseMode mode = g.batched ? DenseMode::kBatched : DenseMode::kPerStep;
+    DenseEngine engine(*protocol, {}, mode);
+    DenseConfig config =
+        DenseConfig::from_workload(*protocol, workload_of(g.counts));
+    const pp::RunResult result = engine.run(config, g.seed);
+    EXPECT_EQ(result.interactions, g.interactions) << "k=" << g.k;
+    EXPECT_EQ(result.state_changes, g.state_changes) << "k=" << g.k;
+    EXPECT_EQ(result.last_change_step, g.last_change_step) << "k=" << g.k;
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const auto x : config.counts) hash = (hash ^ x) * 1099511628211ull;
+    EXPECT_EQ(hash, g.final_hash) << "k=" << g.k;
+
+    // A 1-urn UrnConfig on the same engine consumes the identical stream.
+    UrnConfig urn = UrnConfig::from_dense(
+        DenseConfig::from_workload(*protocol, workload_of(g.counts)));
+    const pp::RunResult urn_result = engine.run(urn, g.seed);
+    EXPECT_EQ(urn_result.interactions, g.interactions);
+    EXPECT_EQ(urn_result.state_changes, g.state_changes);
+    EXPECT_EQ(urn.aggregate().counts, config.counts);
+  }
+}
+
+// --- urn configurations ----------------------------------------------------
+
+TEST(UrnConfigTest, FromWorkloadDealsEveryAgentExactlyOnce) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 3});
+  const analysis::Workload workload = workload_of({50, 30, 20});
+  const std::vector<std::uint64_t> sizes{60, 25, 15};
+  util::Rng rng(5);
+  const UrnConfig config =
+      UrnConfig::from_workload(*protocol, workload, sizes, rng);
+  ASSERT_EQ(config.num_urns(), 3u);
+  EXPECT_EQ(config.n(), 100u);
+  EXPECT_EQ(config.sizes(), sizes);
+  // The aggregate is exactly the unpartitioned initial configuration.
+  EXPECT_EQ(config.aggregate(),
+            DenseConfig::from_workload(*protocol, workload));
+  EXPECT_EQ(config.output_histogram(*protocol), workload.counts);
+}
+
+TEST(UrnConfigTest, FromWorkloadSplitIsHypergeometric) {
+  // Mean of urn 0's color-0 count across many deals must match the
+  // hypergeometric mean size0 * c0 / n.
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 2});
+  const analysis::Workload workload = workload_of({30, 20});
+  util::Rng rng(11);
+  double sum = 0.0;
+  const int kDeals = 4000;
+  for (int i = 0; i < kDeals; ++i) {
+    const UrnConfig config =
+        UrnConfig::from_workload(*protocol, workload, {{20, 30}}, rng);
+    sum += static_cast<double>(config.urns[0][protocol->input(0)]);
+  }
+  EXPECT_NEAR(sum / kDeals, 20.0 * 30.0 / 50.0, 0.25);
+}
+
+TEST(UrnConfigTest, FromPopulationPartitionsByIdRanges) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 2});
+  const std::vector<pp::ColorId> colors = {0, 1, 1, 0, 1};
+  pp::Population population(*protocol, colors);
+  const UrnConfig config =
+      UrnConfig::from_population(*protocol, population, {{2, 3}});
+  ASSERT_EQ(config.num_urns(), 2u);
+  EXPECT_EQ(config.urns[0][protocol->input(0)], 1u);
+  EXPECT_EQ(config.urns[0][protocol->input(1)], 1u);
+  EXPECT_EQ(config.urns[1][protocol->input(0)], 1u);
+  EXPECT_EQ(config.urns[1][protocol->input(1)], 2u);
+}
+
+// --- multi-urn engine basics -----------------------------------------------
+
+namespace urn_harness {
+
+pp::UrnLumping dumbbell(std::vector<std::uint64_t> sizes, double bridge) {
+  pp::ClusteredOptions options;
+  options.sizes = std::move(sizes);
+  options.bridge_probability = bridge;
+  std::uint64_t n = 0;
+  for (const auto s : options.sizes) n += s;
+  return pp::clustered_lumping(n, options);
+}
+
+}  // namespace urn_harness
+
+TEST(UrnEngineTest, ReachesSilenceExactlyAndConservesUrnSizes) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 3});
+  const auto lumping = urn_harness::dumbbell({60, 40}, 0.05);
+  for (const DenseMode mode : {DenseMode::kPerStep, DenseMode::kBatched}) {
+    DenseEngine engine(*protocol, {}, mode, /*use_kernel=*/true, lumping);
+    util::Rng rng(3);
+    UrnConfig config = UrnConfig::from_workload(
+        *protocol, workload_of({50, 30, 20}), lumping.sizes, rng);
+    const pp::RunResult result = engine.run(config, 99);
+    EXPECT_TRUE(result.silent);
+    EXPECT_FALSE(result.budget_exhausted);
+    EXPECT_EQ(config.sizes(), lumping.sizes);
+    // Exact silence detection: the run stops right after the final change.
+    EXPECT_EQ(result.interactions, result.last_change_step + 1);
+    // Silent consensus on the plurality winner (color 0).
+    EXPECT_EQ(config.output_histogram(*protocol)[0], 100u);
+  }
+}
+
+TEST(UrnEngineTest, DeterministicPerSeedAndAcrossKernelPaths) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 3});
+  const auto lumping = urn_harness::dumbbell({30, 20, 10}, 0.1);
+  for (const DenseMode mode : {DenseMode::kPerStep, DenseMode::kBatched}) {
+    DenseEngine compiled(*protocol, {}, mode, /*use_kernel=*/true, lumping);
+    DenseEngine virtual_path(*protocol, {}, mode, /*use_kernel=*/false,
+                             lumping);
+    util::Rng rng(8);
+    const UrnConfig initial = UrnConfig::from_workload(
+        *protocol, workload_of({25, 20, 15}), lumping.sizes, rng);
+    UrnConfig a = initial, b = initial, c = initial;
+    const pp::RunResult ra = compiled.run(a, 41);
+    const pp::RunResult rb = compiled.run(b, 41);
+    const pp::RunResult rc = virtual_path.run(c, 41);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(ra.interactions, rb.interactions);
+    EXPECT_EQ(ra.state_changes, rb.state_changes);
+    EXPECT_EQ(ra.last_change_step, rb.last_change_step);
+    // Kernel on/off is bitwise identical, multi-urn included.
+    EXPECT_EQ(a, c);
+    EXPECT_EQ(ra.interactions, rc.interactions);
+    EXPECT_EQ(ra.state_changes, rc.state_changes);
+  }
+}
+
+TEST(UrnEngineTest, BudgetExhaustionReportedExactly) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 3});
+  const auto lumping = urn_harness::dumbbell({300, 300}, 0.01);
+  pp::EngineOptions options;
+  options.max_interactions = 4000;
+  for (const DenseMode mode : {DenseMode::kPerStep, DenseMode::kBatched}) {
+    DenseEngine engine(*protocol, options, mode, true, lumping);
+    util::Rng rng(2);
+    UrnConfig config = UrnConfig::from_workload(
+        *protocol, workload_of({300, 200, 100}), lumping.sizes, rng);
+    const pp::RunResult result = engine.run(config, 7);
+    EXPECT_TRUE(result.budget_exhausted);
+    EXPECT_EQ(result.interactions, 4000u);
+    EXPECT_EQ(config.n(), 600u);
+  }
+}
+
+TEST(UrnEngineTest, RejectsMismatchedConfigurations) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 2});
+  const auto lumping = urn_harness::dumbbell({6, 4}, 0.2);
+  DenseEngine engine(*protocol, {}, DenseMode::kPerStep, true, lumping);
+  // DenseConfig on a multi-urn engine.
+  DenseConfig dense = DenseConfig::from_workload(*protocol, workload_of({6, 4}));
+  EXPECT_DEATH((void)engine.run(dense, 1), "multi-urn");
+  // Wrong urn count.
+  UrnConfig one = UrnConfig::from_dense(
+      DenseConfig::from_workload(*protocol, workload_of({6, 4})));
+  EXPECT_DEATH((void)engine.run(one, 1), "urn");
+  // Wrong per-urn sizes.
+  util::Rng rng(1);
+  UrnConfig swapped = UrnConfig::from_workload(*protocol, workload_of({6, 4}),
+                                               {{4, 6}}, rng);
+  EXPECT_DEATH((void)engine.run(swapped, 1), "lumping");
+}
+
+// --- multi-urn cross-backend equivalence -----------------------------------
+
+namespace urn_harness {
+
+using UrnCounts = std::vector<CountVector>;
+
+/// Exhaustive BFS over the per-urn count-configuration graph under a
+/// lumping's positive-rate blocks; returns the reachable silent subset.
+std::set<UrnCounts> reachable_silent_urn_configs(const pp::Protocol& protocol,
+                                                 const pp::UrnLumping& lumping,
+                                                 const UrnCounts& initial) {
+  const std::size_t u_count = lumping.num_urns();
+  std::set<UrnCounts> seen{initial};
+  std::vector<UrnCounts> frontier{initial};
+  std::set<UrnCounts> silent;
+  while (!frontier.empty()) {
+    const UrnCounts config = std::move(frontier.back());
+    frontier.pop_back();
+    bool any_change = false;
+    for (std::size_t u = 0; u < u_count; ++u) {
+      for (std::size_t v = 0; v < u_count; ++v) {
+        if (lumping.rate(u, v) <= 0.0) continue;
+        for (pp::StateId s = 0; s < config[u].size(); ++s) {
+          if (config[u][s] == 0) continue;
+          for (pp::StateId t = 0; t < config[v].size(); ++t) {
+            if (config[v][t] == 0 ||
+                (u == v && s == t && config[u][s] < 2)) {
+              continue;
+            }
+            const pp::Transition tr = protocol.transition(s, t);
+            if (tr.initiator == s && tr.responder == t) continue;
+            any_change = true;
+            UrnCounts next = config;
+            next[u][s] -= 1;
+            next[v][t] -= 1;
+            next[u][tr.initiator] += 1;
+            next[v][tr.responder] += 1;
+            if (seen.insert(next).second) frontier.push_back(std::move(next));
+          }
+        }
+      }
+    }
+    if (!any_change) silent.insert(config);
+  }
+  return silent;
+}
+
+/// Agent-array reference with the clustered scheduler from a fixed initial
+/// split: colors laid out so id range u holds exactly initial[u].
+UrnCounts agent_clustered_final(const pp::Protocol& protocol,
+                                const pp::UrnLumping& lumping,
+                                const UrnCounts& initial_colors_by_urn,
+                                std::uint64_t seed) {
+  std::vector<pp::ColorId> colors;
+  for (const CountVector& urn : initial_colors_by_urn) {
+    for (pp::ColorId c = 0; c < urn.size(); ++c) {
+      for (std::uint64_t i = 0; i < urn[c]; ++i) colors.push_back(c);
+    }
+  }
+  pp::Population population(protocol, colors);
+  pp::ClusteredScheduler scheduler(lumping, seed);
+  pp::Engine engine;
+  const pp::RunResult result = engine.run(protocol, population, scheduler);
+  EXPECT_TRUE(result.silent);
+  return dense::UrnConfig::from_population(protocol, population,
+                                           lumping.sizes)
+      .urns;
+}
+
+/// Urn-engine run from the same fixed initial split.
+UrnCounts urn_engine_final(const pp::Protocol& protocol,
+                           const pp::UrnLumping& lumping,
+                           const UrnCounts& initial_colors_by_urn,
+                           DenseMode mode, std::uint64_t seed) {
+  dense::UrnConfig config;
+  config.urns.assign(lumping.num_urns(),
+                     CountVector(protocol.num_states(), 0));
+  for (std::size_t u = 0; u < initial_colors_by_urn.size(); ++u) {
+    for (pp::ColorId c = 0; c < initial_colors_by_urn[u].size(); ++c) {
+      config.urns[u][protocol.input(c)] += initial_colors_by_urn[u][c];
+    }
+  }
+  DenseEngine engine(protocol, {}, mode, true, lumping);
+  const pp::RunResult result = engine.run(config, seed);
+  EXPECT_TRUE(result.silent);
+  return config.urns;
+}
+
+/// Initial per-urn state counts from per-urn color counts.
+UrnCounts states_of(const pp::Protocol& protocol,
+                    const UrnCounts& colors_by_urn) {
+  UrnCounts out(colors_by_urn.size(), CountVector(protocol.num_states(), 0));
+  for (std::size_t u = 0; u < colors_by_urn.size(); ++u) {
+    for (pp::ColorId c = 0; c < colors_by_urn[u].size(); ++c) {
+      out[u][protocol.input(c)] += colors_by_urn[u][c];
+    }
+  }
+  return out;
+}
+
+}  // namespace urn_harness
+
+/// Exhaustive tiny-population check against the clustered scheduler: for
+/// every per-urn color split with 2+2 <= n <= 3+3 agents over k <= 3 colors,
+/// both urn modes and the agent array (driven by the generalized
+/// ClusteredScheduler) land only in configurations the BFS over the lumped
+/// block structure proves reachable-and-silent; whenever that set is a
+/// singleton, all backends land exactly there.
+TEST(UrnEquivalenceTest, ExhaustiveTinySplitsAgainstBfsAndAgentArray) {
+  using urn_harness::UrnCounts;
+  for (const std::uint32_t k : {2u, 3u}) {
+    const auto protocol =
+        sim::ProtocolRegistry::global().create("circles", {.k = k});
+    for (const std::uint64_t half : {2ull, 3ull}) {
+      const auto lumping = urn_harness::dumbbell({half, half}, 0.25);
+      // Enumerate all per-urn color splits with `half` agents per urn.
+      std::vector<CountVector> urn_fills;
+      CountVector fill(k, 0);
+      const auto enumerate = [&](auto&& self, std::uint32_t color,
+                                 std::uint64_t remaining) -> void {
+        if (color + 1 == k) {
+          fill[color] = remaining;
+          urn_fills.push_back(fill);
+          return;
+        }
+        for (std::uint64_t c = 0; c <= remaining; ++c) {
+          fill[color] = c;
+          self(self, color + 1, remaining - c);
+        }
+      };
+      enumerate(enumerate, 0, half);
+
+      for (std::size_t a = 0; a < urn_fills.size(); ++a) {
+        for (std::size_t b = 0; b < urn_fills.size(); ++b) {
+          const UrnCounts initial{urn_fills[a], urn_fills[b]};
+          const auto silent_set = urn_harness::reachable_silent_urn_configs(
+              *protocol, lumping,
+              urn_harness::states_of(*protocol, initial));
+          ASSERT_FALSE(silent_set.empty());
+          for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            const auto agent = urn_harness::agent_clustered_final(
+                *protocol, lumping, initial, seed);
+            const auto per_step = urn_harness::urn_engine_final(
+                *protocol, lumping, initial, DenseMode::kPerStep, seed);
+            const auto batched = urn_harness::urn_engine_final(
+                *protocol, lumping, initial, DenseMode::kBatched, seed);
+            EXPECT_TRUE(silent_set.count(agent))
+                << "agent escaped the reachable-silent set";
+            EXPECT_TRUE(silent_set.count(per_step))
+                << "urn per-step escaped the reachable-silent set";
+            EXPECT_TRUE(silent_set.count(batched))
+                << "urn batched escaped the reachable-silent set";
+            if (silent_set.size() == 1) {
+              EXPECT_EQ(agent, per_step);
+              EXPECT_EQ(agent, batched);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Where several silent configurations are reachable, agent and urn
+/// backends must cover the same outcome set from one fixed initial split.
+TEST(UrnEquivalenceTest, TiedSplitOutcomeSetsMatchAcrossBackends) {
+  using urn_harness::UrnCounts;
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 2});
+  const auto lumping = urn_harness::dumbbell({2, 2}, 0.3);
+  const UrnCounts initial{{1, 1}, {1, 1}};  // 2-2 tie split across the urns
+  const auto silent_set = urn_harness::reachable_silent_urn_configs(
+      *protocol, lumping, urn_harness::states_of(*protocol, initial));
+  ASSERT_GT(silent_set.size(), 1u);
+
+  std::set<UrnCounts> agent_set, per_step_set, batched_set;
+  // Enough fixed seeds to cover the full outcome support on every backend
+  // (the rarest silent configuration has probability ~1%).
+  for (std::uint64_t seed = 1; seed <= 600; ++seed) {
+    agent_set.insert(urn_harness::agent_clustered_final(*protocol, lumping,
+                                                        initial, seed));
+    per_step_set.insert(urn_harness::urn_engine_final(
+        *protocol, lumping, initial, DenseMode::kPerStep, seed));
+    batched_set.insert(urn_harness::urn_engine_final(
+        *protocol, lumping, initial, DenseMode::kBatched, seed));
+  }
+  EXPECT_EQ(agent_set, per_step_set);
+  EXPECT_EQ(agent_set, batched_set);
+  for (const auto& config : agent_set) {
+    EXPECT_TRUE(silent_set.count(config));
+  }
+}
+
+/// KS-style two-sample comparison of the stabilization-time distributions
+/// at n = 1000 under the clustered scheduler: last_change_step has the same
+/// distribution on every backend (the per-urn count process is an exact
+/// lumping of the clustered agent process).
+TEST(UrnEquivalenceTest, ClusteredStabilizationDistributionMatchesAtModerateN) {
+  const std::uint32_t trials = 60;
+  const auto run_backend = [&](sim::EngineKind backend) {
+    sim::RunSpec spec;
+    spec.protocol = "circles";
+    spec.params.k = 3;
+    spec.workload = sim::WorkloadSpec::explicit_counts({400, 350, 250});
+    spec.scheduler = pp::SchedulerKind::kClustered;
+    spec.clusters = 2;
+    spec.bridge = 0.02;
+    spec.backend = backend;
+    spec.trials = trials;
+    spec.seed = 20260728;
+    const sim::SpecResult result = sim::BatchRunner().run_one(spec);
+    EXPECT_EQ(result.silent, trials);
+    std::vector<double> samples;
+    for (const auto& trial : result.trials) {
+      samples.push_back(
+          static_cast<double>(trial.outcome.run.last_change_step));
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples;
+  };
+  const auto agent = run_backend(sim::EngineKind::kAgentArray);
+  const auto dense = run_backend(sim::EngineKind::kDense);
+  const auto batched = run_backend(sim::EngineKind::kDenseBatched);
+
+  // Critical value at alpha = 0.001 for two samples of 60:
+  // 1.95 * sqrt(2/60) = 0.356. Fixed seeds make the test deterministic; the
+  // observed distances are ~0.1.
+  EXPECT_LT(util::ks_distance(agent, dense), 0.356);
+  EXPECT_LT(util::ks_distance(agent, batched), 0.356);
+  EXPECT_LT(util::ks_distance(dense, batched), 0.356);
+}
+
+// --- per-urn snapshots ------------------------------------------------------
+
+namespace {
+
+/// Captures the per-urn count matrix at every sample.
+class UrnCaptureProbe final : public obs::Probe {
+ public:
+  void on_sample(const obs::Snapshot& snapshot) override {
+    samples += 1;
+    last_counts.assign(snapshot.counts.begin(), snapshot.counts.end());
+    last_urns.clear();
+    for (const auto& urn : snapshot.urns) {
+      last_urns.emplace_back(urn.begin(), urn.end());
+    }
+    if (snapshot.ctx != nullptr) {
+      urn_sizes.assign(snapshot.ctx->urn_sizes.begin(),
+                       snapshot.ctx->urn_sizes.end());
+    }
+  }
+  int samples = 0;
+  CountVector last_counts;
+  std::vector<CountVector> last_urns;
+  CountVector urn_sizes;
+};
+
+}  // namespace
+
+TEST(UrnSnapshotTest, ProbesSeePerUrnCountsNextToTheAggregate) {
+  const auto protocol = sim::ProtocolRegistry::global().create("circles",
+                                                               {.k = 3});
+  const auto lumping = urn_harness::dumbbell({60, 40}, 0.05);
+  for (const DenseMode mode : {DenseMode::kPerStep, DenseMode::kBatched}) {
+    DenseEngine engine(*protocol, {}, mode, true, lumping);
+    util::Rng rng(4);
+    UrnConfig config = UrnConfig::from_workload(
+        *protocol, workload_of({50, 30, 20}), lumping.sizes, rng);
+
+    UrnCaptureProbe probe;
+    obs::Recorder recorder({.interaction_horizon = 1u << 20});
+    recorder.add(&probe, obs::GridSpec{.points = 32});
+    const pp::RunResult result = engine.run(config, 12, &recorder);
+    EXPECT_TRUE(result.silent);
+    EXPECT_GT(probe.samples, 1);
+    EXPECT_EQ(probe.urn_sizes, lumping.sizes);
+    ASSERT_EQ(probe.last_urns.size(), 2u);
+    // The per-urn matrix matches the final configuration and sums to the
+    // aggregate the probe saw in snapshot.counts.
+    EXPECT_EQ(probe.last_urns, config.urns);
+    CountVector sum(protocol->num_states(), 0);
+    for (const auto& urn : probe.last_urns) {
+      for (std::size_t s = 0; s < urn.size(); ++s) sum[s] += urn[s];
+    }
+    EXPECT_EQ(sum, probe.last_counts);
+  }
+
+  // Single-urn hosts expose no partition (aggregate only).
+  DenseEngine single(*protocol, {}, DenseMode::kPerStep);
+  DenseConfig dense =
+      DenseConfig::from_workload(*protocol, workload_of({20, 15, 10}));
+  UrnCaptureProbe probe;
+  obs::Recorder recorder({.interaction_horizon = 1u << 20});
+  recorder.add(&probe, obs::GridSpec{.points = 16});
+  (void)single.run(dense, 3, &recorder);
+  EXPECT_GT(probe.samples, 1);
+  EXPECT_TRUE(probe.last_urns.empty());
+  EXPECT_TRUE(probe.urn_sizes.empty());
+}
+
+// --- backend=auto dispatch --------------------------------------------------
+
+TEST(AutoBackendTest, ResolvesFromSchedulerSizeAndFeatures) {
+  const auto resolve = [](auto&& mutate) {
+    sim::RunSpec spec;
+    spec.protocol = "circles";
+    spec.params.k = 2;
+    spec.n = 500;
+    spec.backend = sim::EngineKind::kAuto;
+    spec.trials = 1;
+    spec.seed = 1;
+    spec.engine.max_interactions = 50000;
+    spec.engine.stop_when_silent = true;
+    mutate(spec);
+    const sim::SpecResult result = sim::BatchRunner().run_one(spec);
+    // The requested spec is preserved; the resolution is reported apart.
+    EXPECT_EQ(result.spec.backend, sim::EngineKind::kAuto);
+    return result.backend_resolved;
+  };
+
+  // Lumpable + moderate n -> dense per-step.
+  EXPECT_EQ(resolve([](sim::RunSpec&) {}), sim::EngineKind::kDense);
+  // Large n -> batched; clustered is lumpable too.
+  EXPECT_EQ(resolve([](sim::RunSpec& s) { s.n = 10000; }),
+            sim::EngineKind::kDenseBatched);
+  EXPECT_EQ(resolve([](sim::RunSpec& s) {
+              s.n = 10000;
+              s.scheduler = pp::SchedulerKind::kClustered;
+            }),
+            sim::EngineKind::kDenseBatched);
+  // Tiny n -> agent.
+  EXPECT_EQ(resolve([](sim::RunSpec& s) { s.n = 16; }),
+            sim::EngineKind::kAgentArray);
+  // Non-lumpable scheduler -> agent (no error).
+  EXPECT_EQ(resolve([](sim::RunSpec& s) {
+              s.scheduler = pp::SchedulerKind::kRoundRobin;
+            }),
+            sim::EngineKind::kAgentArray);
+  // Agent-only features -> agent (no error).
+  EXPECT_EQ(resolve([](sim::RunSpec& s) { s.circles_stats = true; }),
+            sim::EngineKind::kAgentArray);
+  EXPECT_EQ(resolve([](sim::RunSpec& s) { s.track_used_states = true; }),
+            sim::EngineKind::kAgentArray);
+  EXPECT_EQ(resolve([](sim::RunSpec& s) {
+              s.scheduler_factory = [](std::uint32_t n, std::uint64_t seed) {
+                return pp::make_scheduler(pp::SchedulerKind::kUniformRandom,
+                                          n, seed);
+              };
+            }),
+            sim::EngineKind::kAgentArray);
+
+  // More states than agents -> the count vector is the bigger object; stay
+  // on the agent array.
+  const auto big = sim::ProtocolRegistry::global().create("circles",
+                                                          {.k = 8});
+  ASSERT_GT(big->num_states(), 200u);
+  EXPECT_EQ(resolve([&](sim::RunSpec& s) {
+              s.params.k = 8;
+              s.n = 200;
+            }),
+            sim::EngineKind::kAgentArray);
+}
+
+TEST(AutoBackendTest, ExplicitBackendsReportThemselves) {
+  sim::RunSpec spec;
+  spec.protocol = "circles";
+  spec.params.k = 2;
+  spec.n = 40;
+  spec.trials = 1;
+  spec.backend = sim::EngineKind::kDense;
+  const sim::SpecResult result = sim::BatchRunner().run_one(spec);
+  EXPECT_EQ(result.backend_resolved, sim::EngineKind::kDense);
+}
+
 // --- cross-backend equivalence --------------------------------------------
 
 /// Agent-array reference: run pp::Engine under the uniform scheduler and
@@ -333,22 +919,6 @@ TEST(DenseEquivalenceTest, StabilizationTimeDistributionMatchesAtModerateN) {
     std::sort(samples.begin(), samples.end());
     return samples;
   };
-  const auto ks_distance = [](const std::vector<double>& a,
-                              const std::vector<double>& b) {
-    double d = 0.0;
-    std::size_t i = 0, j = 0;
-    while (i < a.size() && j < b.size()) {
-      if (a[i] <= b[j]) {
-        ++i;
-      } else {
-        ++j;
-      }
-      d = std::max(d, std::abs(static_cast<double>(i) / a.size() -
-                               static_cast<double>(j) / b.size()));
-    }
-    return d;
-  };
-
   const auto agent = run_backend(sim::EngineKind::kAgentArray);
   const auto dense = run_backend(sim::EngineKind::kDense);
   const auto batched = run_backend(sim::EngineKind::kDenseBatched);
@@ -356,9 +926,9 @@ TEST(DenseEquivalenceTest, StabilizationTimeDistributionMatchesAtModerateN) {
   // Critical value at alpha = 0.001 for two samples of 60:
   // 1.95 * sqrt(2/60) = 0.356. Fixed seeds make the test deterministic; the
   // observed distances are ~0.1.
-  EXPECT_LT(ks_distance(agent, dense), 0.356);
-  EXPECT_LT(ks_distance(agent, batched), 0.356);
-  EXPECT_LT(ks_distance(dense, batched), 0.356);
+  EXPECT_LT(util::ks_distance(agent, dense), 0.356);
+  EXPECT_LT(util::ks_distance(agent, batched), 0.356);
+  EXPECT_LT(util::ks_distance(dense, batched), 0.356);
 }
 
 // --- RunSpec/BatchRunner integration --------------------------------------
@@ -416,6 +986,56 @@ TEST(DenseBackendSpecTest, RejectsAgentLevelFeatures) {
   const sim::SpecResult ok = runner.run_one(base);
   EXPECT_EQ(ok.trial_count, 1u);
   EXPECT_EQ(ok.silent, 1u);
+}
+
+TEST(DenseBackendSpecTest, NonLumpableRejectionNamesSchedulerAndAuto) {
+  sim::RunSpec spec;
+  spec.protocol = "circles";
+  spec.params.k = 2;
+  spec.n = 10;
+  spec.backend = sim::EngineKind::kDense;
+  spec.scheduler = pp::SchedulerKind::kRoundRobin;
+  try {
+    (void)sim::BatchRunner().run_one(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("round_robin"), std::string::npos) << message;
+    EXPECT_NE(message.find("backend=auto"), std::string::npos) << message;
+    EXPECT_NE(message.find("lumping"), std::string::npos) << message;
+  }
+}
+
+TEST(DenseBackendSpecTest, ClusterShapeRequiresClusteredScheduler) {
+  sim::RunSpec spec;
+  spec.protocol = "circles";
+  spec.params.k = 2;
+  spec.n = 10;
+  spec.clusters = 3;
+  EXPECT_THROW((void)sim::BatchRunner().run_one(spec), std::invalid_argument);
+  spec.clusters = 0;
+  spec.cluster_sizes = {5, 5};
+  EXPECT_THROW((void)sim::BatchRunner().run_one(spec), std::invalid_argument);
+}
+
+TEST(DenseBackendSpecTest, BatchRunnerGradesClusteredDenseTrials) {
+  sim::RunSpec spec;
+  spec.protocol = "circles";
+  spec.params.k = 3;
+  spec.workload = sim::WorkloadSpec::explicit_counts({30, 20, 10});
+  spec.scheduler = pp::SchedulerKind::kClustered;
+  spec.cluster_sizes = {40, 12, 8};
+  spec.bridge = 0.1;
+  spec.trials = 10;
+  spec.seed = 321;
+  for (const auto backend :
+       {sim::EngineKind::kDense, sim::EngineKind::kDenseBatched}) {
+    spec.backend = backend;
+    const sim::SpecResult result = sim::BatchRunner().run_one(spec);
+    EXPECT_EQ(result.correct, 10u) << sim::to_string(backend);
+    EXPECT_EQ(result.silent, 10u);
+    EXPECT_TRUE(result.all_correct());
+  }
 }
 
 TEST(DenseBackendSpecTest, BatchRunnerGradesDenseTrialsLikeAgentTrials) {

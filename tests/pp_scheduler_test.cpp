@@ -163,6 +163,127 @@ TEST(ClusteredSchedulerTest, EventuallyCoversCrossPairs) {
   EXPECT_EQ(seen.size(), n * (n - 1));
 }
 
+TEST(ClusteredSchedulerTest, GeneralizedSizesConfineAgentsToTheirClusters) {
+  // Three clusters of explicit sizes: intra pairs stay inside one id range,
+  // cross pairs straddle two, and every block's empirical frequency matches
+  // the declared rate matrix (the exact-lumping contract).
+  const std::vector<std::uint64_t> sizes{10, 6, 4};
+  const std::uint32_t n = 20;
+  auto pop = make_population(n);
+  ClusteredScheduler sched(
+      n, 3, ClusteredOptions{.sizes = sizes, .bridge_probability = 0.12});
+  const auto lumping = sched.lumping();
+  ASSERT_TRUE(lumping.has_value());
+  ASSERT_EQ(lumping->sizes, sizes);
+  ASSERT_EQ(lumping->rates.size(), 9u);
+
+  const auto cluster_of = [&](AgentId a) {
+    std::size_t u = 0;
+    std::uint64_t offset = 0;
+    while (a >= offset + sizes[u]) offset += sizes[u++];
+    return u;
+  };
+  std::vector<std::uint64_t> block_hits(9, 0);
+  const int kSteps = 60000;
+  for (int i = 0; i < kSteps; ++i) {
+    const AgentPair p = sched.next(pop);
+    ASSERT_NE(p.initiator, p.responder);
+    ASSERT_LT(p.initiator, n);
+    ASSERT_LT(p.responder, n);
+    block_hits[cluster_of(p.initiator) * 3 + cluster_of(p.responder)] += 1;
+  }
+  for (std::size_t b = 0; b < 9; ++b) {
+    EXPECT_NEAR(static_cast<double>(block_hits[b]) / kSteps,
+                lumping->rates[b], 0.01)
+        << "block " << b;
+  }
+}
+
+TEST(ClusteredSchedulerTest, DefaultRateMatrixSplitsBridgeEvenly) {
+  const auto lumping = clustered_lumping(
+      30, ClusteredOptions{.num_clusters = 3, .bridge_probability = 0.06});
+  ASSERT_EQ(lumping.sizes, (std::vector<std::uint64_t>{10, 10, 10}));
+  double total = 0.0;
+  for (std::size_t u = 0; u < 3; ++u) {
+    for (std::size_t v = 0; v < 3; ++v) {
+      const double r = lumping.rates[u * 3 + v];
+      EXPECT_NEAR(r, u == v ? (1.0 - 0.06) / 3 : 0.06 / 6, 1e-12);
+      total += r;
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // The remainder of an uneven split lands on the trailing clusters,
+  // matching the historical n/2 | n - n/2 dumbbell.
+  const auto uneven =
+      ClusteredOptions{.num_clusters = 3}.resolve_sizes(11);
+  EXPECT_EQ(uneven, (std::vector<std::uint64_t>{3, 4, 4}));
+  EXPECT_EQ(ClusteredOptions{}.resolve_sizes(9),
+            (std::vector<std::uint64_t>{4, 5}));
+}
+
+TEST(ClusteredSchedulerTest, LumpingMatchesLegacyTwoHalvesContract) {
+  // The two-argument constructor keeps the historical dumbbell: equal
+  // halves, cluster choice 1/2 each, bridge mass split over orientations.
+  ClusteredScheduler sched(21, 5, 0.04);
+  const auto lumping = sched.lumping();
+  ASSERT_TRUE(lumping.has_value());
+  EXPECT_EQ(lumping->sizes, (std::vector<std::uint64_t>{10, 11}));
+  EXPECT_NEAR(lumping->rate(0, 0), 0.48, 1e-12);
+  EXPECT_NEAR(lumping->rate(1, 1), 0.48, 1e-12);
+  EXPECT_NEAR(lumping->rate(0, 1), 0.02, 1e-12);
+  EXPECT_NEAR(lumping->rate(1, 0), 0.02, 1e-12);
+}
+
+TEST(ClusteredSchedulerTest, GeneralizedCoversAllPairsEventually) {
+  const std::uint32_t n = 8;
+  auto pop = make_population(n);
+  ClusteredScheduler sched(
+      n, 17,
+      ClusteredOptions{.sizes = {3, 3, 2}, .bridge_probability = 0.3});
+  const PairSet seen = collect_pairs(sched, pop, 60000);
+  EXPECT_EQ(seen.size(), n * (n - 1));
+}
+
+TEST(ClusteredSchedulerTest, RejectsInvalidShapes) {
+  // Sizes must sum to n.
+  EXPECT_THROW(ClusteredScheduler(
+                   10, 1, ClusteredOptions{.sizes = {4, 4}}),
+               std::invalid_argument);
+  // Intra mass on a single-agent cluster is unschedulable.
+  EXPECT_THROW(ClusteredScheduler(
+                   3, 1, ClusteredOptions{.sizes = {2, 1}}),
+               std::invalid_argument);
+  // Bridge probability out of range.
+  EXPECT_THROW(ClusteredScheduler(
+                   8, 1, ClusteredOptions{.bridge_probability = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ClusteredScheduler(
+                   8, 1, ClusteredOptions{.bridge_probability = 1.5}),
+               std::invalid_argument);
+}
+
+TEST(SchedulerLumpingTest, OnlyExchangeableKindsLump) {
+  core::CirclesProtocol protocol(2);
+  const std::uint32_t n = 8;
+  for (const SchedulerKind kind : kAllSchedulerKinds) {
+    auto sched = make_scheduler(kind, n, 5, &protocol);
+    const auto lumping = sched->lumping();
+    const bool expect_lumpable = kind == SchedulerKind::kUniformRandom ||
+                                 kind == SchedulerKind::kClustered;
+    EXPECT_EQ(lumping.has_value(), expect_lumpable) << to_string(kind);
+    if (lumping.has_value()) {
+      lumping->validate();
+      EXPECT_EQ(lumping->n(), n);
+    }
+  }
+  // The uniform scheduler's lumping is the trivial single urn.
+  const auto uniform =
+      make_scheduler(SchedulerKind::kUniformRandom, n, 5)->lumping();
+  ASSERT_TRUE(uniform.has_value());
+  EXPECT_EQ(uniform->sizes, (std::vector<std::uint64_t>{n}));
+  EXPECT_EQ(uniform->rates, (std::vector<double>{1.0}));
+}
+
 TEST(AdversarialDelaySchedulerTest, IsWeaklyFairViaForcedSweeps) {
   // Even while null pairs exist, the round-robin subsequence must cover all
   // ordered pairs within the declared fairness period.

@@ -215,6 +215,145 @@ TEST(SpecsFromFlagsTest, BackendAxisJoinsTheCrossProduct) {
   EXPECT_THROW(specs_from_flags(bad_cli), std::invalid_argument);
 }
 
+TEST(RunSpecParseTest, RoundTripsClusterAndBridgeTokens) {
+  // Equal-cluster count form.
+  {
+    RunSpec spec;
+    spec.protocol = "circles";
+    spec.params.k = 3;
+    spec.n = 600;
+    spec.scheduler = pp::SchedulerKind::kClustered;
+    spec.clusters = 4;
+    spec.bridge = 0.001;
+    spec.backend = EngineKind::kDenseBatched;
+    SCOPED_TRACE(spec.to_string());
+    EXPECT_NE(spec.to_string().find("clusters=4"), std::string::npos);
+    EXPECT_NE(spec.to_string().find("bridge=0.001"), std::string::npos);
+    const RunSpec reparsed = RunSpec::parse(spec.to_string());
+    EXPECT_EQ(reparsed.clusters, 4u);
+    EXPECT_TRUE(reparsed.cluster_sizes.empty());
+    EXPECT_DOUBLE_EQ(reparsed.bridge, 0.001);
+    EXPECT_EQ(reparsed.to_string(), spec.to_string());
+  }
+  // Explicit-sizes form, including the single-size disambiguation.
+  {
+    RunSpec spec;
+    spec.protocol = "circles";
+    spec.params.k = 2;
+    spec.n = 900;
+    spec.scheduler = pp::SchedulerKind::kClustered;
+    spec.cluster_sizes = {600, 200, 100};
+    SCOPED_TRACE(spec.to_string());
+    EXPECT_NE(spec.to_string().find("clusters=600,200,100"),
+              std::string::npos);
+    const RunSpec reparsed = RunSpec::parse(spec.to_string());
+    EXPECT_EQ(reparsed.cluster_sizes,
+              (std::vector<std::uint64_t>{600, 200, 100}));
+    EXPECT_EQ(reparsed.clusters, 0u);
+    EXPECT_DOUBLE_EQ(reparsed.bridge, 0.01);  // default omitted and restored
+    EXPECT_EQ(reparsed.to_string(), spec.to_string());
+
+    spec.cluster_sizes = {900};
+    const RunSpec single = RunSpec::parse(spec.to_string());
+    EXPECT_EQ(single.cluster_sizes, (std::vector<std::uint64_t>{900}));
+    EXPECT_EQ(single.clusters, 0u);
+    EXPECT_EQ(single.to_string(), spec.to_string());
+  }
+  // Default shape emits no tokens.
+  {
+    RunSpec spec;
+    spec.scheduler = pp::SchedulerKind::kClustered;
+    EXPECT_EQ(spec.to_string().find("clusters="), std::string::npos);
+    EXPECT_EQ(spec.to_string().find("bridge="), std::string::npos);
+  }
+  // Malformed values.
+  EXPECT_THROW(RunSpec::parse("circles(k=2) clusters=0"),
+               std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles(k=2) clusters=-2"),
+               std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles(k=2) bridge=0"),
+               std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles(k=2) bridge=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles(k=2) bridge=abc"),
+               std::invalid_argument);
+}
+
+TEST(RunSpecParseTest, RoundTripsAutoBackend) {
+  RunSpec spec;
+  spec.protocol = "circles";
+  spec.params.k = 3;
+  spec.n = 4096;
+  spec.backend = EngineKind::kAuto;
+  EXPECT_NE(spec.to_string().find("backend=auto"), std::string::npos);
+  const RunSpec reparsed = RunSpec::parse(spec.to_string());
+  EXPECT_EQ(reparsed.backend, EngineKind::kAuto);
+  EXPECT_EQ(reparsed.to_string(), spec.to_string());
+  EXPECT_EQ(engine_kind_from_string("auto"), EngineKind::kAuto);
+  EXPECT_EQ(to_string(EngineKind::kAuto), "auto");
+}
+
+TEST(SpecsFromFlagsTest, ClusteredDenseCellsAreKeptAndShaped) {
+  // Clustered is lumpable, so dense x clustered cells survive the grid;
+  // --clusters/--bridge shape only the clustered cells.
+  const char* argv[] = {"prog", "--n=64",
+                        "--scheduler=uniform,clustered,round_robin",
+                        "--backend=dense,auto", "--clusters=4",
+                        "--bridge=0.002"};
+  util::Cli cli(6, const_cast<char**>(argv));
+  const SweepSpecs sweep = specs_from_flags(cli);
+  cli.finish();
+  // dense x {uniform, clustered}, auto x {uniform, clustered, round_robin}.
+  ASSERT_EQ(sweep.specs.size(), 5u);
+  for (const auto& spec : sweep.specs) {
+    if (spec.scheduler == pp::SchedulerKind::kClustered) {
+      EXPECT_EQ(spec.clusters, 4u);
+      EXPECT_DOUBLE_EQ(spec.bridge, 0.002);
+    } else {
+      EXPECT_EQ(spec.clusters, 0u);
+      EXPECT_TRUE(spec.backend == EngineKind::kAuto ||
+                  spec.scheduler == pp::SchedulerKind::kUniformRandom);
+    }
+  }
+
+  // Several --clusters values become explicit sizes.
+  const char* sized[] = {"prog", "--n=60", "--scheduler=clustered",
+                         "--clusters=40,20"};
+  util::Cli sized_cli(4, const_cast<char**>(sized));
+  const SweepSpecs sized_sweep = specs_from_flags(sized_cli);
+  sized_cli.finish();
+  ASSERT_EQ(sized_sweep.specs.size(), 1u);
+  EXPECT_EQ(sized_sweep.specs[0].cluster_sizes,
+            (std::vector<std::uint64_t>{40, 20}));
+}
+
+TEST(SchedulerLumpingTest, ReflectsSpecSchedulerAndShape) {
+  RunSpec spec;
+  spec.n = 100;
+  spec.scheduler = pp::SchedulerKind::kClustered;
+  spec.clusters = 4;
+  spec.bridge = 0.2;
+  const auto lumping = scheduler_lumping(spec);
+  ASSERT_TRUE(lumping.has_value());
+  EXPECT_EQ(lumping->sizes, (std::vector<std::uint64_t>{25, 25, 25, 25}));
+  EXPECT_NEAR(lumping->rate(0, 0), 0.8 / 4, 1e-12);
+  EXPECT_NEAR(lumping->rate(0, 1), 0.2 / 12, 1e-12);
+
+  spec.scheduler = pp::SchedulerKind::kUniformRandom;
+  const auto uniform = scheduler_lumping(spec);
+  ASSERT_TRUE(uniform.has_value());
+  EXPECT_EQ(uniform->sizes, (std::vector<std::uint64_t>{100}));
+
+  spec.scheduler = pp::SchedulerKind::kRoundRobin;
+  EXPECT_FALSE(scheduler_lumping(spec).has_value());
+
+  spec.scheduler = pp::SchedulerKind::kUniformRandom;
+  spec.scheduler_factory = [](std::uint32_t n, std::uint64_t seed) {
+    return pp::make_scheduler(pp::SchedulerKind::kUniformRandom, n, seed);
+  };
+  EXPECT_FALSE(scheduler_lumping(spec).has_value());
+}
+
 TEST(SpecsFromFlagsTest, DenseNonUniformCornersAreSkippedNotFatal) {
   // Dense backends only simulate the uniform scheduler; the invalid corner
   // of a multi-valued cross product is dropped, the rest of the grid runs.
