@@ -75,6 +75,12 @@ int main(int argc, char** argv) {
   const auto urn_budget = static_cast<std::uint64_t>(cli.int_flag(
       "urn_budget", 20'000'000,
       "interaction budget for the agent-engine rate measurement"));
+  const auto fluid_n = static_cast<std::uint64_t>(cli.int_flag(
+      "fluid_n", 1'000'000'000,
+      "population size for the fluid run-to-convergence comparison"));
+  const auto fluid_sample_budget = static_cast<std::uint64_t>(cli.int_flag(
+      "fluid_sample_budget", 50'000'000,
+      "interaction budget for the dense_batched rate measurement at fluid_n"));
   const auto seed =
       static_cast<std::uint64_t>(cli.int_flag("seed", 2, "rng seed"));
   auto batch = bench::batch_options(cli, seed);
@@ -409,10 +415,85 @@ int main(int argc, char** argv) {
         " — urn backend to silence vs agent engine extrapolation");
   }
 
+  // Fluid tier at the top of the ladder: the mean-field engine runs circles
+  // k=3 at n = fluid_n to convergence (silent consensus) in wall-clock time
+  // independent of n, while even the batched dense engine pays per
+  // interaction; it is timed on a fixed budget and extrapolated to the fluid
+  // run's interaction count. Counts are well separated on purpose — a
+  // near-tied sub-race would measure the ODE's slow manifold, not its
+  // throughput (see src/fluid/fluid_engine.hpp).
+  double fluid_speedup = 0.0;
+  double fluid_seconds = 0.0;
+  bool fluid_converged = false;
+  {
+    sim::RunSpec fluid_spec;
+    fluid_spec.protocol = "circles";
+    fluid_spec.params.k = 3;
+    fluid_spec.workload = sim::WorkloadSpec::explicit_counts(
+        {fluid_n / 2, 3 * fluid_n / 10, fluid_n - fluid_n / 2 - 3 * fluid_n / 10});
+    fluid_spec.trials = 1;
+    fluid_spec.seed = sim::mix_seed(seed, 0xF1D);
+    fluid_spec.backend = sim::EngineKind::kFluid;
+    // The default budget is interaction-denominated and would be a fraction
+    // of one chemical-time unit at n = 1e9; circles converges near t = 84,
+    // so 200 units of horizon is convergence with slack.
+    fluid_spec.engine.max_interactions = 200 * fluid_n;
+    auto options = batch;
+    options.keep_trials = false;
+
+    const auto t_fluid = Clock::now();
+    const auto fluid = sim::BatchRunner(options).run_one(fluid_spec);
+    fluid_seconds = seconds_since(t_fluid);
+    fluid_converged = fluid.all_correct() && fluid.all_silent();
+    const double fluid_interactions = fluid.interactions.mean;
+
+    sim::RunSpec batched_spec = fluid_spec;
+    batched_spec.backend = sim::EngineKind::kDenseBatched;
+    batched_spec.engine.max_interactions = fluid_sample_budget;
+    batched_spec.engine.stop_when_silent = false;
+    const auto t_batched = Clock::now();
+    (void)sim::BatchRunner(options).run_one(batched_spec);
+    const double batched_seconds = seconds_since(t_batched);
+    const double batched_rate =
+        batched_seconds > 0
+            ? static_cast<double>(fluid_sample_budget) / batched_seconds
+            : 0.0;
+    const double batched_extrapolated_seconds =
+        batched_rate > 0 ? fluid_interactions / batched_rate : 0.0;
+    fluid_speedup = fluid_seconds > 0
+                        ? batched_extrapolated_seconds / fluid_seconds
+                        : 0.0;
+
+    util::Table fluid_table({"engine", "interactions", "wall s",
+                             "interactions/s", "speedup"});
+    fluid_table.add_row(
+        {"fluid (mean-field), to convergence",
+         util::Table::num(fluid_interactions, 0),
+         util::Table::num(fluid_seconds, 3),
+         util::Table::num(
+             fluid_seconds > 0 ? fluid_interactions / fluid_seconds : 0.0, 0),
+         util::Table::num(fluid_speedup, 0) + "x"});
+    fluid_table.add_row(
+        {"dense_batched (" + std::to_string(fluid_sample_budget) +
+             "-interaction sample)",
+         util::Table::num(fluid_interactions, 0) + " (target)",
+         util::Table::num(batched_extrapolated_seconds, 0) +
+             " (extrapolated)",
+         util::Table::num(batched_rate, 0), "1.0x"});
+    fluid_table.print("fluid vs dense_batched — circles k=3, n=" +
+                      std::to_string(fluid_n) +
+                      ", run to convergence vs extrapolation");
+  }
+
   // The speedup requirement only binds where the hardware can deliver it.
   const bool speedup_ok = batch.threads < 4 || speedup > 2.0;
   const bool urn_ok =
       urn_identical_grading && (urn_n < 1'000'000 || urn_speedup >= 10.0);
+  // The fluid engine's whole value proposition: silent consensus at huge n
+  // for less wall clock than the dense ladder could ever spend. The margin
+  // requirement binds once extrapolation is meaningful (n >= 10^8).
+  const bool fluid_ok =
+      fluid_converged && (fluid_n < 100'000'000 || fluid_speedup >= 100.0);
   const bool dense_ok = batched_seconds <= agent_seconds;
   // The compiled kernel must pay for itself: a >= 2x end-to-end win on at
   // least one (protocol, backend) pair and no real regression anywhere
@@ -420,7 +501,7 @@ int main(int argc, char** argv) {
   const bool kernel_ok = kernel_identical && best_kernel_speedup >= 2.0 &&
                          worst_kernel_speedup >= 0.7;
   const bool pass = identical && single_rate > 0 && speedup_ok && dense_ok &&
-                    kernel_ok && urn_ok;
+                    kernel_ok && urn_ok && fluid_ok;
   std::string failure;
   if (!identical) {
     failure = "thread count changed the results";
@@ -438,10 +519,17 @@ int main(int argc, char** argv) {
               std::to_string(worst_kernel_speedup) + "x)";
   } else if (!urn_identical_grading) {
     failure = "clustered urn run failed to reach silent consensus";
-  } else {
+  } else if (!urn_ok) {
     failure = "clustered urn speedup below the 10x requirement (" +
               std::to_string(urn_speedup) + "x at n=" +
               std::to_string(urn_n) + ")";
+  } else if (!fluid_converged) {
+    failure = "fluid run failed to reach silent consensus at n=" +
+              std::to_string(fluid_n);
+  } else {
+    failure = "fluid speedup below the 100x requirement (" +
+              std::to_string(fluid_speedup) + "x at n=" +
+              std::to_string(fluid_n) + ")";
   }
   return bench::verdict(
       pass, pass ? "throughput measured; deterministic results at every "
@@ -449,6 +537,10 @@ int main(int argc, char** argv) {
                    "array; compiled kernels beat virtual dispatch; clustered "
                    "urn backend beats the agent engine by " +
                        util::Table::num(urn_speedup, 0) + "x at n=" +
-                       std::to_string(urn_n)
+                       std::to_string(urn_n) +
+                       "; fluid tier reaches consensus at n=" +
+                       std::to_string(fluid_n) + " " +
+                       util::Table::num(fluid_speedup, 0) +
+                       "x faster than the dense extrapolation"
                  : failure);
 }

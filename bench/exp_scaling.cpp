@@ -9,12 +9,16 @@
 // agent array and the dense backends overlap, their mean state-change counts
 // agree within a tolerance band, and that every run reached exact silence.
 //
-// The default grid finishes in well under a minute; the full curves are one
-// flag away:
+// The default grid finishes in about a minute (random workloads can hand the
+// fluid tier slow near-tied loser races; see src/fluid/fluid_engine.hpp); the
+// full curves are one flag away:
 //   exp_scaling --n=10000,100000 --big_n=1000000,10000000,100000000
 // (big_n sizes run on the batched dense backend only; circles' empirical
 // interactions-to-silence grow superlinearly, so its biggest cells are real
-// compute even on the dense backend). --smoke shrinks the grid for CI.
+// compute even on the dense backend). fluid_n sizes additionally run on the
+// mean-field fluid backend, whose cost is independent of n — big_n cells get
+// a fluid twin too, so the curves overlap where both tiers can run.
+// --smoke shrinks the grid for CI.
 #include <chrono>
 #include <cmath>
 #include <optional>
@@ -51,6 +55,9 @@ int main(int argc, char** argv) {
       "n", "10000", "population sizes for all backends");
   auto big_ns = cli.int_list_flag(
       "big_n", "1000000", "extra sizes for the batched dense backend only");
+  auto fluid_ns = cli.int_list_flag(
+      "fluid_n", "1000000000",
+      "extra sizes for the mean-field fluid backend only");
   const auto protocols = cli.string_list_flag(
       "protocol", "circles,approx_majority_3state",
       "protocols to sweep (baselines default to their fixed k)");
@@ -76,6 +83,7 @@ int main(int argc, char** argv) {
   if (smoke) {
     ns = {1'000, 10'000};
     big_ns = {100'000};
+    fluid_ns = {10'000'000};
     trials = 3;
     agent_cap = 10'000;
     perstep_cap = 10'000;
@@ -106,6 +114,14 @@ int main(int argc, char** argv) {
     for (const auto n : big_ns) {
       cells.push_back({protocol, static_cast<std::uint64_t>(n),
                        sim::EngineKind::kDenseBatched});
+      // Fluid twin: same seed, same per-trial workloads, so the state-change
+      // curves line up with the batched cell directly above.
+      cells.push_back({protocol, static_cast<std::uint64_t>(n),
+                       sim::EngineKind::kFluid});
+    }
+    for (const auto n : fluid_ns) {
+      cells.push_back({protocol, static_cast<std::uint64_t>(n),
+                       sim::EngineKind::kFluid});
     }
   }
 

@@ -1,0 +1,579 @@
+#include "fluid/fluid_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "kernel/compiled_protocol.hpp"
+#include "obs/probe.hpp"
+#include "obs/recorder.hpp"
+#include "util/check.hpp"
+
+namespace circles::fluid {
+
+namespace {
+
+double inf_norm(std::span<const double> v) {
+  double norm = 0.0;
+  for (const double value : v) norm = std::max(norm, std::fabs(value));
+  return norm;
+}
+
+}  // namespace
+
+std::uint64_t poisson(util::Rng& rng, double mean) {
+  if (!(mean > 0.0)) return 0;
+  if (mean < 32.0) {
+    // Knuth inversion: multiply uniforms until the product drops under
+    // exp(-mean). Expected draws = mean + 1, bounded by the branch above.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng.uniform01();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Matched-moment normal approximation with continuity correction; the
+  // relative error is O(1/sqrt(mean)), below tau-leaping's own bias at the
+  // means where this branch runs.
+  double u1 = rng.uniform01();
+  const double u2 = rng.uniform01();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(6.283185307179586476925286766559 * u2);
+  const double v = std::floor(mean + std::sqrt(mean) * z + 0.5);
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+FluidEngine::FluidEngine(const pp::Protocol& protocol, pp::EngineOptions engine,
+                         FluidOptions options, pp::UrnLumping lumping)
+    : protocol_(&protocol),
+      kernel_(nullptr),
+      engine_(engine),
+      options_(options),
+      lumping_(std::move(lumping)),
+      drift_(protocol, nullptr, options.max_pair_lookups) {
+  init_blocks();
+}
+
+FluidEngine::FluidEngine(std::shared_ptr<const kernel::CompiledProtocol> kernel,
+                         pp::EngineOptions engine, FluidOptions options,
+                         pp::UrnLumping lumping)
+    : protocol_(&kernel->protocol()),
+      kernel_(std::move(kernel)),
+      engine_(engine),
+      options_(options),
+      lumping_(std::move(lumping)),
+      drift_(*protocol_, kernel_.get(), options.max_pair_lookups) {
+  init_blocks();
+}
+
+void FluidEngine::init_blocks() {
+  if (lumping_.sizes.empty()) {
+    num_urns_ = 1;
+    rates_ = {1.0};
+    scale_ = {1.0};
+    return;
+  }
+  lumping_.validate();
+  num_urns_ = lumping_.num_urns();
+  rates_ = lumping_.rates;
+  scale_.resize(num_urns_);
+  const double n = static_cast<double>(lumping_.n());
+  for (std::size_t u = 0; u < num_urns_; ++u) {
+    scale_[u] = n / static_cast<double>(lumping_.sizes[u]);
+  }
+}
+
+double FluidEngine::drift_and_rate(std::span<const double> x,
+                                   std::span<double> dxdt) const {
+  const std::size_t m = drift_.num_species();
+  const std::size_t U = num_urns_;
+  CIRCLES_CHECK_MSG(x.size() == U * m && dxdt.size() == U * m,
+                    "fluid drift: vector shape must be num_urns x "
+                    "num_species");
+  std::fill(dxdt.begin(), dxdt.end(), 0.0);
+  double weight = 0.0;  // probability one interaction is non-null
+  const std::span<const DriftTerm> terms = drift_.terms();
+  for (std::size_t u = 0; u < U; ++u) {
+    for (std::size_t v = 0; v < U; ++v) {
+      const double r = rates_[u * U + v];
+      if (r <= 0.0) continue;
+      const double* xu = x.data() + u * m;
+      const double* xv = x.data() + v * m;
+      double* du = dxdt.data() + u * m;
+      double* dv = dxdt.data() + v * m;
+      for (const DriftTerm& term : terms) {
+        const double w = r * xu[term.a] * xv[term.b];
+        if (w == 0.0) continue;
+        weight += w;
+        du[term.a] -= w;
+        dv[term.b] -= w;
+        du[term.a2] += w;
+        dv[term.b2] += w;
+      }
+    }
+  }
+  // dxdt currently holds expected count deltas per interaction; interactions
+  // arrive at rate n per unit chemical time, and urn u's fractions divide by
+  // its own size: d x^u / dt = (n / n_u) * dc_u.
+  for (std::size_t u = 0; u < U; ++u) {
+    double* du = dxdt.data() + u * m;
+    for (std::size_t s = 0; s < m; ++s) du[s] *= scale_[u];
+  }
+  return weight;
+}
+
+void FluidEngine::eval_drift(std::span<const double> x,
+                             std::span<double> dxdt) const {
+  (void)drift_and_rate(x, dxdt);
+}
+
+/// Integration state shared by the ODE and tau paths.
+struct FluidEngine::Sim {
+  std::size_t U = 1;
+  std::size_t m = 0;
+  double n = 0.0;                   // total population
+  std::vector<double> urn_n;        // per-urn sizes
+  std::vector<std::uint64_t> sizes; // same, integer (ProbeContext::urn_sizes)
+
+  std::vector<double> x;        // fractions, U x m (ODE path)
+  std::vector<std::uint64_t> c; // counts, U x m (projection / tau path)
+
+  double t = 0.0;
+  double horizon = 0.0;
+  double drift_tol = 0.0;
+  double changes = 0.0;  // expected (ODE) / exact (tau) state changes
+  bool silent = false;
+  bool budget = false;
+
+  obs::Recorder* recorder = nullptr;
+  std::vector<std::uint64_t> aggregate;               // full num_states
+  std::vector<std::vector<std::uint64_t>> full_urns;  // U > 1 only
+  std::vector<std::span<const std::uint64_t>> urn_spans;
+
+  std::uint64_t interactions_at(double time, std::uint64_t cap) const {
+    const double v = std::min(time, horizon) * n;
+    if (v >= static_cast<double>(cap)) return cap;
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
+  }
+
+  /// Rounds fractions to integer counts, preserving each urn's total.
+  void round_counts(std::span<const DriftTerm>) {
+    for (std::size_t u = 0; u < U; ++u) {
+      const double nu = urn_n[u];
+      std::uint64_t sum = 0;
+      std::size_t argmax = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double v = x[u * m + i] * nu;
+        const std::uint64_t count =
+            v <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
+        c[u * m + i] = count;
+        sum += count;
+        if (count > c[u * m + argmax]) argmax = i;
+      }
+      const std::int64_t diff = static_cast<std::int64_t>(sizes[u]) -
+                                static_cast<std::int64_t>(sum);
+      const std::int64_t adjusted =
+          static_cast<std::int64_t>(c[u * m + argmax]) + diff;
+      c[u * m + argmax] =
+          adjusted > 0 ? static_cast<std::uint64_t>(adjusted) : 0;
+    }
+  }
+
+  /// Publishes compact counts into the full-StateId arrays the probe
+  /// pipeline reads. Only closure entries are ever nonzero, so no re-zeroing
+  /// of the (possibly much larger) full vectors is needed.
+  void publish_counts(std::span<const pp::StateId> species) {
+    for (std::size_t i = 0; i < m; ++i) aggregate[species[i]] = 0;
+    for (std::size_t u = 0; u < U; ++u) {
+      for (std::size_t i = 0; i < m; ++i) {
+        aggregate[species[i]] += c[u * m + i];
+        if (!full_urns.empty()) full_urns[u][species[i]] = c[u * m + i];
+      }
+    }
+  }
+};
+
+namespace {
+
+/// Exact silence of integer compact counts: no positive-rate block holds an
+/// ordered pair with a non-null transition.
+bool counts_silent(const std::vector<std::uint64_t>& c, std::size_t U,
+                   std::size_t m, const std::vector<double>& rates,
+                   std::span<const DriftTerm> terms) {
+  for (std::size_t u = 0; u < U; ++u) {
+    for (std::size_t v = 0; v < U; ++v) {
+      if (rates[u * U + v] <= 0.0) continue;
+      for (const DriftTerm& term : terms) {
+        const std::uint64_t ca = c[u * m + term.a];
+        if (ca == 0) continue;
+        const std::uint64_t cb = c[v * m + term.b];
+        if (cb == 0) continue;
+        if (u == v && term.a == term.b && ca < 2) continue;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void FluidEngine::run_ode(Sim& sim) const {
+  const std::size_t dim = sim.U * sim.m;
+  std::vector<double> k1(dim), k2(dim), k3(dim), k4(dim), xtmp(dim), xn(dim);
+  double w1 = drift_and_rate(sim.x, k1);
+  // Initial step: small relative to the drift scale; the controller settles
+  // within a few steps either way.
+  double h = std::min(sim.horizon, 0.25 / (1.0 + inf_norm(k1)));
+  std::uint64_t steps = 0;
+
+  while (sim.t < sim.horizon) {
+    if (++steps > options_.max_steps) {
+      sim.budget = true;
+      return;
+    }
+    const double step = std::min(h, sim.horizon - sim.t);
+
+    // Bogacki–Shampine 3(2), FSAL: k1 is f at the current point.
+    for (std::size_t i = 0; i < dim; ++i) {
+      xtmp[i] = sim.x[i] + step * 0.5 * k1[i];
+    }
+    (void)drift_and_rate(xtmp, k2);
+    for (std::size_t i = 0; i < dim; ++i) {
+      xtmp[i] = sim.x[i] + step * 0.75 * k2[i];
+    }
+    (void)drift_and_rate(xtmp, k3);
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double v = sim.x[i] + step * (2.0 / 9.0 * k1[i] +
+                                          1.0 / 3.0 * k2[i] +
+                                          4.0 / 9.0 * k3[i]);
+      // Fractions: clamp the tiny negative excursions of decaying species
+      // before they feed back into quadratic rates.
+      xn[i] = v > 0.0 ? v : 0.0;
+    }
+    const double w4 = drift_and_rate(xn, k4);
+
+    double err2 = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double e = step * (-5.0 / 72.0 * k1[i] + 1.0 / 12.0 * k2[i] +
+                               1.0 / 9.0 * k3[i] - 1.0 / 8.0 * k4[i]);
+      const double scale =
+          options_.atol +
+          options_.rtol * std::max(std::fabs(sim.x[i]), std::fabs(xn[i]));
+      const double q = e / scale;
+      err2 += q * q;
+    }
+    const double errnorm = std::sqrt(err2 / static_cast<double>(dim));
+
+    if (errnorm <= 1.0) {
+      // Accept. State changes accrue at rate n * P(non-null interaction);
+      // trapezoid over the step using the already-evaluated endpoints.
+      sim.changes += step * sim.n * 0.5 * (w1 + w4);
+      sim.x.swap(xn);
+      k1.swap(k4);
+      w1 = w4;
+      sim.t += step;
+
+      bool projected = false;
+      if (sim.recorder != nullptr) {
+        sim.round_counts(drift_.terms());
+        sim.publish_counts(drift_.species());
+        projected = true;
+        sim.recorder->advance(
+            sim.interactions_at(sim.t, engine_.max_interactions), sim.t,
+            sim.aggregate, obs::kUnknownActive, drift_.species(),
+            sim.urn_spans);
+      }
+      if (engine_.stop_when_silent && inf_norm(k1) < sim.drift_tol) {
+        if (!projected) sim.round_counts(drift_.terms());
+        if (counts_silent(sim.c, sim.U, sim.m, rates_, drift_.terms())) {
+          sim.silent = true;
+          return;
+        }
+      }
+    }
+
+    const double factor =
+        errnorm > 0.0 ? 0.9 * std::pow(errnorm, -1.0 / 3.0) : 5.0;
+    h = step * std::clamp(factor, 0.2, 5.0);
+    if (!(h > sim.horizon * 1e-14)) {
+      // The controller collapsed the step (stiff corner of the tolerance
+      // settings): report an exhausted budget rather than spinning.
+      sim.budget = true;
+      return;
+    }
+  }
+}
+
+void FluidEngine::run_tau(Sim& sim, std::uint64_t seed) const {
+  util::Rng rng(seed);
+  const std::size_t dim = sim.U * sim.m;
+  const std::span<const DriftTerm> terms = drift_.terms();
+  std::vector<double> mu(dim), var(dim);
+  std::vector<std::int64_t> delta(dim);
+  std::uint64_t steps = 0;
+
+  // Visits every (positive-rate block, term) reaction in a fixed order —
+  // the order the RNG stream is consumed in, hence part of the determinism
+  // contract.
+  const auto for_each_reaction = [&](auto&& body) {
+    for (std::size_t u = 0; u < sim.U; ++u) {
+      for (std::size_t v = 0; v < sim.U; ++v) {
+        const double r = rates_[u * sim.U + v];
+        if (r <= 0.0) continue;
+        const double cap =
+            u == v ? sim.urn_n[u] * (sim.urn_n[u] - 1.0)
+                   : sim.urn_n[u] * sim.urn_n[v];
+        const double base = sim.n * r / cap;
+        for (const DriftTerm& term : terms) {
+          const double ca = static_cast<double>(sim.c[u * sim.m + term.a]);
+          const double cb = static_cast<double>(sim.c[v * sim.m + term.b]);
+          const double pairs =
+              u == v && term.a == term.b ? ca * (ca - 1.0) : ca * cb;
+          if (pairs <= 0.0) continue;
+          body(u, v, term, base * pairs);
+        }
+      }
+    }
+  };
+
+  while (sim.t < sim.horizon) {
+    if (++steps > options_.max_steps) {
+      sim.budget = true;
+      return;
+    }
+
+    double total = 0.0;
+    std::fill(mu.begin(), mu.end(), 0.0);
+    std::fill(var.begin(), var.end(), 0.0);
+    for_each_reaction([&](std::size_t u, std::size_t v, const DriftTerm& term,
+                          double lam) {
+      total += lam;
+      if (term.a2 != term.a) {
+        mu[u * sim.m + term.a] -= lam;
+        mu[u * sim.m + term.a2] += lam;
+        var[u * sim.m + term.a] += lam;
+        var[u * sim.m + term.a2] += lam;
+      }
+      if (term.b2 != term.b) {
+        mu[v * sim.m + term.b] -= lam;
+        mu[v * sim.m + term.b2] += lam;
+        var[v * sim.m + term.b] += lam;
+        var[v * sim.m + term.b2] += lam;
+      }
+    });
+    if (total <= 0.0) {
+      // No reaction can fire: the exact silence certificate of the discrete
+      // chain, same meaning as the dense engines'.
+      sim.silent = true;
+      return;
+    }
+
+    // Cao et al. tau selection: bound each count's expected relative change
+    // and relative variance per leap by tau_epsilon.
+    const double eps = options_.tau_epsilon;
+    double tau = sim.horizon - sim.t;
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (var[i] <= 0.0) continue;
+      const double cbar = std::max(static_cast<double>(sim.c[i]), 1.0);
+      if (mu[i] != 0.0) tau = std::min(tau, eps * cbar / std::fabs(mu[i]));
+      tau = std::min(tau, eps * eps * cbar * cbar / var[i]);
+    }
+    // Near silence the propensities are tiny; keep at least ~one expected
+    // event per leap so the loop terminates in O(events), not O(horizon/tau).
+    if (tau * total < 1.0) tau = std::min(sim.horizon - sim.t, 1.0 / total);
+
+    bool applied = false;
+    for (int attempt = 0; attempt < 40 && !applied; ++attempt) {
+      std::fill(delta.begin(), delta.end(), 0);
+      std::uint64_t events = 0;
+      for_each_reaction([&](std::size_t u, std::size_t v,
+                            const DriftTerm& term, double lam) {
+        const std::uint64_t k = poisson(rng, lam * tau);
+        if (k == 0) return;
+        events += k;
+        const auto sk = static_cast<std::int64_t>(k);
+        if (term.a2 != term.a) {
+          delta[u * sim.m + term.a] -= sk;
+          delta[u * sim.m + term.a2] += sk;
+        }
+        if (term.b2 != term.b) {
+          delta[v * sim.m + term.b] -= sk;
+          delta[v * sim.m + term.b2] += sk;
+        }
+      });
+      bool feasible = true;
+      for (std::size_t i = 0; i < dim && feasible; ++i) {
+        feasible = delta[i] >= 0 ||
+                   sim.c[i] >= static_cast<std::uint64_t>(-delta[i]);
+      }
+      if (!feasible) {
+        // Standard negative-count rejection: halve the leap and redraw.
+        tau *= 0.5;
+        continue;
+      }
+      for (std::size_t i = 0; i < dim; ++i) {
+        sim.c[i] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(sim.c[i]) + delta[i]);
+      }
+      sim.changes += static_cast<double>(events);
+      sim.t += tau;
+      applied = true;
+    }
+    if (!applied) {
+      sim.budget = true;
+      return;
+    }
+
+    if (sim.recorder != nullptr) {
+      sim.publish_counts(drift_.species());
+      sim.recorder->advance(
+          sim.interactions_at(sim.t, engine_.max_interactions), sim.t,
+          sim.aggregate, obs::kUnknownActive, drift_.species(), sim.urn_spans);
+    }
+  }
+}
+
+pp::RunResult FluidEngine::run_counts(
+    std::vector<std::vector<std::uint64_t>>& urns, std::uint64_t seed,
+    obs::Recorder* recorder) const {
+  const std::size_t num_states =
+      static_cast<std::size_t>(protocol_->num_states());
+  CIRCLES_CHECK_MSG(urns.size() == num_urns_,
+                    "fluid engine: configuration urn count does not match "
+                    "the engine's lumping");
+
+  Sim sim;
+  sim.U = urns.size();
+  sim.m = drift_.num_species();
+  sim.recorder = recorder;
+  sim.urn_n.resize(sim.U);
+  sim.sizes.resize(sim.U);
+  sim.c.assign(sim.U * sim.m, 0);
+  std::uint64_t n = 0;
+  for (std::size_t u = 0; u < sim.U; ++u) {
+    CIRCLES_CHECK_MSG(urns[u].size() == num_states,
+                      "fluid engine: count vector size does not match the "
+                      "protocol's state count");
+    std::uint64_t urn_total = 0;
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const std::uint64_t count = urns[u][s];
+      if (count == 0) continue;
+      urn_total += count;
+      const std::int32_t idx = drift_.index_of(static_cast<pp::StateId>(s));
+      if (idx < 0) {
+        throw std::invalid_argument(
+            "fluid engine: state '" +
+            protocol_->state_name(static_cast<pp::StateId>(s)) +
+            "' holds agents but is outside the protocol's input-state "
+            "closure; the mean-field drift table only covers configurations "
+            "reachable from inputs");
+      }
+      sim.c[u * sim.m + static_cast<std::size_t>(idx)] = count;
+    }
+    CIRCLES_CHECK_MSG(lumping_.sizes.empty() ||
+                          urn_total == lumping_.sizes[u],
+                      "fluid engine: urn size does not match the lumping");
+    sim.urn_n[u] = static_cast<double>(urn_total);
+    sim.sizes[u] = urn_total;
+    n += urn_total;
+  }
+  CIRCLES_CHECK_MSG(n >= 2, "fluid runs need at least two agents");
+  sim.n = static_cast<double>(n);
+  sim.horizon = static_cast<double>(engine_.max_interactions) / sim.n;
+  sim.drift_tol =
+      options_.drift_tol > 0.0 ? options_.drift_tol : 0.5 / sim.n;
+
+  sim.aggregate.assign(num_states, 0);
+  if (sim.U > 1) {
+    sim.full_urns.assign(sim.U, std::vector<std::uint64_t>(num_states, 0));
+    sim.urn_spans.reserve(sim.U);
+    for (const auto& full : sim.full_urns) sim.urn_spans.emplace_back(full);
+  }
+  sim.publish_counts(drift_.species());
+
+  if (recorder != nullptr) {
+    obs::ProbeContext ctx;
+    ctx.protocol = protocol_;
+    ctx.kernel = kernel_.get();
+    ctx.n = n;
+    if (sim.U > 1) ctx.urn_sizes = sim.sizes;
+    recorder->begin(ctx, sim.aggregate, obs::kUnknownActive, drift_.species(),
+                    sim.urn_spans);
+  }
+
+  if (options_.tau_leaping) {
+    run_tau(sim, seed);
+  } else {
+    sim.x.assign(sim.U * sim.m, 0.0);
+    for (std::size_t u = 0; u < sim.U; ++u) {
+      for (std::size_t i = 0; i < sim.m; ++i) {
+        sim.x[u * sim.m + i] =
+            static_cast<double>(sim.c[u * sim.m + i]) / sim.urn_n[u];
+      }
+    }
+    run_ode(sim);
+    sim.round_counts(drift_.terms());
+  }
+  sim.publish_counts(drift_.species());
+
+  // The final silence verdict always comes from the final configuration
+  // (the tau path's zero-propensity exit and the ODE path's converged
+  // rounding both satisfy it; runs under stop_when_silent=false get graded
+  // here too).
+  sim.silent = counts_silent(sim.c, sim.U, sim.m, rates_, drift_.terms());
+
+  // Write the final configuration back.
+  for (std::size_t u = 0; u < sim.U; ++u) {
+    std::fill(urns[u].begin(), urns[u].end(), 0);
+    const std::span<const pp::StateId> species = drift_.species();
+    for (std::size_t i = 0; i < sim.m; ++i) {
+      urns[u][species[i]] = sim.c[u * sim.m + i];
+    }
+  }
+
+  pp::RunResult result;
+  result.interactions = sim.interactions_at(sim.t, engine_.max_interactions);
+  const double changes = std::max(0.0, sim.changes);
+  result.state_changes =
+      changes >= static_cast<double>(result.interactions)
+          ? result.interactions
+          : static_cast<std::uint64_t>(std::llround(changes));
+  result.last_change_step = result.state_changes > 0 ? result.interactions : 0;
+  result.silent = sim.silent;
+  result.budget_exhausted =
+      !sim.silent && (sim.budget || sim.t >= sim.horizon);
+  dense::DenseConfig final_config;
+  final_config.counts = sim.aggregate;
+  result.final_outputs = final_config.output_histogram(*protocol_);
+
+  if (recorder != nullptr) {
+    recorder->finish(result.interactions, sim.t, sim.aggregate,
+                     obs::kUnknownActive, drift_.species(), sim.urn_spans);
+  }
+  return result;
+}
+
+pp::RunResult FluidEngine::run(dense::DenseConfig& config, std::uint64_t seed,
+                               obs::Recorder* recorder) const {
+  CIRCLES_CHECK_MSG(num_urns_ == 1,
+                    "fluid engine built with a multi-urn lumping runs "
+                    "UrnConfigs, not single count vectors");
+  std::vector<std::vector<std::uint64_t>> urns;
+  urns.push_back(std::move(config.counts));
+  const pp::RunResult result = run_counts(urns, seed, recorder);
+  config.counts = std::move(urns[0]);
+  return result;
+}
+
+pp::RunResult FluidEngine::run(dense::UrnConfig& config, std::uint64_t seed,
+                               obs::Recorder* recorder) const {
+  return run_counts(config.urns, seed, recorder);
+}
+
+}  // namespace circles::fluid

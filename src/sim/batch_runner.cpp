@@ -11,6 +11,7 @@
 #include "core/invariants.hpp"
 #include "crn/gillespie.hpp"
 #include "dense/dense_engine.hpp"
+#include "fluid/fluid_engine.hpp"
 #include "obs/monitor_probe.hpp"
 #include "util/check.hpp"
 
@@ -108,7 +109,8 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
                                        std::uint64_t trial_seed,
                                        const kernel::CompiledProtocol* kernel,
                                        const dense::DenseEngine* dense_engine,
-                                       EngineKind backend_resolved) {
+                                       EngineKind backend_resolved,
+                                       const fluid::FluidEngine* fluid_engine) {
   const EngineKind backend = backend_resolved == EngineKind::kAuto
                                  ? spec.backend
                                  : backend_resolved;
@@ -173,10 +175,17 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
     options.kernel = kernel;
     options.use_kernel = spec.use_kernel;
     options.recorder = recorder.has_value() ? &*recorder : nullptr;
-    rec.outcome =
-        run_dense_trial(protocol, rec.workload, options,
-                        backend == EngineKind::kDenseBatched, expected,
-                        dense_engine);
+    if (backend == EngineKind::kFluid) {
+      options.rtol = spec.rtol;
+      options.atol = spec.atol;
+      rec.outcome = run_fluid_trial(protocol, rec.workload, options, expected,
+                                    fluid_engine);
+    } else {
+      rec.outcome =
+          run_dense_trial(protocol, rec.workload, options,
+                          backend == EngineKind::kDenseBatched, expected,
+                          dense_engine);
+    }
     collect_traces();
     return rec;
   }
@@ -325,6 +334,9 @@ std::vector<SpecResult> BatchRunner::run(
   // path when the spec turns kernels off); DenseEngine::run is
   // const/thread-safe.
   std::vector<std::unique_ptr<dense::DenseEngine>> dense_engines(specs.size());
+  // Per-spec fluid engines, same sharing contract (the drift table is
+  // compiled once); FluidEngine::run is const/thread-safe.
+  std::vector<std::unique_ptr<fluid::FluidEngine>> fluid_engines(specs.size());
   std::vector<std::uint64_t> spec_seeds(specs.size());
   // Concrete backend per spec: spec.backend, with kAuto resolved from the
   // scheduler's lumpability, the population size and the state count.
@@ -383,6 +395,22 @@ std::vector<SpecResult> BatchRunner::run(
           pp::to_string(spec.scheduler) +
           "'; the cluster shape belongs to scheduler=clustered");
     }
+    if ((spec.rtol != 0.0 || spec.atol != 0.0) &&
+        spec.backend != EngineKind::kFluid &&
+        spec.backend != EngineKind::kAuto) {
+      throw std::invalid_argument(
+          "RunSpec '" + spec.to_string() +
+          "' sets rtol/atol, which are fluid-integrator tolerances, on "
+          "backend=" + sim::to_string(spec.backend) +
+          "; use backend=fluid (or backend=auto) or drop the tolerances");
+    }
+    if (spec.rtol < 0.0 || spec.atol < 0.0) {
+      throw std::invalid_argument(
+          "RunSpec '" + spec.to_string() +
+          "' sets a negative fluid-integrator tolerance (rtol=" +
+          std::to_string(spec.rtol) + ", atol=" + std::to_string(spec.atol) +
+          "); tolerances must be positive (0 = engine default)");
+    }
 
     // Resolve the concrete backend. Auto dispatch: agent-only features or a
     // non-lumpable scheduler force the agent array; otherwise the
@@ -406,6 +434,8 @@ std::vector<SpecResult> BatchRunner::run(
       if (agent_only_features || !lumping.has_value() ||
           protocol->num_states() > auto_n || auto_n < kAutoDenseMinN) {
         backend = EngineKind::kAgentArray;
+      } else if (auto_n >= kAutoFluidMinN) {
+        backend = EngineKind::kFluid;
       } else if (auto_n >= kAutoBatchedMinN) {
         backend = EngineKind::kDenseBatched;
       } else {
@@ -437,6 +467,15 @@ std::vector<SpecResult> BatchRunner::run(
             "backend per spec");
       }
       if (spec.chemical_time) {
+        if (backend == EngineKind::kFluid) {
+          throw std::invalid_argument(
+              "RunSpec '" + spec.to_string() +
+              "' combines chemical_time with the fluid backend; the fluid "
+              "trajectory already advances the chemical clock (trace= "
+              "probes record the chemical_time column), but the Gillespie "
+              "stabilization/convergence statistics ride the agent engine's "
+              "event stream — use backend=agent for those");
+        }
         throw std::invalid_argument(
             "RunSpec '" + spec.to_string() +
             "' combines chemical_time with a dense backend; the Gillespie "
@@ -458,7 +497,30 @@ std::vector<SpecResult> BatchRunner::run(
     if (spec.use_kernel) {
       kernels[i] = std::make_shared<const kernel::CompiledProtocol>(*protocol);
     }
-    if (backend != EngineKind::kAgentArray) {
+    if (backend == EngineKind::kFluid) {
+      fluid::FluidOptions fluid_options;
+      if (spec.rtol > 0.0) fluid_options.rtol = spec.rtol;
+      if (spec.atol > 0.0) fluid_options.atol = spec.atol;
+      try {
+        fluid_engines[i] =
+            spec.use_kernel
+                ? std::make_unique<fluid::FluidEngine>(
+                      kernels[i], spec.engine, fluid_options, *lumping)
+                : std::make_unique<fluid::FluidEngine>(
+                      *protocol, spec.engine, fluid_options, *lumping);
+      } catch (const std::invalid_argument& e) {
+        // The drift-table compile refuses protocols whose input-state
+        // closure is too wide for the mean-field representation.
+        if (spec.backend != EngineKind::kAuto) {
+          throw std::invalid_argument("RunSpec '" + spec.to_string() +
+                                      "': " + e.what());
+        }
+        // Auto picked fluid on size alone; fall back one tier.
+        backend = EngineKind::kDenseBatched;
+        backends[i] = backend;
+      }
+    }
+    if (backend != EngineKind::kAgentArray && backend != EngineKind::kFluid) {
       const dense::DenseMode mode = backend == EngineKind::kDenseBatched
                                         ? dense::DenseMode::kBatched
                                         : dense::DenseMode::kPerStep;
@@ -503,7 +565,8 @@ std::vector<SpecResult> BatchRunner::run(
             execute_trial(*protocols[job.spec], specs[job.spec],
                           trial_seed(spec_seeds[job.spec], job.trial),
                           kernels[job.spec].get(),
-                          dense_engines[job.spec].get(), backends[job.spec]);
+                          dense_engines[job.spec].get(), backends[job.spec],
+                          fluid_engines[job.spec].get());
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();

@@ -20,6 +20,10 @@ namespace circles::dense {
 class DenseEngine;
 }
 
+namespace circles::fluid {
+class FluidEngine;
+}
+
 namespace circles::sim {
 
 /// One trial's full record.
@@ -134,15 +138,17 @@ class BatchRunner {
   /// path when spec.use_kernel is off). `dense_engine` is an optional
   /// per-spec engine for dense backends (built once by run() so the
   /// transition table is shared across trials); when null, a dense trial
-  /// builds its own. `backend_resolved` is the concrete backend to run
-  /// (kAuto = "use spec.backend", which must then itself be concrete —
-  /// run() resolves auto specs before dispatching here).
+  /// builds its own. `fluid_engine` plays the same per-spec role for the
+  /// fluid backend (shared drift table). `backend_resolved` is the concrete
+  /// backend to run (kAuto = "use spec.backend", which must then itself be
+  /// concrete — run() resolves auto specs before dispatching here).
   static TrialRecord execute_trial(
       const pp::Protocol& protocol, const RunSpec& spec,
       std::uint64_t trial_seed,
       const kernel::CompiledProtocol* kernel = nullptr,
       const dense::DenseEngine* dense_engine = nullptr,
-      EngineKind backend_resolved = EngineKind::kAuto);
+      EngineKind backend_resolved = EngineKind::kAuto,
+      const fluid::FluidEngine* fluid_engine = nullptr);
 
  private:
   BatchOptions options_;

@@ -17,10 +17,11 @@ EngineKind engine_kind_from_string(const std::string& text) {
   if (text == "dense_batched" || text == "batched") {
     return EngineKind::kDenseBatched;
   }
+  if (text == "fluid") return EngineKind::kFluid;
   if (text == "auto") return EngineKind::kAuto;
   throw std::invalid_argument("unknown backend '" + text +
                               "' (expected agent, dense, dense_batched, "
-                              "auto)");
+                              "fluid, auto)");
 }
 
 std::string to_string(EngineKind kind) {
@@ -31,6 +32,8 @@ std::string to_string(EngineKind kind) {
       return "dense";
     case EngineKind::kDenseBatched:
       return "dense_batched";
+    case EngineKind::kFluid:
+      return "fluid";
     case EngineKind::kAuto:
       return "auto";
   }
@@ -219,6 +222,16 @@ std::string RunSpec::to_string() const {
   if (backend != EngineKind::kAgentArray) {
     out += " backend=" + sim::to_string(backend);
   }
+  if (rtol != 0.0) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), " rtol=%g", rtol);
+    out += buffer;
+  }
+  if (atol != 0.0) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), " atol=%g", atol);
+    out += buffer;
+  }
   if (!use_kernel) out += " kernel=off";
   for (const obs::ProbeSpec& probe : probes) {
     out += " trace=" + probe.to_string();
@@ -333,6 +346,15 @@ RunSpec RunSpec::parse(const std::string& text) {
         spec.trials = static_cast<std::uint32_t>(parse_unsigned(value));
       } else if (key == "backend") {
         spec.backend = engine_kind_from_string(value);
+      } else if (key == "rtol" || key == "atol") {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used != value.size() || !(parsed > 0.0)) {
+          throw std::invalid_argument("RunSpec parse: " + key +
+                                      " must be a positive number, got '" +
+                                      value + "'");
+        }
+        (key == "rtol" ? spec.rtol : spec.atol) = parsed;
       } else if (key == "kernel") {
         if (value != "on" && value != "off") {
           throw std::invalid_argument(

@@ -76,20 +76,29 @@ enum class EngineKind {
   /// the scaling backend for n >= 10^6. Lumpable schedulers only, like
   /// kDense.
   kDenseBatched,
-  /// Resolved per spec by the BatchRunner: dense_batched for lumpable
-  /// schedulers at large n, dense at moderate n, agent otherwise (agent-only
-  /// features, non-lumpable schedulers, tiny n, or num_states > n). The
-  /// resolution lands in SpecResult::backend_resolved.
+  /// fluid::FluidEngine: the lumped count chain integrated as a mean-field
+  /// ODE (adaptive embedded RK pair, rtol/atol via RunSpec::rtol/atol),
+  /// drift terms compiled once from the kernel IR. O(1/sqrt(n)) model error,
+  /// cost independent of n — the n >= 1e9 tier. Lumpable schedulers only,
+  /// like the dense backends.
+  kFluid,
+  /// Resolved per spec by the BatchRunner: fluid for lumpable schedulers at
+  /// huge n, dense_batched at large n, dense at moderate n, agent otherwise
+  /// (agent-only features, non-lumpable schedulers, tiny n, or num_states >
+  /// n). The resolution lands in SpecResult::backend_resolved.
   kAuto,
 };
 
 /// Auto-dispatch thresholds: below kAutoDenseMinN the agent array is at
 /// least as fast and strictly more featureful; above kAutoBatchedMinN the
-/// sqrt(n) epochs beat per-step count sampling.
+/// sqrt(n) epochs beat per-step count sampling; above kAutoFluidMinN the
+/// mean-field model error O(1/sqrt(n)) drops below the discrete chain's own
+/// trial-to-trial noise and the ODE costs nothing as n grows.
 inline constexpr std::uint64_t kAutoDenseMinN = 128;
 inline constexpr std::uint64_t kAutoBatchedMinN = 8192;
+inline constexpr std::uint64_t kAutoFluidMinN = 100'000'000;
 
-/// Parses "agent", "dense", "dense_batched", "auto".
+/// Parses "agent", "dense", "dense_batched", "fluid", "auto".
 EngineKind engine_kind_from_string(const std::string& text);
 std::string to_string(EngineKind kind);
 
@@ -133,6 +142,13 @@ struct RunSpec {
   /// specs up front. kAuto resolves to a concrete backend per spec instead
   /// of refusing.
   EngineKind backend = EngineKind::kAgentArray;
+
+  /// Fluid-backend integrator tolerances (backend=fluid or auto-resolved
+  /// fluid); 0 = the engine defaults (rtol 1e-6, atol 1e-9). Setting them on
+  /// a concrete non-fluid backend is an error the BatchRunner rejects up
+  /// front. Rendered as "rtol=1e-4" / "atol=1e-8" tokens when non-zero.
+  double rtol = 0.0;
+  double atol = 0.0;
 
   /// Compile the protocol into a kernel::CompiledProtocol once per spec and
   /// share it across all trials and threads (compile stats land in the

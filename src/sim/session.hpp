@@ -88,6 +88,15 @@ class SessionBuilder {
     spec_.backend = engine_kind_from_string(name);
     return *this;
   }
+  /// Fluid-integrator tolerances (backend=fluid / auto-resolved fluid).
+  SessionBuilder& rtol(double rtol) {
+    spec_.rtol = rtol;
+    return *this;
+  }
+  SessionBuilder& atol(double atol) {
+    spec_.atol = atol;
+    return *this;
+  }
   SessionBuilder& use_kernel(bool on = true) {
     spec_.use_kernel = on;
     return *this;

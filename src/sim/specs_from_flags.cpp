@@ -32,7 +32,16 @@ SweepSpecs specs_from_flags(util::Cli& cli, const SweepFlagDefaults& defaults) {
       "clustered)");
   const auto backends = cli.string_list_flag(
       "backend", defaults.backends,
-      "simulation backends to sweep (agent, dense, dense_batched, auto)");
+      "simulation backends to sweep (agent, dense, dense_batched, fluid, "
+      "auto)");
+  const auto rtol = cli.double_flag(
+      "rtol", 0.0,
+      "fluid-backend relative step tolerance (0 = engine default; "
+      "fluid/auto cells only)");
+  const auto atol = cli.double_flag(
+      "atol", 0.0,
+      "fluid-backend absolute step tolerance (0 = engine default; "
+      "fluid/auto cells only)");
   const std::string clusters_flag = cli.string_flag(
       "clusters", "",
       "clustered-scheduler shape: one value = number of equal clusters, "
@@ -89,6 +98,14 @@ SweepSpecs specs_from_flags(util::Cli& cli, const SweepFlagDefaults& defaults) {
             spec.workload = workload;
             spec.scheduler = pp::scheduler_kind_from_string(scheduler);
             spec.backend = engine_kind_from_string(backend);
+            // The tolerances are fluid-only knobs; applying them to the
+            // whole cross product would make the BatchRunner reject the
+            // agent/dense cells of a mixed-backend sweep.
+            if (spec.backend == EngineKind::kFluid ||
+                spec.backend == EngineKind::kAuto) {
+              spec.rtol = rtol;
+              spec.atol = atol;
+            }
             spec.trials = static_cast<std::uint32_t>(trials);
             if (budget > 0) {
               spec.engine.max_interactions =
@@ -121,8 +138,8 @@ SweepSpecs specs_from_flags(util::Cli& cli, const SweepFlagDefaults& defaults) {
   }
   if (out.specs.empty()) {
     throw std::invalid_argument(
-        "the requested grid is empty: dense backends (--backend=dense, "
-        "dense_batched) support lumpable schedulers only (uniform, "
+        "the requested grid is empty: count-level backends (--backend=dense, "
+        "dense_batched, fluid) support lumpable schedulers only (uniform, "
         "clustered) — use --backend=auto to pick per cell");
   }
   return out;

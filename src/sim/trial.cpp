@@ -11,6 +11,7 @@
 #include "dense/dense_config.hpp"
 #include "dense/dense_engine.hpp"
 #include "dense/urn_config.hpp"
+#include "fluid/fluid_engine.hpp"
 #include "kernel/compiled_protocol.hpp"
 #include "pp/schedulers/clustered.hpp"
 #include "obs/monitor_probe.hpp"
@@ -174,6 +175,80 @@ TrialOutcome run_dense_trial(const pp::Protocol& protocol,
                         (engine->lumping().sizes == lumping.sizes &&
                          engine->lumping().rates == lumping.rates),
                     "prebuilt dense engine's urn sizes or rate matrix do "
+                    "not match the trial's clustered options");
+
+  TrialOutcome outcome;
+  if (engine->lumping().num_urns() > 1) {
+    dense::UrnConfig config = dense::UrnConfig::from_workload(
+        protocol, workload, engine->lumping().sizes, rng);
+    outcome.run = engine->run(config, engine_seed, options.recorder);
+  } else {
+    dense::DenseConfig config =
+        dense::DenseConfig::from_workload(protocol, workload);
+    outcome.run = engine->run(config, engine_seed, options.recorder);
+  }
+  grade_against(outcome, workload, expected_symbol);
+  return outcome;
+}
+
+TrialOutcome run_fluid_trial(const pp::Protocol& protocol,
+                             const analysis::Workload& workload,
+                             const TrialOptions& options,
+                             std::optional<pp::OutputSymbol> expected_symbol,
+                             const fluid::FluidEngine* engine) {
+  CIRCLES_CHECK_MSG(workload.k() == protocol.num_colors(),
+                    "workload color count does not match the protocol");
+  const bool uniform =
+      options.scheduler == pp::SchedulerKind::kUniformRandom;
+  CIRCLES_CHECK_MSG(
+      (uniform || options.scheduler == pp::SchedulerKind::kClustered) &&
+          !options.scheduler_factory,
+      "fluid trials simulate lumpable schedulers only (uniform, clustered)");
+  CIRCLES_CHECK_MSG(workload.n() >= 2, "trials need at least two agents");
+
+  // Same stream discipline as run_dense_trial: engine seed split off the
+  // head, urn split on the continuing stream — a fluid trial and a dense
+  // trial with equal seeds therefore start from identical configurations.
+  util::Rng rng(options.seed);
+  const std::uint64_t engine_seed = rng.split()();
+
+  pp::UrnLumping lumping;  // empty = single urn (uniform)
+  if (!uniform) {
+    lumping = pp::clustered_lumping(workload.n(), options.clustered);
+  }
+  const std::size_t want_urns = lumping.sizes.empty() ? 1 : lumping.num_urns();
+  fluid::FluidOptions fluid_options;
+  if (options.rtol > 0.0) fluid_options.rtol = options.rtol;
+  if (options.atol > 0.0) fluid_options.atol = options.atol;
+  std::optional<fluid::FluidEngine> local;
+  if (engine == nullptr) {
+    if (options.use_kernel && options.kernel != nullptr) {
+      CIRCLES_CHECK_MSG(&options.kernel->protocol() == &protocol,
+                        "prebuilt kernel does not match the trial's protocol");
+      // Aliasing share: the caller guarantees the kernel outlives the trial.
+      local.emplace(std::shared_ptr<const kernel::CompiledProtocol>(
+                        std::shared_ptr<const void>(), options.kernel),
+                    options.engine, fluid_options, std::move(lumping));
+    } else {
+      local.emplace(protocol, options.engine, fluid_options,
+                    std::move(lumping));
+    }
+    engine = &*local;
+  }
+  CIRCLES_CHECK_MSG(
+      &engine->protocol() == &protocol &&
+          engine->options().max_interactions ==
+              options.engine.max_interactions &&
+          engine->options().stop_when_silent ==
+              options.engine.stop_when_silent,
+      "prebuilt fluid engine does not match the trial");
+  CIRCLES_CHECK_MSG(
+      std::max<std::size_t>(engine->lumping().num_urns(), 1) == want_urns,
+      "fluid engine's urn structure does not match the trial's scheduler");
+  CIRCLES_CHECK_MSG(want_urns == 1 ||
+                        (engine->lumping().sizes == lumping.sizes &&
+                         engine->lumping().rates == lumping.rates),
+                    "prebuilt fluid engine's urn sizes or rate matrix do "
                     "not match the trial's clustered options");
 
   TrialOutcome outcome;

@@ -21,6 +21,10 @@ namespace circles::dense {
 class DenseEngine;
 }
 
+namespace circles::fluid {
+class FluidEngine;
+}
+
 namespace circles::kernel {
 class CompiledProtocol;
 }
@@ -54,6 +58,10 @@ struct TrialOptions {
   /// false = legacy virtual-dispatch interaction loop (the bench baseline);
   /// bitwise-identical results, slower wall clock. Ignores `kernel`.
   bool use_kernel = true;
+  /// Fluid-backend integrator tolerances (run_fluid_trial only); 0 = the
+  /// FluidOptions defaults.
+  double rtol = 0.0;
+  double atol = 0.0;
   /// Count-level observation (obs::): when set, the trial attaches an
   /// obs::RecorderMonitor on the agent backend (plus any probe's
   /// as_monitor() escape hatch) or hands the recorder to the dense engine,
@@ -117,6 +125,20 @@ TrialOutcome run_dense_trial(const pp::Protocol& protocol,
                              const TrialOptions& options, bool batched,
                              std::optional<pp::OutputSymbol> expected_symbol = {},
                              const dense::DenseEngine* engine = nullptr);
+
+/// Mean-field trial: builds the same workload configuration run_dense_trial
+/// would (identical RNG consumption, so the two backends see identical
+/// per-trial workloads and urn splits), integrates it with the
+/// fluid::FluidEngine and grades the outcome the same way. Same scheduler
+/// restrictions as the dense trials (lumpable only). `engine`, when
+/// non-null, must be a FluidEngine built from (protocol, options.engine,
+/// tolerances) with the matching lumping — the BatchRunner passes one per
+/// spec so the drift table is not recompiled per trial.
+TrialOutcome run_fluid_trial(const pp::Protocol& protocol,
+                             const analysis::Workload& workload,
+                             const TrialOptions& options,
+                             std::optional<pp::OutputSymbol> expected_symbol = {},
+                             const fluid::FluidEngine* engine = nullptr);
 
 /// Circles-specific trial with the paper's instrumentation attached:
 /// exchange counting, invariant checking and the Lemma 3.6 decomposition

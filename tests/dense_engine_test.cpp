@@ -740,6 +740,17 @@ TEST(AutoBackendTest, ResolvesFromSchedulerSizeAndFeatures) {
               s.scheduler = pp::SchedulerKind::kClustered;
             }),
             sim::EngineKind::kDenseBatched);
+  // Huge n -> fluid (mean-field integration; cost independent of n). The
+  // threshold is inclusive, and clustered lumpings ride the same tier.
+  EXPECT_EQ(resolve([](sim::RunSpec& s) { s.n = sim::kAutoFluidMinN; }),
+            sim::EngineKind::kFluid);
+  EXPECT_EQ(resolve([](sim::RunSpec& s) {
+              s.n = sim::kAutoFluidMinN;
+              s.scheduler = pp::SchedulerKind::kClustered;
+            }),
+            sim::EngineKind::kFluid);
+  EXPECT_EQ(resolve([](sim::RunSpec& s) { s.n = sim::kAutoFluidMinN - 1; }),
+            sim::EngineKind::kDenseBatched);
   // Tiny n -> agent.
   EXPECT_EQ(resolve([](sim::RunSpec& s) { s.n = 16; }),
             sim::EngineKind::kAgentArray);

@@ -53,12 +53,24 @@ TEST(WorkloadSpecTest, ToStringRoundTripsEveryConstructor) {
 TEST(EngineKindTest, RoundTripsAndRejectsUnknown) {
   for (const auto kind :
        {EngineKind::kAgentArray, EngineKind::kDense,
-        EngineKind::kDenseBatched}) {
+        EngineKind::kDenseBatched, EngineKind::kFluid}) {
     EXPECT_EQ(engine_kind_from_string(to_string(kind)), kind);
   }
   EXPECT_EQ(engine_kind_from_string("batched"), EngineKind::kDenseBatched);
   EXPECT_EQ(engine_kind_from_string("array"), EngineKind::kAgentArray);
   EXPECT_THROW(engine_kind_from_string("gpu"), std::invalid_argument);
+  // The rejection names every valid backend, not just the bad token.
+  try {
+    (void)engine_kind_from_string("gpu");
+    FAIL() << "expected engine_kind_from_string to throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'gpu'"), std::string::npos) << what;
+    for (const char* token :
+         {"agent", "dense", "dense_batched", "fluid", "auto"}) {
+      EXPECT_NE(what.find(token), std::string::npos) << token;
+    }
+  }
 }
 
 TEST(RunSpecParseTest, RoundTripsEveryWorkloadFamilyAndBackend) {
@@ -69,7 +81,8 @@ TEST(RunSpecParseTest, RoundTripsEveryWorkloadFamilyAndBackend) {
       WorkloadSpec::explicit_counts({5, 3, 2}),
   };
   const EngineKind backends[] = {EngineKind::kAgentArray, EngineKind::kDense,
-                                 EngineKind::kDenseBatched};
+                                 EngineKind::kDenseBatched,
+                                 EngineKind::kFluid};
   for (const WorkloadSpec& workload : workloads) {
     for (const EngineKind backend : backends) {
       RunSpec spec;
@@ -291,6 +304,64 @@ TEST(RunSpecParseTest, RoundTripsAutoBackend) {
   EXPECT_EQ(reparsed.to_string(), spec.to_string());
   EXPECT_EQ(engine_kind_from_string("auto"), EngineKind::kAuto);
   EXPECT_EQ(to_string(EngineKind::kAuto), "auto");
+}
+
+TEST(RunSpecParseTest, RoundTripsFluidBackendWithTolerances) {
+  RunSpec spec;
+  spec.protocol = "circles";
+  spec.params.k = 3;
+  spec.n = 1'000'000'000;
+  spec.backend = EngineKind::kFluid;
+  spec.rtol = 1e-4;
+  spec.atol = 1e-8;
+  const std::string text = spec.to_string();
+  EXPECT_NE(text.find("backend=fluid"), std::string::npos);
+  EXPECT_NE(text.find("rtol=0.0001"), std::string::npos);
+  EXPECT_NE(text.find("atol=1e-08"), std::string::npos);
+  const RunSpec reparsed = RunSpec::parse(text);
+  EXPECT_EQ(reparsed.backend, EngineKind::kFluid);
+  EXPECT_EQ(reparsed.n, spec.n);
+  EXPECT_DOUBLE_EQ(reparsed.rtol, spec.rtol);
+  EXPECT_DOUBLE_EQ(reparsed.atol, spec.atol);
+  EXPECT_EQ(reparsed.to_string(), text);
+
+  // Default tolerances render no tokens at all.
+  RunSpec plain;
+  plain.protocol = "circles";
+  plain.params.k = 3;
+  plain.n = 64;
+  plain.backend = EngineKind::kFluid;
+  EXPECT_EQ(plain.to_string().find("rtol="), std::string::npos);
+  EXPECT_EQ(plain.to_string().find("atol="), std::string::npos);
+
+  // Tolerances must be positive numbers.
+  EXPECT_THROW(RunSpec::parse("circles(k=3) n=10 rtol=0"),
+               std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles(k=3) n=10 rtol=-1e-4"),
+               std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles(k=3) n=10 atol=huge"),
+               std::invalid_argument);
+}
+
+TEST(SpecsFromFlagsTest, FluidBackendAndTolerancesFlowFromFlags) {
+  const char* argv[] = {"prog",
+                        "--n=1000000",
+                        "--backend=fluid,agent",
+                        "--rtol=1e-4",
+                        "--atol=1e-7"};
+  util::Cli cli(static_cast<int>(std::size(argv)), const_cast<char**>(argv));
+  const SweepSpecs sweep = specs_from_flags(cli);
+  ASSERT_EQ(sweep.specs.size(), 2u);
+  const RunSpec& fluid = sweep.specs[0];
+  EXPECT_EQ(fluid.backend, EngineKind::kFluid);
+  EXPECT_DOUBLE_EQ(fluid.rtol, 1e-4);
+  EXPECT_DOUBLE_EQ(fluid.atol, 1e-7);
+  // The tolerances are fluid-only: the agent cell of the same sweep must
+  // not inherit them (the BatchRunner would reject it).
+  const RunSpec& agent = sweep.specs[1];
+  EXPECT_EQ(agent.backend, EngineKind::kAgentArray);
+  EXPECT_DOUBLE_EQ(agent.rtol, 0.0);
+  EXPECT_DOUBLE_EQ(agent.atol, 0.0);
 }
 
 TEST(SpecsFromFlagsTest, ClusteredDenseCellsAreKeptAndShaped) {
