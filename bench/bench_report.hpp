@@ -1,0 +1,159 @@
+// bench_report: schema-stable machine-readable output for the bench
+// binaries (BENCH_throughput.json, BENCH_scaling.json, ...). These files
+// are the repo's perf trajectory: every cell carries the backend, the
+// problem size, and ops/sec, and the embedded RunManifest pins down what
+// build on what host produced the numbers, so future PRs (single-run
+// parallelism, SIMD layouts) are measured against a reproducible baseline.
+//
+// Schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "name": "throughput",
+//     "manifest": { ... metrics::RunManifest::to_json() ... },
+//     "cells": [
+//       {"section": "...", "backend": "...", "n": ..., "ops_per_sec": ...,
+//        "wall_ms": ..., "interactions": ..., ...},
+//       ...
+//     ],
+//     "metrics": [ {"name": ..., "kind": ..., "value": ..., "count": ...} ]
+//   }
+//
+// Cells are ordered key/value maps (insertion order preserved) so the JSON
+// is stable across runs and easy to diff. Values are numbers or strings;
+// non-finite numbers serialize as null.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/manifest.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/batch_runner.hpp"
+
+namespace circles::bench {
+
+class Report {
+ public:
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  /// One benchmark cell: an ordered key/value map. set() appends (or
+  /// overwrites an existing key in place).
+  class Cell {
+   public:
+    Cell& set(const std::string& key, double value) {
+      return put(key, metrics::json_number(value));
+    }
+    Cell& set(const std::string& key, std::uint64_t value) {
+      return put(key, std::to_string(value));
+    }
+    Cell& set(const std::string& key, int value) {
+      return put(key, std::to_string(value));
+    }
+    Cell& set(const std::string& key, const std::string& value) {
+      return put(key, "\"" + metrics::json_escape(value) + "\"");
+    }
+    Cell& set(const std::string& key, const char* value) {
+      return set(key, std::string(value));
+    }
+
+    std::string to_json() const {
+      std::string out = "{";
+      for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (i) out += ",";
+        out += "\"" + metrics::json_escape(entries_[i].first) +
+               "\":" + entries_[i].second;
+      }
+      out += "}";
+      return out;
+    }
+
+   private:
+    Cell& put(const std::string& key, std::string encoded) {
+      for (auto& [k, v] : entries_) {
+        if (k == key) {
+          v = std::move(encoded);
+          return *this;
+        }
+      }
+      entries_.emplace_back(key, std::move(encoded));
+      return *this;
+    }
+    std::vector<std::pair<std::string, std::string>> entries_;
+  };
+
+  Cell& add_cell() { return cells_.emplace_back(); }
+
+  /// Convenience: a cell prefilled from a SpecResult (backend, n, trials,
+  /// interactions-to-silence, per-trial latency). Callers add section and
+  /// ops/sec on the returned cell.
+  Cell& add_cell(const sim::SpecResult& result) {
+    Cell& cell = add_cell();
+    cell.set("spec", result.spec.to_string());
+    cell.set("protocol", result.spec.protocol);
+    cell.set("k", static_cast<std::uint64_t>(result.spec.params.k));
+    cell.set("n", result.spec.effective_n());
+    cell.set("backend", sim::to_string(result.backend_resolved));
+    cell.set("trials", static_cast<std::uint64_t>(result.trial_count));
+    cell.set("interactions", result.interactions.mean);
+    cell.set("wall_ms",
+             result.trial_ms.mean * static_cast<double>(
+                                        result.trial_ms.count));
+    return cell;
+  }
+
+  void set_manifest(const metrics::RunManifest& manifest) {
+    manifest_json_ = manifest.to_json();
+  }
+  void add_metrics(const metrics::MetricsRegistry& registry) {
+    for (const auto& sample : registry.snapshot()) {
+      Cell cell;
+      cell.set("name", sample.name);
+      cell.set("kind", sample.kind);
+      cell.set("value", sample.value);
+      cell.set("count", sample.count);
+      metrics_json_.push_back(cell.to_json());
+    }
+  }
+
+  std::string to_json() const {
+    std::string out = "{\"schema_version\":1,\"name\":\"" +
+                      metrics::json_escape(name_) + "\"";
+    out += ",\"manifest\":" +
+           (manifest_json_.empty() ? std::string("{}") : manifest_json_);
+    out += ",\"cells\":[";
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (i) out += ",";
+      out += "\n  " + cells_[i].to_json();
+    }
+    out += "\n]";
+    out += ",\"metrics\":[";
+    for (std::size_t i = 0; i < metrics_json_.size(); ++i) {
+      if (i) out += ",";
+      out += "\n  " + metrics_json_[i];
+    }
+    out += "\n]}\n";
+    return out;
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("bench_report: cannot open " + path);
+    file << to_json();
+    if (!file) {
+      throw std::runtime_error("bench_report: write failed for " + path);
+    }
+    std::printf("\nwrote %s (%zu cells)\n", path.c_str(), cells_.size());
+  }
+
+ private:
+  std::string name_;
+  std::string manifest_json_;
+  std::vector<Cell> cells_;
+  std::vector<std::string> metrics_json_;
+};
+
+}  // namespace circles::bench

@@ -129,6 +129,7 @@ int main(int argc, char** argv) {
   }
   table.print("error rate vs margin (expected: approx errs at small margins, "
               "decays with margin; Circles: zero errors)");
+  bench::print_kernel_stats(results);
 
   const bool margins_pass = circles_perfect && approx_errs_somewhere;
 

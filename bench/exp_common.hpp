@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdio>
+#include <set>
+#include <span>
 #include <string>
 
 #include "sim/sim.hpp"
@@ -28,6 +30,26 @@ inline void print_header(const std::string& id, const std::string& claim) {
 inline int verdict(bool pass, const std::string& summary) {
   std::printf("\n[%s] %s\n", pass ? "PASS" : "FAIL", summary.c_str());
   return pass ? 0 : 1;
+}
+
+/// The standard kernel-stats line, printed identically by every binary: one
+/// line per distinct (protocol, k, table kind, entries) across the results
+/// (build time is the first compile's — repeats differ only in noise), e.g.
+///   kernel: circles k=3 — dense 729 entries, 7.1 KiB, built in 0.01 ms
+inline void print_kernel_stats(std::span<const sim::SpecResult> results) {
+  std::set<std::string> seen;
+  for (const sim::SpecResult& result : results) {
+    if (!result.kernel_compiled) continue;
+    char head[64];
+    std::snprintf(head, sizeof head, "%s k=%u", result.spec.protocol.c_str(),
+                  result.spec.params.k);
+    const std::string key = std::string(head) + "/" +
+                            kernel::to_string(result.kernel_stats.kind) + "/" +
+                            std::to_string(result.kernel_stats.entries);
+    if (!seen.insert(key).second) continue;
+    std::printf("kernel: %s — %s\n", head,
+                result.kernel_stats.to_string().c_str());
+  }
 }
 
 /// Declares the standard --threads flag and builds the BatchRunner options.

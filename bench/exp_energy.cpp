@@ -100,6 +100,7 @@ int main(int argc, char** argv) {
              1)});
   }
   audit_table.print("potential descent audit (agent backend)");
+  bench::print_kernel_stats(audit);
 
   // --- 2. the descent curve, agent vs dense, shared seed grid ------------
   // All three specs fix the same seed, so trial t materializes the SAME

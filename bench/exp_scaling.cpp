@@ -25,8 +25,10 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "exp_common.hpp"
 #include "kernel/compiled_protocol.hpp"
+#include "metrics/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -77,6 +79,10 @@ int main(int argc, char** argv) {
       "budget", 0,
       "interaction budget per run (0 = auto: scales with n ln n so every "
       "size can reach silence)"));
+  const std::string json_path = cli.string_flag(
+      "json", "",
+      "write the schema-stable scaling report (BENCH_scaling.json) to this "
+      "path");
   auto batch = bench::batch_options(cli, seed);
   cli.finish();
 
@@ -127,9 +133,12 @@ int main(int argc, char** argv) {
 
   // Run cells one at a time so each gets its own wall clock. Trials within
   // a cell still use the BatchRunner's thread pool.
+  metrics::MetricsRegistry metrics_registry;
   sim::BatchOptions options = batch;
   options.keep_trials = false;
+  options.metrics = &metrics_registry;
   const sim::BatchRunner runner(options);
+  const auto t_program = Clock::now();
 
   std::vector<CellResult> results;
   for (const Cell& cell : cells) {
@@ -177,8 +186,10 @@ int main(int argc, char** argv) {
 
   util::Table table({"protocol", "k", "n", "backend", "trials", "silent",
                      "mean state changes", "mean interactions", "wall s",
-                     "interactions/s", "kernel", "build ms"});
+                     "interactions/s"});
   bool all_silent = true;
+  std::vector<sim::SpecResult> spec_results;
+  spec_results.reserve(results.size());
   for (const CellResult& r : results) {
     const auto& sr = r.result;
     all_silent = all_silent && sr.all_silent();
@@ -192,14 +203,14 @@ int main(int argc, char** argv) {
          util::Table::num(sr.interactions.mean, 0),
          util::Table::num(r.seconds, 2),
          util::Table::num(
-             r.seconds > 0 ? total_interactions / r.seconds : 0.0, 0),
-         sr.kernel_compiled ? kernel::to_string(sr.kernel_stats.kind) : "off",
-         sr.kernel_compiled ? util::Table::num(sr.kernel_stats.build_ms, 2)
-                            : "-"});
+             r.seconds > 0 ? total_interactions / r.seconds : 0.0, 0)});
+    spec_results.push_back(sr);
   }
-  // Table-build time is part of each cell's wall clock; the explicit column
-  // keeps it from being silently attributed to simulation throughput.
   table.print("interactions to silence and wall clock, per backend");
+  // Kernel compiles happen once per cell and their build time is part of
+  // that cell's wall clock; the standard stats line keeps it from being
+  // silently attributed to simulation throughput.
+  bench::print_kernel_stats(spec_results);
 
   // Cross-backend agreement: state changes have the *same* distribution on
   // every backend (unlike raw interactions, where the agent array includes
@@ -246,6 +257,42 @@ int main(int argc, char** argv) {
              batched->seconds > 0 ? a.seconds / batched->seconds : 0.0, 1)});
   }
   agree.print("agent-array vs dense agreement (state-change ratio ~ 1)");
+
+  // Emit the machine-readable scaling trajectory before the verdict so a
+  // FAIL run still leaves its numbers behind for diagnosis.
+  if (!json_path.empty()) {
+    bench::Report report("scaling");
+    metrics::RunManifest manifest = metrics::RunManifest::collect();
+    manifest.spec = smoke ? "exp_scaling --smoke" : "exp_scaling";
+    manifest.backend = "mixed";
+    manifest.kernel = "per-spec";
+    manifest.seed = seed;
+    manifest.trials = trials;
+    manifest.threads = batch.threads;
+    manifest.finished_utc = metrics::utc_timestamp_now();
+    manifest.wall_ms = seconds_since(t_program) * 1000.0;
+    report.set_manifest(manifest);
+    for (const CellResult& r : results) {
+      const auto& sr = r.result;
+      const double total = sr.interactions.mean * sr.trial_count;
+      report.add_cell()
+          .set("section", "scaling")
+          .set("protocol", r.spec.protocol)
+          .set("k", static_cast<std::uint64_t>(r.spec.params.k))
+          .set("n", r.spec.n)
+          .set("backend", sim::to_string(sr.backend_resolved))
+          .set("trials", static_cast<std::uint64_t>(sr.trial_count))
+          .set("silent_rate", sr.silent_rate())
+          .set("interactions", sr.interactions.mean)
+          .set("state_changes", sr.state_changes.mean)
+          .set("wall_ms", r.seconds * 1000.0)
+          .set("ops_per_sec", r.seconds > 0 ? total / r.seconds : 0.0)
+          .set("trial_ms_p50", sr.trial_ms.p50)
+          .set("trial_ms_p90", sr.trial_ms.p90);
+    }
+    report.add_metrics(metrics_registry);
+    report.write(json_path);
+  }
 
   // Dense-only invocations (agent_cap below every n) have no overlap cells;
   // the agreement requirement binds only when agent cells ran.

@@ -86,6 +86,7 @@ int main(int argc, char** argv) {
                    util::Table::num(r.ket_exchanges.mean, 1)});
   }
   table.print("one protocol, five schedulers (k=6)");
+  bench::print_kernel_stats(results);
 
   // --- E7b: dense-urn backends on the lumpable schedulers ------------------
   const std::uint32_t urn_k = 3;

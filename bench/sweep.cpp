@@ -40,7 +40,14 @@ int main(int argc, char** argv) try {
   const std::vector<double> sample_points = cli.double_list_flag(
       "sample-points", "",
       "explicit sample fractions of the budget overriding every probe grid");
-  const auto batch = bench::batch_options(cli, sweep.base_seed);
+  const std::string metrics_out = cli.string_flag(
+      "metrics-out", "",
+      "directory for per-cell telemetry: spec<i>.jsonl counters/timers plus "
+      "spec<i>.manifest.json provenance");
+  const bool progress = cli.bool_flag(
+      "progress", false,
+      "stderr heartbeat every 2s: trials done, interactions/sec");
+  auto batch = bench::batch_options(cli, sweep.base_seed);
   cli.finish();
 
   // --trace splits on commas, but frac: grids legitimately contain commas
@@ -87,6 +94,25 @@ int main(int argc, char** argv) try {
   }
   for (auto& spec : sweep.specs) spec.probes = probes;
 
+  if (!metrics_out.empty()) {
+    std::filesystem::create_directories(metrics_out);
+    for (std::size_t i = 0; i < sweep.specs.size(); ++i) {
+      sweep.specs[i].metrics_out =
+          metrics_out + "/spec" + std::to_string(i) + ".jsonl";
+    }
+  }
+  if (progress) {
+    batch.progress = [](const sim::BatchProgress& p) {
+      std::fprintf(stderr,
+                   "progress: %llu/%llu trials, %u/%u specs, %.0f "
+                   "interactions/s, %.1fs elapsed\n",
+                   static_cast<unsigned long long>(p.trials_done),
+                   static_cast<unsigned long long>(p.trials_total),
+                   p.specs_done, p.specs_total, p.interactions_per_s(),
+                   p.elapsed_s);
+    };
+  }
+
   bench::print_header("SWEEP", "declarative protocol sweep (" +
                                    std::to_string(sweep.specs.size()) +
                                    " grid cells)");
@@ -99,13 +125,8 @@ int main(int argc, char** argv) try {
   bool all_correct = true;
   for (const sim::SpecResult& r : results) {
     all_correct = all_correct && r.all_correct();
-    // Kernel kind + one-time compile cost, so table-build time is visible
-    // next to the simulation numbers instead of hiding inside them.
     const std::string kernel_cell =
-        r.kernel_compiled
-            ? kernel::to_string(r.kernel_stats.kind) + " " +
-                  util::Table::num(r.kernel_stats.build_ms, 2) + "ms"
-            : "off";
+        r.kernel_compiled ? kernel::to_string(r.kernel_stats.kind) : "off";
     // auto cells show what the runner actually picked.
     const std::string backend_cell =
         r.spec.backend == sim::EngineKind::kAuto
@@ -125,6 +146,14 @@ int main(int argc, char** argv) try {
                    kernel_cell});
   }
   table.print("sweep results");
+  // One-time compile cost per distinct kernel, so table-build time is
+  // visible next to the simulation numbers instead of hiding inside them.
+  bench::print_kernel_stats(results);
+
+  if (!metrics_out.empty()) {
+    std::printf("\nwrote %zu metric sinks (+manifests) to %s\n",
+                results.size(), metrics_out.c_str());
+  }
 
   if (!trace_out.empty()) {
     std::filesystem::create_directories(trace_out);

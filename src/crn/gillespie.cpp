@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "kernel/compiled_protocol.hpp"
+#include "metrics/metrics.hpp"
 #include "obs/monitor_probe.hpp"
 #include "pp/scheduler.hpp"
 #include "util/check.hpp"
@@ -85,6 +86,13 @@ GillespieResult run_gillespie_impl(const pp::Protocol& protocol,
   result.convergence_time = clock.last_output_change_time();
   result.parallel_time = static_cast<double>(result.run.interactions) /
                          static_cast<double>(colors.size());
+
+  // The engine flushed its own counters already (engine.interactions,
+  // engine.monitor, ...); tag the run as chemical-time so dashboards can
+  // tell the two apart.
+  if (options.metrics != nullptr) {
+    options.metrics->counter("crn.runs").add(1);
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "dense/sampling.hpp"
+#include "metrics/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "util/check.hpp"
 
@@ -100,6 +101,13 @@ struct DenseEngine::Sim {
   // exact certificate).
   std::vector<std::uint64_t> active;
   std::uint64_t live_active = 0;
+
+  // Telemetry scratch: plain locals bumped on the hot path, flushed once
+  // into EngineOptions::metrics by run_impl.
+  std::uint64_t m_epochs = 0;       // batched epochs executed
+  std::uint64_t m_ff_jumps = 0;     // sparse-activity fast-forward jumps
+  std::uint64_t m_ff_skipped = 0;   // null interactions skipped by them
+  std::uint64_t m_mvhg_draws = 0;   // multivariate hypergeometric deals
 
   // Aggregate view for the recorder: single-urn runs alias urn 0; multi-urn
   // runs maintain summed counts incrementally (only when a recorder is
@@ -496,6 +504,17 @@ pp::RunResult DenseEngine::run_impl(Sim& sim, obs::Recorder* recorder) const {
     recorder->finish(result.interactions, 0.0, sim.rec_counts(),
                      sim.live_active, sim.rec_present(), sim.rec_urns());
   }
+
+  if (options_.metrics != nullptr) {
+    auto& m = *options_.metrics;
+    m.counter("dense.runs").add(1);
+    m.counter("dense.interactions").add(result.interactions);
+    m.counter("dense.state_changes").add(result.state_changes);
+    m.counter("dense.epochs").add(sim.m_epochs);
+    m.counter("dense.fast_forward_jumps").add(sim.m_ff_jumps);
+    m.counter("dense.fast_forward_interactions").add(sim.m_ff_skipped);
+    m.counter("dense.mvhg_draws").add(sim.m_mvhg_draws);
+  }
   return result;
 }
 
@@ -605,6 +624,8 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
           nulls = static_cast<std::uint64_t>(g);
         }
       }
+      sim.m_ff_jumps += 1;
+      sim.m_ff_skipped += nulls < remaining ? nulls : remaining;
       if (nulls >= remaining) {
         result.interactions = options_.max_interactions;
         break;  // the budget ran out inside a null run
@@ -643,6 +664,7 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
     // One epoch: L collision-free interactions (participants distinct
     // within every urn), then the colliding interaction that ended the run,
     // then reset.
+    sim.m_epochs += 1;
     std::fill(block_len.begin(), block_len.end(), 0);
     std::fill(block_productive.begin(), block_productive.end(), 0);
     std::uint64_t len = 0;
@@ -750,6 +772,7 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
       }
       drawn.resize(width[u]);
       multivariate_hypergeometric(*stream, pool, t_u, drawn);
+      sim.m_mvhg_draws += 1;
 
       rem = drawn;
       std::uint64_t rem_total = t_u;
@@ -763,6 +786,7 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
         }
         target.resize(width[u]);
         multivariate_hypergeometric(*stream, rem, count, target);
+        sim.m_mvhg_draws += 1;
         for (std::size_t i = 0; i < width[u]; ++i) rem[i] -= target[i];
         rem_total -= count;
       };

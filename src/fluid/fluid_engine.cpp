@@ -6,6 +6,7 @@
 #include <string>
 
 #include "kernel/compiled_protocol.hpp"
+#include "metrics/metrics.hpp"
 #include "obs/probe.hpp"
 #include "obs/recorder.hpp"
 #include "util/check.hpp"
@@ -155,6 +156,12 @@ struct FluidEngine::Sim {
   std::vector<std::vector<std::uint64_t>> full_urns;  // U > 1 only
   std::vector<std::span<const std::uint64_t>> urn_spans;
 
+  // Telemetry scratch, flushed into EngineOptions::metrics by run_counts.
+  std::uint64_t m_ode_accepted = 0;  // BS3(2) steps accepted
+  std::uint64_t m_ode_rejected = 0;  // steps whose error estimate failed
+  std::uint64_t m_tau_leaps = 0;     // tau leaps applied
+  std::uint64_t m_tau_redraws = 0;   // negative-count rejections (tau halved)
+
   std::uint64_t interactions_at(double time, std::uint64_t cap) const {
     const double v = std::min(time, horizon) * n;
     if (v >= static_cast<double>(cap)) return cap;
@@ -271,6 +278,7 @@ void FluidEngine::run_ode(Sim& sim) const {
     const double errnorm = std::sqrt(err2 / static_cast<double>(dim));
 
     if (errnorm <= 1.0) {
+      sim.m_ode_accepted += 1;
       // Accept. State changes accrue at rate n * P(non-null interaction);
       // trapezoid over the step using the already-evaluated endpoints.
       sim.changes += step * sim.n * 0.5 * (w1 + w4);
@@ -296,6 +304,8 @@ void FluidEngine::run_ode(Sim& sim) const {
           return;
         }
       }
+    } else {
+      sim.m_ode_rejected += 1;
     }
 
     const double factor =
@@ -414,6 +424,7 @@ void FluidEngine::run_tau(Sim& sim, std::uint64_t seed) const {
       }
       if (!feasible) {
         // Standard negative-count rejection: halve the leap and redraw.
+        sim.m_tau_redraws += 1;
         tau *= 0.5;
         continue;
       }
@@ -423,6 +434,7 @@ void FluidEngine::run_tau(Sim& sim, std::uint64_t seed) const {
       }
       sim.changes += static_cast<double>(events);
       sim.t += tau;
+      sim.m_tau_leaps += 1;
       applied = true;
     }
     if (!applied) {
@@ -555,6 +567,15 @@ pp::RunResult FluidEngine::run_counts(
   if (recorder != nullptr) {
     recorder->finish(result.interactions, sim.t, sim.aggregate,
                      obs::kUnknownActive, drift_.species(), sim.urn_spans);
+  }
+
+  if (engine_.metrics != nullptr) {
+    auto& m = *engine_.metrics;
+    m.counter("fluid.runs").add(1);
+    m.counter("fluid.ode_steps_accepted").add(sim.m_ode_accepted);
+    m.counter("fluid.ode_steps_rejected").add(sim.m_ode_rejected);
+    m.counter("fluid.tau_leaps").add(sim.m_tau_leaps);
+    m.counter("fluid.tau_redraws").add(sim.m_tau_redraws);
   }
   return result;
 }

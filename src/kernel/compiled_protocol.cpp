@@ -120,6 +120,7 @@ CompiledProtocol::CompiledProtocol(const pp::Protocol& protocol,
     }
   } else {
     kind_ = TableKind::kSparse;
+    count_sparse_hits_ = options.count_sparse_hits;
     const std::uint64_t slots =
         round_up_pow2(std::max<std::uint64_t>(options.sparse_slots, 1024));
     sparse_mask_ = slots - 1;
@@ -168,6 +169,7 @@ CompileStats CompiledProtocol::stats() const {
                    sizeof(std::uint64_t) + sizeof(std::uint8_t));
     stats.sparse_filled = sparse_filled_.load(std::memory_order_relaxed);
     stats.sparse_overflow = sparse_overflow_.load(std::memory_order_relaxed);
+    stats.sparse_hits = sparse_hits_.load(std::memory_order_relaxed);
   }
   stats.bytes += outputs_.size() * sizeof(pp::OutputSymbol) +
                  inputs_.size() * sizeof(pp::StateId);

@@ -74,6 +74,12 @@ struct CompileOptions {
   /// which sit on no steady-state path.
   std::uint64_t max_output_states = 1ull << 24;
 
+  /// Count sparse-cache hits (one relaxed fetch_add per probe that lands on
+  /// a materialized entry). Off by default: the hit path is THE hot path of
+  /// large-state-space runs, so the counter is opt-in telemetry — the
+  /// BatchRunner enables it for specs with a metrics registry attached.
+  bool count_sparse_hits = false;
+
   /// Preset for one-shot compiles (a kernel built for a single run, e.g.
   /// pp::Engine::run(const Protocol&)): a smaller dense budget so per-trial
   /// table builds stay microseconds, and a smaller cache.
@@ -102,6 +108,9 @@ struct CompileStats {
   /// cache full (served by direct computation).
   std::uint64_t sparse_filled = 0;
   std::uint64_t sparse_overflow = 0;
+  /// Sparse only, and only when CompileOptions::count_sparse_hits: lookups
+  /// served from a materialized entry.
+  std::uint64_t sparse_hits = 0;
 
   /// "dense 531441 entries, 4.6 MiB, built in 3.2 ms".
   std::string to_string() const;
@@ -251,6 +260,8 @@ class CompiledProtocol {
   std::unique_ptr<std::uint8_t[]> vflags_;
   mutable std::atomic<std::uint64_t> sparse_filled_{0};
   mutable std::atomic<std::uint64_t> sparse_overflow_{0};
+  bool count_sparse_hits_ = false;
+  mutable std::atomic<std::uint64_t> sparse_hits_{0};
 };
 
 inline CompiledProtocol::SparseEntry CompiledProtocol::sparse_lookup(
@@ -267,6 +278,9 @@ inline CompiledProtocol::SparseEntry CompiledProtocol::sparse_lookup(
   for (int probe = 0; probe < kMaxProbes; ++probe) {
     std::uint64_t slot = keys_[idx].load(std::memory_order_acquire);
     if (slot == key) {
+      if (count_sparse_hits_) {
+        sparse_hits_.fetch_add(1, std::memory_order_relaxed);
+      }
       const std::uint64_t packed = values_[idx];
       return {{static_cast<pp::StateId>(packed >> 32),
                static_cast<pp::StateId>(packed)},

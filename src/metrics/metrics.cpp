@@ -1,0 +1,116 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace circles::metrics {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Timer& MetricsRegistry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Sample> samples;
+  samples.reserve(counters_.size() + gauges_.size() + timers_.size());
+  // std::map iteration is name-sorted; interleave kinds per name by merging
+  // the three sorted streams into one sorted-by-(name, kind) list.
+  for (const auto& [name, c] : counters_) {
+    samples.push_back({name, "counter", static_cast<double>(c->value()),
+                       c->value()});
+  }
+  for (const auto& [name, g] : gauges_) {
+    samples.push_back({name, "gauge", g->value(), 1});
+  }
+  for (const auto& [name, t] : timers_) {
+    samples.push_back({name, "timer", t->total_ms(), t->count()});
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.kind < b.kind;
+            });
+  return samples;
+}
+
+std::string MetricsRegistry::to_jsonl() const {
+  std::string out;
+  for (const Sample& s : snapshot()) {
+    out += "{\"name\":\"" + json_escape(s.name) + "\",\"kind\":\"" + s.kind +
+           "\",\"value\":" + json_number(s.value) +
+           ",\"count\":" + std::to_string(s.count) + "}\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::string out = "name,kind,value,count\n";
+  for (const Sample& s : snapshot()) {
+    char value[64];
+    std::snprintf(value, sizeof value, "%.17g", s.value);
+    out += s.name + "," + s.kind + "," + value + "," + std::to_string(s.count) +
+           "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::write(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("metrics: cannot open " + path);
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4,
+                                                    ".csv") == 0;
+  file << (csv ? to_csv() : to_jsonl());
+  if (!file) throw std::runtime_error("metrics: write failed for " + path);
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace circles::metrics

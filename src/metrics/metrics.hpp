@@ -1,0 +1,175 @@
+// Runtime telemetry for the simulator itself (not the simulated system —
+// that is src/obs/). A MetricsRegistry holds named counters, gauges, and
+// timers; engines flush work counts into it at run boundaries and the
+// BatchRunner records per-phase wall time and thread utilization.
+//
+// Design rules that keep the disabled path free and the enabled path cheap:
+//  * Everything is keyed off a `MetricsRegistry*` that defaults to nullptr.
+//    The null-safe helpers below compile to a pointer test, so engines can
+//    instrument unconditionally.
+//  * Name lookup (mutex + map) happens only when a handle is acquired —
+//    never per event. Hot loops accumulate into plain local variables and
+//    flush once per run via Counter::add(delta).
+//  * Handles returned by the registry are stable for its lifetime
+//    (node-based map of unique_ptrs), so threads share Counter/Timer
+//    objects and bump them with relaxed atomics.
+//
+// Metrics never touch any RNG stream and never reorder simulation work, so
+// runs are bitwise identical with and without a registry (tested per
+// backend in metrics_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace circles::metrics {
+
+/// Monotonically increasing event count. Thread-safe (relaxed — counts are
+/// reconciled at snapshot time, not used for synchronization).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (utilization, ratios, sizes).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Accumulated duration + record count. Feed it via ScopedTimer or record
+/// an externally measured span directly.
+class Timer {
+ public:
+  void record_ns(std::uint64_t ns) {
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_ms(double ms) {
+    record_ns(ms <= 0.0 ? 0 : static_cast<std::uint64_t>(ms * 1e6));
+  }
+  double total_ms() const {
+    return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII span feeding a Timer. A null timer reads no clock at all, so the
+/// disabled path costs one branch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer) : timer_(timer) {
+    if (timer_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Ends the span early (idempotent).
+  void stop() {
+    if (timer_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    timer_->record_ns(ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
+    timer_ = nullptr;
+  }
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Named instrument store. Handle acquisition is mutex-guarded; the handles
+/// themselves are lock-free. One name may exist per kind (a counter and a
+/// timer may share a name; snapshots disambiguate by kind).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Timer& timer(const std::string& name);
+
+  struct Sample {
+    std::string name;
+    std::string kind;  // "counter" | "gauge" | "timer"
+    double value = 0.0;  // counter count; gauge value; timer total ms
+    std::uint64_t count = 0;  // counter count; timer record count; gauge 1
+  };
+
+  /// Point-in-time view, sorted by (name, kind).
+  std::vector<Sample> snapshot() const;
+
+  /// One JSON object per line: {"name":...,"kind":...,"value":...,"count":...}
+  std::string to_jsonl() const;
+  /// Header `name,kind,value,count` then one row per sample.
+  std::string to_csv() const;
+  /// Writes to_csv() when `path` ends in ".csv", else to_jsonl().
+  void write(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+// Null-safe helpers: instrumentation sites call these unconditionally and
+// pay a pointer test when telemetry is off.
+
+inline Counter* counter(MetricsRegistry* registry, const std::string& name) {
+  return registry == nullptr ? nullptr : &registry->counter(name);
+}
+inline Timer* timer(MetricsRegistry* registry, const std::string& name) {
+  return registry == nullptr ? nullptr : &registry->timer(name);
+}
+inline void add(Counter* counter, std::uint64_t delta = 1) {
+  if (counter != nullptr && delta != 0) counter->add(delta);
+}
+inline void add(MetricsRegistry* registry, const std::string& name,
+                std::uint64_t delta) {
+  if (registry != nullptr && delta != 0) registry->counter(name).add(delta);
+}
+inline void set_gauge(MetricsRegistry* registry, const std::string& name,
+                      double value) {
+  if (registry != nullptr) registry->gauge(name).set(value);
+}
+inline void record_ms(MetricsRegistry* registry, const std::string& name,
+                      double ms) {
+  if (registry != nullptr) registry->timer(name).record_ms(ms);
+}
+
+/// Escapes a string for embedding inside JSON double quotes (quotes,
+/// backslashes, control characters). Shared by the sinks here, RunManifest,
+/// and bench_report.
+std::string json_escape(const std::string& text);
+
+/// Formats a double as a JSON value: shortest round-trip representation,
+/// `null` for non-finite inputs (JSON has no inf/nan).
+std::string json_number(double value);
+
+}  // namespace circles::metrics

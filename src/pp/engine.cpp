@@ -1,6 +1,7 @@
 #include "pp/engine.hpp"
 
 #include "kernel/compiled_protocol.hpp"
+#include "metrics/metrics.hpp"
 #include "pp/silence.hpp"
 #include "util/check.hpp"
 
@@ -21,6 +22,14 @@ RunResult run_loop(const EngineOptions& options, const Protocol& protocol,
                     "engine requires at least two agents");
   RunResult result;
 
+  // Telemetry accumulates in locals and flushes once at the end; the only
+  // per-interaction cost when enabled is the monitor-dispatch timer, and
+  // that is skipped entirely when there are no monitors.
+  std::uint64_t silence_checks = 0;
+  metrics::Timer* monitor_timer =
+      monitors.empty() ? nullptr
+                       : metrics::timer(options.metrics, "engine.monitor");
+
   for (Monitor* monitor : monitors) monitor->on_start(population, protocol);
 
   const std::uint64_t period = scheduler.fairness_period();
@@ -29,8 +38,9 @@ RunResult run_loop(const EngineOptions& options, const Protocol& protocol,
 
   // An initial configuration can already be silent (e.g. n agents of one
   // color under a protocol whose same-state interactions are null).
-  if (options.stop_when_silent && model.silent(population)) {
-    result.silent = true;
+  if (options.stop_when_silent) {
+    silence_checks += 1;
+    if (model.silent(population)) result.silent = true;
   }
 
   while (!result.silent && result.interactions < options.max_interactions) {
@@ -50,6 +60,7 @@ RunResult run_loop(const EngineOptions& options, const Protocol& protocol,
     }
 
     if (!monitors.empty()) {
+      metrics::ScopedTimer span(monitor_timer);
       const InteractionEvent event{result.interactions, pair.initiator,
                                    pair.responder,     before_i,
                                    before_r,           tr.initiator,
@@ -76,6 +87,7 @@ RunResult run_loop(const EngineOptions& options, const Protocol& protocol,
       // ordered agent pair was tried and none changed.
       if (change_free_streak >= period) result.silent = true;
     } else if (change_free_streak >= next_silence_check) {
+      silence_checks += 1;
       if (model.silent(population)) {
         result.silent = true;
       } else {
@@ -88,11 +100,20 @@ RunResult run_loop(const EngineOptions& options, const Protocol& protocol,
     result.budget_exhausted = true;
     // The budget may have stopped us in a configuration that happens to be
     // silent; report it exactly.
+    silence_checks += 1;
     result.silent = model.silent(population);
   }
 
   result.final_outputs = population.output_histogram(protocol);
   for (Monitor* monitor : monitors) monitor->on_finish(population);
+
+  if (options.metrics != nullptr) {
+    auto& m = *options.metrics;
+    m.counter("engine.runs").add(1);
+    m.counter("engine.interactions").add(result.interactions);
+    m.counter("engine.state_changes").add(result.state_changes);
+    m.counter("engine.silence_checks").add(silence_checks);
+  }
   return result;
 }
 

@@ -23,6 +23,10 @@ namespace circles::kernel {
 class CompiledProtocol;
 }
 
+namespace circles::metrics {
+class MetricsRegistry;
+}
+
 namespace circles::pp {
 
 struct EngineOptions {
@@ -35,6 +39,12 @@ struct EngineOptions {
   /// First change-free streak length that triggers an exact silence check
   /// for non-periodic schedulers; doubles after every failed check.
   std::uint64_t initial_silence_streak = 64;
+
+  /// Optional telemetry sink; every engine consuming EngineOptions (agent,
+  /// gillespie, dense, fluid) flushes work counters into it at run
+  /// boundaries. Null disables telemetry at zero hot-path cost; results are
+  /// bitwise identical either way (metrics never touch an RNG stream).
+  metrics::MetricsRegistry* metrics = nullptr;
 };
 
 class Engine {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -12,6 +14,7 @@
 #include "crn/gillespie.hpp"
 #include "dense/dense_engine.hpp"
 #include "fluid/fluid_engine.hpp"
+#include "metrics/metrics.hpp"
 #include "obs/monitor_probe.hpp"
 #include "util/check.hpp"
 
@@ -41,10 +44,32 @@ class UsedStatesMonitor final : public pp::Monitor {
   std::unordered_set<pp::StateId> seen_;
 };
 
+/// Milliseconds elapsed since `start` on the steady clock.
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Sink path -> manifest path: "runs/cell3.jsonl" -> "runs/cell3.manifest.json"
+/// (an unrecognized or missing extension just gets ".manifest.json" appended).
+std::string manifest_path(const std::string& sink_path) {
+  const std::size_t dot = sink_path.find_last_of('.');
+  const std::size_t slash = sink_path.find_last_of('/');
+  if (dot != std::string::npos &&
+      (slash == std::string::npos || dot > slash)) {
+    const std::string ext = sink_path.substr(dot);
+    if (ext == ".jsonl" || ext == ".csv" || ext == ".json") {
+      return sink_path.substr(0, dot) + ".manifest.json";
+    }
+  }
+  return sink_path + ".manifest.json";
+}
+
 void aggregate(SpecResult& result, bool keep_trials) {
   result.trial_count = static_cast<std::uint32_t>(result.trials.size());
   std::vector<double> interactions, state_changes, exchanges, stabilization,
-      convergence;
+      convergence, trial_ms;
   interactions.reserve(result.trials.size());
   for (const TrialRecord& rec : result.trials) {
     result.correct += rec.outcome.correct ? 1 : 0;
@@ -61,12 +86,14 @@ void aggregate(SpecResult& result, bool keep_trials) {
     exchanges.push_back(static_cast<double>(rec.ket_exchanges));
     stabilization.push_back(rec.stabilization_time);
     convergence.push_back(rec.convergence_time);
+    trial_ms.push_back(rec.wall_ms);
   }
   result.interactions = util::summarize(interactions);
   result.state_changes = util::summarize(state_changes);
   result.ket_exchanges = util::summarize(exchanges);
   result.stabilization_time = util::summarize(stabilization);
   result.convergence_time = util::summarize(convergence);
+  result.trial_ms = util::summarize(trial_ms);
 
   // Cross-trial trace aggregation: one quantile envelope per probe spec,
   // resampled onto the probe's grid shape (before keep_trials can discard
@@ -110,7 +137,8 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
                                        const kernel::CompiledProtocol* kernel,
                                        const dense::DenseEngine* dense_engine,
                                        EngineKind backend_resolved,
-                                       const fluid::FluidEngine* fluid_engine) {
+                                       const fluid::FluidEngine* fluid_engine,
+                                       metrics::MetricsRegistry* metrics) {
   const EngineKind backend = backend_resolved == EngineKind::kAuto
                                  ? spec.backend
                                  : backend_resolved;
@@ -119,6 +147,21 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
                     "specs are resolved by BatchRunner::run");
   TrialRecord rec;
   rec.seed = trial_seed;
+
+  // Trial wall clock: stamped on every return path via RAII, so latency
+  // quantiles cover dense/fluid, chemical and agent trials alike.
+  struct WallClock {
+    TrialRecord& rec;
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    ~WallClock() { rec.wall_ms = elapsed_ms(start); }
+  } wall_clock{rec};
+
+  // Engine options actually used: the spec's, with the caller's registry
+  // injected unless the spec already routes to one. This copy never touches
+  // the fields the prebuilt-engine consistency checks compare.
+  pp::EngineOptions engine_options = spec.engine;
+  if (engine_options.metrics == nullptr) engine_options.metrics = metrics;
   util::Rng workload_rng(mix_seed(trial_seed, kWorkloadSalt));
   rec.workload =
       spec.workload.materialize(workload_rng, spec.n, protocol.num_colors());
@@ -169,7 +212,7 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
   if (backend != EngineKind::kAgentArray) {
     TrialOptions options;
     options.seed = trial_seed;
-    options.engine = spec.engine;
+    options.engine = engine_options;
     options.scheduler = spec.scheduler;
     options.clustered = spec.clustered_options();
     options.kernel = kernel;
@@ -203,14 +246,14 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
     obs::Recorder* chem_recorder = recorder.has_value() ? &*recorder : nullptr;
     crn::GillespieResult result;
     if (kernel != nullptr) {
-      result = crn::run_gillespie(*kernel, colors, derived_seed, spec.engine,
-                                  chem_recorder);
+      result = crn::run_gillespie(*kernel, colors, derived_seed,
+                                  engine_options, chem_recorder);
     } else if (spec.use_kernel) {
-      result = crn::run_gillespie(protocol, colors, derived_seed, spec.engine,
-                                  chem_recorder);
+      result = crn::run_gillespie(protocol, colors, derived_seed,
+                                  engine_options, chem_recorder);
     } else {
       result = crn::run_gillespie_virtual(protocol, colors, derived_seed,
-                                          spec.engine, chem_recorder);
+                                          engine_options, chem_recorder);
     }
     rec.outcome = grade_run(result.run, rec.workload, expected);
     rec.stabilization_time = result.stabilization_time;
@@ -287,7 +330,7 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
   // random agent to its input state (it keeps its reading, loses its
   // working memory).
   for (std::uint32_t f = 0; f < spec.reboot_faults; ++f) {
-    pp::EngineOptions burst = spec.engine;
+    pp::EngineOptions burst = engine_options;
     burst.max_interactions =
         spec.fault_burst_min +
         (spec.fault_burst_span ? rng.uniform_below(spec.fault_burst_span) : 0);
@@ -297,7 +340,7 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
     population.set_state(victim, protocol.input(colors[victim]));
   }
 
-  const pp::RunResult run = run_engine(spec.engine);
+  const pp::RunResult run = run_engine(engine_options);
   rec.outcome = grade_run(run, rec.workload, expected);
   if (spec.grader) {
     rec.outcome.correct =
@@ -323,9 +366,22 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
 
 std::vector<SpecResult> BatchRunner::run(
     std::span<const RunSpec> specs) const {
+  const auto batch_start = std::chrono::steady_clock::now();
+  // Environment fields (git describe, host, build type) are shared by every
+  // spec of the batch; collected once, stamped with the batch start time.
+  const metrics::RunManifest base_manifest = metrics::RunManifest::collect();
+
   std::vector<SpecResult> results(specs.size());
   std::vector<std::unique_ptr<pp::Protocol>> protocols;
   protocols.reserve(specs.size());
+  // Telemetry registry per spec: the batch-wide one from BatchOptions,
+  // overridden by a private registry for specs that want their own sink
+  // file (spec.metrics_out). A spec.engine.metrics set by the caller always
+  // wins inside execute_trial.
+  std::vector<std::unique_ptr<metrics::MetricsRegistry>> owned_registries(
+      specs.size());
+  std::vector<metrics::MetricsRegistry*> spec_metrics(specs.size(),
+                                                      options_.metrics);
   // Per-spec compiled kernels: each spec's protocol is lowered exactly once
   // and the immutable kernel is shared by every trial on every thread.
   std::vector<std::shared_ptr<const kernel::CompiledProtocol>> kernels(
@@ -494,8 +550,23 @@ std::vector<SpecResult> BatchRunner::run(
             "backend per spec");
       }
     }
+    if (!spec.metrics_out.empty()) {
+      owned_registries[i] = std::make_unique<metrics::MetricsRegistry>();
+      spec_metrics[i] = owned_registries[i].get();
+    }
+    // Engine options for the per-spec engines: the spec's, with this spec's
+    // registry injected (never overriding a caller-provided one).
+    pp::EngineOptions engine_options = spec.engine;
+    if (engine_options.metrics == nullptr) {
+      engine_options.metrics = spec_metrics[i];
+    }
     if (spec.use_kernel) {
-      kernels[i] = std::make_shared<const kernel::CompiledProtocol>(*protocol);
+      kernel::CompileOptions compile_options;
+      // Sparse-cache hit counting costs one relaxed fetch_add per lookup on
+      // THE hot path of sparse kernels; only pay it when someone is looking.
+      compile_options.count_sparse_hits = engine_options.metrics != nullptr;
+      kernels[i] = std::make_shared<const kernel::CompiledProtocol>(
+          *protocol, compile_options);
     }
     if (backend == EngineKind::kFluid) {
       fluid::FluidOptions fluid_options;
@@ -505,9 +576,9 @@ std::vector<SpecResult> BatchRunner::run(
         fluid_engines[i] =
             spec.use_kernel
                 ? std::make_unique<fluid::FluidEngine>(
-                      kernels[i], spec.engine, fluid_options, *lumping)
+                      kernels[i], engine_options, fluid_options, *lumping)
                 : std::make_unique<fluid::FluidEngine>(
-                      *protocol, spec.engine, fluid_options, *lumping);
+                      *protocol, engine_options, fluid_options, *lumping);
       } catch (const std::invalid_argument& e) {
         // The drift-table compile refuses protocols whose input-state
         // closure is too wide for the mean-field representation.
@@ -526,9 +597,9 @@ std::vector<SpecResult> BatchRunner::run(
                                         : dense::DenseMode::kPerStep;
       dense_engines[i] =
           spec.use_kernel
-              ? std::make_unique<dense::DenseEngine>(kernels[i], spec.engine,
+              ? std::make_unique<dense::DenseEngine>(kernels[i], engine_options,
                                                      mode, *lumping)
-              : std::make_unique<dense::DenseEngine>(*protocol, spec.engine,
+              : std::make_unique<dense::DenseEngine>(*protocol, engine_options,
                                                      mode, /*use_kernel=*/false,
                                                      *lumping);
     }
@@ -549,11 +620,25 @@ std::vector<SpecResult> BatchRunner::run(
       jobs.push_back({static_cast<std::uint32_t>(i), t});
     }
   }
+  const double setup_ms = elapsed_ms(batch_start);
 
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> failed{false};
   std::exception_ptr error;
   std::mutex error_mutex;
+
+  // Progress accounting: relaxed atomics bumped once per completed trial;
+  // the monitor thread (and the final heartbeat) read them.
+  std::atomic<std::uint64_t> trials_done{0};
+  std::atomic<std::uint64_t> interactions_done{0};
+  std::atomic<std::uint32_t> specs_done{0};
+  const auto spec_remaining =
+      std::make_unique<std::atomic<std::uint32_t>[]>(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    spec_remaining[i].store(specs[i].trials, std::memory_order_relaxed);
+  }
+
+  const auto run_phase_start = std::chrono::steady_clock::now();
 
   const auto worker = [&]() {
     while (!failed.load(std::memory_order_relaxed)) {
@@ -561,12 +646,21 @@ std::vector<SpecResult> BatchRunner::run(
       if (index >= jobs.size()) break;
       const Job job = jobs[index];
       try {
-        results[job.spec].trials[job.trial] =
-            execute_trial(*protocols[job.spec], specs[job.spec],
-                          trial_seed(spec_seeds[job.spec], job.trial),
-                          kernels[job.spec].get(),
-                          dense_engines[job.spec].get(), backends[job.spec],
-                          fluid_engines[job.spec].get());
+        TrialRecord& rec = results[job.spec].trials[job.trial];
+        rec = execute_trial(*protocols[job.spec], specs[job.spec],
+                            trial_seed(spec_seeds[job.spec], job.trial),
+                            kernels[job.spec].get(),
+                            dense_engines[job.spec].get(), backends[job.spec],
+                            fluid_engines[job.spec].get(),
+                            spec_metrics[job.spec]);
+        metrics::record_ms(spec_metrics[job.spec], "batch.trial", rec.wall_ms);
+        trials_done.fetch_add(1, std::memory_order_relaxed);
+        interactions_done.fetch_add(rec.outcome.run.interactions,
+                                    std::memory_order_relaxed);
+        if (spec_remaining[job.spec].fetch_sub(
+                1, std::memory_order_relaxed) == 1) {
+          specs_done.fetch_add(1, std::memory_order_relaxed);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
@@ -582,6 +676,37 @@ std::vector<SpecResult> BatchRunner::run(
   }
   threads = static_cast<std::uint32_t>(
       std::min<std::size_t>(threads, jobs.size()));
+
+  const auto snapshot_progress = [&]() {
+    BatchProgress progress;
+    progress.trials_done = trials_done.load(std::memory_order_relaxed);
+    progress.trials_total = jobs.size();
+    progress.specs_done = specs_done.load(std::memory_order_relaxed);
+    progress.specs_total = static_cast<std::uint32_t>(specs.size());
+    progress.interactions = interactions_done.load(std::memory_order_relaxed);
+    progress.elapsed_s = elapsed_ms(run_phase_start) / 1e3;
+    return progress;
+  };
+
+  // The heartbeat runs on its own thread so a single giant trial cannot
+  // starve it; it exits promptly via the condition variable when the pool
+  // drains (or a worker throws).
+  std::mutex heartbeat_mutex;
+  std::condition_variable heartbeat_cv;
+  bool heartbeat_stop = false;
+  std::thread heartbeat;
+  if (options_.progress) {
+    const auto interval = std::chrono::duration<double>(
+        std::max(options_.progress_interval_s, 0.05));
+    heartbeat = std::thread([&, interval]() {
+      std::unique_lock<std::mutex> lock(heartbeat_mutex);
+      while (!heartbeat_cv.wait_for(lock, interval,
+                                    [&]() { return heartbeat_stop; })) {
+        options_.progress(snapshot_progress());
+      }
+    });
+  }
+
   if (threads <= 1) {
     worker();
   } else {
@@ -590,8 +715,19 @@ std::vector<SpecResult> BatchRunner::run(
     for (std::uint32_t i = 0; i < threads; ++i) pool.emplace_back(worker);
     for (auto& thread : pool) thread.join();
   }
+  if (heartbeat.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(heartbeat_mutex);
+      heartbeat_stop = true;
+    }
+    heartbeat_cv.notify_all();
+    heartbeat.join();
+  }
+  const double run_ms = elapsed_ms(run_phase_start);
   if (error) std::rethrow_exception(error);
+  if (options_.progress) options_.progress(snapshot_progress());
 
+  const auto aggregate_start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < specs.size(); ++i) {
     if (kernels[i] != nullptr) {
       results[i].kernel_compiled = true;
@@ -601,6 +737,66 @@ std::vector<SpecResult> BatchRunner::run(
     }
   }
   for (SpecResult& result : results) aggregate(result, options_.keep_trials);
+  const double aggregate_ms = elapsed_ms(aggregate_start);
+
+  // Phase breakdown and utilization. busy/available measures how well the
+  // (spec, trial) jobs filled the pool: low utilization on a long batch
+  // means stragglers (one giant spec serializing the tail).
+  double busy_ms = 0.0;
+  for (const SpecResult& result : results) {
+    busy_ms += result.trial_ms.mean * static_cast<double>(
+                                          result.trial_ms.count);
+  }
+  const double utilization =
+      run_ms > 0.0 && threads > 0
+          ? std::min(1.0, busy_ms / (run_ms * static_cast<double>(threads)))
+          : 0.0;
+  const auto record_batch = [&](metrics::MetricsRegistry* m) {
+    if (m == nullptr) return;
+    m->timer("batch.setup").record_ms(setup_ms);
+    m->timer("batch.run").record_ms(run_ms);
+    m->timer("batch.aggregate").record_ms(aggregate_ms);
+    m->timer("batch.wall").record_ms(elapsed_ms(batch_start));
+    m->counter("batch.specs").add(specs.size());
+    m->counter("batch.trials").add(jobs.size());
+    m->gauge("batch.threads").set(static_cast<double>(threads));
+    m->gauge("batch.utilization").set(utilization);
+  };
+  record_batch(options_.metrics);
+
+  // Manifests, kernel stats, per-spec sink files.
+  const std::string finished = metrics::utc_timestamp_now();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SpecResult& result = results[i];
+    result.manifest = base_manifest;
+    result.manifest.spec = specs[i].to_string();
+    result.manifest.backend = sim::to_string(result.backend_resolved);
+    if (result.kernel_compiled) {
+      result.manifest.kernel = kernel::to_string(result.kernel_stats.kind);
+    }
+    result.manifest.seed = spec_seeds[i];
+    result.manifest.trials = specs[i].trials;
+    result.manifest.threads = threads;
+    result.manifest.finished_utc = finished;
+    result.manifest.wall_ms =
+        result.trial_ms.mean * static_cast<double>(result.trial_ms.count);
+
+    metrics::MetricsRegistry* m = spec_metrics[i];
+    if (m != nullptr && result.kernel_compiled) {
+      const kernel::CompileStats& stats = result.kernel_stats;
+      m->timer("kernel.build").record_ms(stats.build_ms);
+      m->counter("kernel.entries").add(stats.entries);
+      m->counter("kernel.bytes").add(stats.bytes);
+      m->counter("kernel.sparse_filled").add(stats.sparse_filled);
+      m->counter("kernel.sparse_overflow").add(stats.sparse_overflow);
+      m->counter("kernel.sparse_hits").add(stats.sparse_hits);
+    }
+    if (owned_registries[i] != nullptr) {
+      record_batch(owned_registries[i].get());
+      owned_registries[i]->write(specs[i].metrics_out);
+      result.manifest.write(manifest_path(specs[i].metrics_out));
+    }
+  }
   return results;
 }
 

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "kernel/compiled_protocol.hpp"
+#include "metrics/manifest.hpp"
 #include "obs/envelope.hpp"
 #include "sim/run_spec.hpp"
 #include "util/stats.hpp"
@@ -22,6 +24,10 @@ class DenseEngine;
 
 namespace circles::fluid {
 class FluidEngine;
+}
+
+namespace circles::metrics {
+class MetricsRegistry;
 }
 
 namespace circles::sim {
@@ -47,6 +53,10 @@ struct TrialRecord {
   // Valid iff spec.chemical_time.
   double stabilization_time = 0.0;
   double convergence_time = 0.0;
+
+  /// Wall-clock duration of this trial (workload materialization through
+  /// grading), measured on whichever worker thread ran it.
+  double wall_ms = 0.0;
 
   /// One trace per spec.probes entry (index-aligned), recorded on whichever
   /// backend ran the trial.
@@ -86,6 +96,13 @@ struct SpecResult {
   util::Summary ket_exchanges;       // all-zero unless circles_stats
   util::Summary stabilization_time;  // all-zero unless chemical_time
   util::Summary convergence_time;    // all-zero unless chemical_time
+  /// Per-trial wall-clock latency (ms); p50/p90 are the envelope numbers to
+  /// quote for scheduling/queueing decisions.
+  util::Summary trial_ms;
+
+  /// Provenance: what ran, where, when. Always filled by run(); written to
+  /// disk alongside the metric sink when spec.metrics_out is set.
+  metrics::RunManifest manifest;
 
   /// One quantile envelope per spec.probes entry (index-aligned): the
   /// per-trial traces resampled onto a common grid with p10/p50/p90 columns
@@ -106,6 +123,23 @@ struct SpecResult {
   bool all_silent() const { return silent == trial_count; }
 };
 
+/// Snapshot handed to the progress callback on a wall-clock cadence while
+/// trials execute (plus one final call after the last trial).
+struct BatchProgress {
+  std::uint64_t trials_done = 0;
+  std::uint64_t trials_total = 0;
+  std::uint32_t specs_done = 0;
+  std::uint32_t specs_total = 0;
+  /// Interactions simulated by *completed* trials.
+  std::uint64_t interactions = 0;
+  double elapsed_s = 0.0;
+
+  double interactions_per_s() const {
+    return elapsed_s > 0.0 ? static_cast<double>(interactions) / elapsed_s
+                           : 0.0;
+  }
+};
+
 struct BatchOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   std::uint32_t threads = 0;
@@ -115,6 +149,19 @@ struct BatchOptions {
 
   /// Retain per-trial records in the SpecResult (memory vs detail).
   bool keep_trials = true;
+
+  /// Batch-wide telemetry registry (engines flush work counters into it,
+  /// run() adds phase timers and kernel stats). Null = telemetry off.
+  /// Specs with their own `metrics_out` sink get a private registry
+  /// instead, so per-spec files do not mix with batch-wide aggregation.
+  metrics::MetricsRegistry* metrics = nullptr;
+
+  /// Progress heartbeat: invoked from a dedicated monitor thread every
+  /// `progress_interval_s` seconds of wall clock while trials run, and once
+  /// more after the last trial completes. Default off; never invoked
+  /// concurrently with itself.
+  std::function<void(const BatchProgress&)> progress;
+  double progress_interval_s = 2.0;
 };
 
 class BatchRunner {
@@ -142,13 +189,16 @@ class BatchRunner {
   /// fluid backend (shared drift table). `backend_resolved` is the concrete
   /// backend to run (kAuto = "use spec.backend", which must then itself be
   /// concrete — run() resolves auto specs before dispatching here).
+  /// `metrics`, when non-null, receives the trial's engine counters (unless
+  /// spec.engine.metrics already names a registry, which wins).
   static TrialRecord execute_trial(
       const pp::Protocol& protocol, const RunSpec& spec,
       std::uint64_t trial_seed,
       const kernel::CompiledProtocol* kernel = nullptr,
       const dense::DenseEngine* dense_engine = nullptr,
       EngineKind backend_resolved = EngineKind::kAuto,
-      const fluid::FluidEngine* fluid_engine = nullptr);
+      const fluid::FluidEngine* fluid_engine = nullptr,
+      metrics::MetricsRegistry* metrics = nullptr);
 
  private:
   BatchOptions options_;

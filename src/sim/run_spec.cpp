@@ -236,6 +236,7 @@ std::string RunSpec::to_string() const {
   for (const obs::ProbeSpec& probe : probes) {
     out += " trace=" + probe.to_string();
   }
+  if (!metrics_out.empty()) out += " metrics=" + metrics_out;
   if (!label.empty()) out += " [" + label + "]";
   return out;
 }
@@ -364,6 +365,12 @@ RunSpec RunSpec::parse(const std::string& text) {
         spec.use_kernel = value == "on";
       } else if (key == "trace") {
         spec.probes.push_back(obs::ProbeSpec::parse(value));
+      } else if (key == "metrics") {
+        if (value.empty()) {
+          throw std::invalid_argument(
+              "RunSpec parse: metrics= needs a sink path (.jsonl or .csv)");
+        }
+        spec.metrics_out = value;
       } else {
         throw std::invalid_argument("RunSpec parse: unknown field '" + key +
                                     "' in '" + text + "'");

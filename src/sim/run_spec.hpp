@@ -200,6 +200,15 @@ struct RunSpec {
   /// scheduler_factory) — the BatchRunner rejects such specs up front.
   bool chemical_time = false;
 
+  /// Per-spec telemetry sink: when non-empty, the BatchRunner gives this
+  /// spec a private metrics::MetricsRegistry, flushes every trial's engine
+  /// counters plus kernel/phase stats into it, and writes it here (".csv"
+  /// picks CSV, anything else JSONL) with a RunManifest next to it
+  /// ("<path minus extension>.manifest.json"). Rendered as a
+  /// "metrics=path" token by to_string()/parse(); the path therefore must
+  /// not contain spaces.
+  std::string metrics_out;
+
   /// Transient-fault injection: before the final run to silence, execute
   /// this many bursts, rebooting one random agent to its input state after
   /// each burst. Burst length is uniform in

@@ -145,6 +145,26 @@ class SessionBuilder {
     batch_.threads = threads;
     return *this;
   }
+  /// Attach a telemetry registry: engine counters, kernel stats, and batch
+  /// phase timers land in `registry` (caller-owned; must outlive run()).
+  SessionBuilder& metrics(metrics::MetricsRegistry* registry) {
+    batch_.metrics = registry;
+    return *this;
+  }
+  /// Write this spec's metrics to `path` (.jsonl or .csv) with a
+  /// "<path minus extension>.manifest.json" provenance record next to it.
+  SessionBuilder& metrics_out(std::string path) {
+    spec_.metrics_out = std::move(path);
+    return *this;
+  }
+  /// Progress heartbeat on a wall-clock cadence (default 2 s); see
+  /// BatchOptions::progress.
+  SessionBuilder& progress(std::function<void(const BatchProgress&)> callback,
+                           double interval_s = 2.0) {
+    batch_.progress = std::move(callback);
+    batch_.progress_interval_s = interval_s;
+    return *this;
+  }
 
   const RunSpec& build() const { return spec_; }
 
