@@ -57,7 +57,9 @@ inline sim::BatchOptions batch_options(util::Cli& cli,
                                        std::uint64_t base_seed) {
   sim::BatchOptions options;
   options.threads = static_cast<std::uint32_t>(cli.int_flag(
-      "threads", 0, "worker threads for the batch runner (0 = hardware)"));
+      "threads", 0,
+      "OUTER worker threads, across trials (batch runner pool; 0 = "
+      "hardware). The INNER inside-a-run knob is --run-threads"));
   options.base_seed = base_seed;
   return options;
 }

@@ -1,13 +1,16 @@
 #include "dense/dense_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <optional>
 
 #include "dense/sampling.hpp"
 #include "metrics/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "util/arena.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace circles::dense {
 
@@ -50,6 +53,9 @@ DenseEngine::DenseEngine(const pp::Protocol& protocol,
     owned_kernel_ = std::make_shared<const kernel::CompiledProtocol>(protocol);
     kernel_ = owned_kernel_.get();
   }
+  run_threads_ = options_.run_threads != 0
+                     ? options_.run_threads
+                     : util::ThreadPool::shared().helpers() + 1;
 }
 
 DenseEngine::DenseEngine(std::shared_ptr<const kernel::CompiledProtocol> kernel,
@@ -63,28 +69,36 @@ DenseEngine::DenseEngine(std::shared_ptr<const kernel::CompiledProtocol> kernel,
       num_states_(kernel_->num_states()),
       lumping_(std::move(lumping)) {
   if (!lumping_.sizes.empty()) lumping_.validate();
+  run_threads_ = options_.run_threads != 0
+                     ? options_.run_threads
+                     : util::ThreadPool::shared().helpers() + 1;
 }
 
-/// Run-local state shared by both modes.
+/// Run-local state shared by both modes. The per-urn count/presence/used
+/// fields live in a few contiguous (urn, state)-indexed arena slabs so the
+/// epoch hot loops walk adjacent memory; the caller's count storage is
+/// copied in once here and copied back by sync_out() when the run ends.
 struct DenseEngine::Sim {
   /// One urn (cluster): a count-vector view plus its presence bookkeeping.
   /// `present` contains every state with count > 0, possibly plus stale
   /// zero-count entries; compact() drops the latter. The categorical walks
   /// skip zero counts naturally.
   struct Urn {
-    std::span<std::uint64_t> counts;
+    std::span<std::uint64_t> counts;  // arena slab row, num_states wide
+    std::span<std::uint64_t> out;     // the caller's storage (copy-back)
     std::uint64_t n = 0;  // fixed urn size (counts always sum to this)
     std::vector<pp::StateId> present;
-    std::vector<std::uint8_t> in_present;
+    std::span<std::uint8_t> in_present;  // arena slab row
     // Epoch scratch: post-transition state histogram of this epoch's
     // participants, reset via `touched`.
-    std::vector<std::uint64_t> used;
+    std::span<std::uint64_t> used;  // arena slab row
     std::vector<pp::StateId> touched;
     std::uint64_t used_total = 0;
   };
 
   const DenseEngine& engine;
   util::Rng& rng;
+  util::Arena arena;  // backs every flat slab below; append-only, run-local
   std::vector<Urn> urns;
   std::size_t num_urns = 0;
   std::uint64_t n = 0;  // total population
@@ -99,8 +113,21 @@ struct DenseEngine::Sim {
   // a state; live_active sums the blocks with positive rate. live_active is
   // zero iff the configuration is silent under the lumped scheduler (the
   // exact certificate).
-  std::vector<std::uint64_t> active;
+  std::span<std::uint64_t> active;
+  // row_sums[b * num_states + s]: block b's active-pair mass with initiator
+  // state s, refreshed together with active[b]; pick_active_pair skips
+  // whole rows through it instead of rewalking every (s, t) product.
+  std::span<std::uint64_t> row_sums;
   std::uint64_t live_active = 0;
+
+  // Intra-run worker budget (the engine's resolved run_threads) and pool
+  // telemetry. Parallel stages only ever run when pool_threads > 1 and the
+  // run is multi-urn; results are bitwise identical either way.
+  unsigned pool_threads = 1;
+  std::uint64_t m_parallel_epochs = 0;  // batched epochs using the pool
+  std::uint64_t m_pool_regions = 0;     // parallel_for regions issued
+  std::uint64_t m_pool_busy_ns = 0;     // summed worker busy time
+  std::uint64_t m_pool_wall_ns = 0;     // summed region wall time
 
   // Telemetry scratch: plain locals bumped on the hot path, flushed once
   // into EngineOptions::metrics by run_impl.
@@ -123,13 +150,29 @@ struct DenseEngine::Sim {
       std::span<const double> rate_matrix, util::Rng& rng, bool want_aggregate)
       : engine(engine), rng(rng) {
     num_urns = counts.size();
+    pool_threads = engine.run_threads_;
+    const std::size_t states = engine.num_states_;
+    const std::size_t num_blocks = num_urns * num_urns;
     rates.assign(rate_matrix.begin(), rate_matrix.end());
+
+    const std::span<std::uint64_t> counts_flat =
+        arena.alloc<std::uint64_t>(num_urns * states);
+    const std::span<std::uint8_t> in_present_flat =
+        arena.alloc<std::uint8_t>(num_urns * states);
+    const std::span<std::uint64_t> used_flat =
+        arena.alloc<std::uint64_t>(num_urns * states);
+    active = arena.alloc<std::uint64_t>(num_blocks);
+    row_sums = arena.alloc<std::uint64_t>(num_blocks * states);
+
     urns.resize(num_urns);
     for (std::size_t u = 0; u < num_urns; ++u) {
       Urn& urn = urns[u];
-      urn.counts = counts[u];
-      urn.in_present.assign(engine.num_states_, 0);
-      urn.used.assign(engine.num_states_, 0);
+      CIRCLES_DCHECK(counts[u].size() == states);
+      urn.out = counts[u];
+      urn.counts = counts_flat.subspan(u * states, states);
+      urn.in_present = in_present_flat.subspan(u * states, states);
+      urn.used = used_flat.subspan(u * states, states);
+      std::copy(urn.out.begin(), urn.out.end(), urn.counts.begin());
       for (std::size_t s = 0; s < urn.counts.size(); ++s) {
         urn.n += urn.counts[s];
         if (urn.counts[s] > 0) {
@@ -143,7 +186,6 @@ struct DenseEngine::Sim {
           std::span<const std::uint64_t>(urn.counts.data(), urn.counts.size()));
     }
     pair_capacity.resize(num_urns * num_urns);
-    active.assign(num_urns * num_urns, 0);
     for (std::size_t u = 0; u < num_urns; ++u) {
       for (std::size_t v = 0; v < num_urns; ++v) {
         const double nu = static_cast<double>(urns[u].n);
@@ -168,6 +210,35 @@ struct DenseEngine::Sim {
       }
     }
     refresh_active();
+  }
+
+  /// Copies the working counts back into the caller's storage. run_impl
+  /// calls this once, after the run loop; everything in between mutates
+  /// only the arena slabs.
+  void sync_out() {
+    for (Urn& urn : urns) {
+      std::copy(urn.counts.begin(), urn.counts.end(), urn.out.begin());
+    }
+  }
+
+  /// Runs fn(0), ..., fn(count - 1): on the shared pool when `pooled`,
+  /// serially otherwise. Pooled callers write task-indexed disjoint state
+  /// and reduce serially afterwards, so results are bitwise identical for
+  /// any worker count — `pooled` is purely a performance gate.
+  template <typename Fn>
+  void run_tasks(std::size_t count, bool pooled, Fn&& fn) {
+    if (!pooled || count <= 1 || pool_threads <= 1) {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    m_pool_busy_ns +=
+        util::ThreadPool::shared().parallel_for(count, pool_threads, fn);
+    m_pool_wall_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    m_pool_regions += 1;
   }
 
   void note_state(Urn& urn, pp::StateId s) {
@@ -208,42 +279,69 @@ struct DenseEngine::Sim {
     urn.present.resize(w);
   }
 
-  std::uint64_t block_active(std::size_t u, std::size_t v) const {
+  /// Recomputes block (u, v)'s active-pair count, filling its row_sums rows
+  /// as a side effect. The factored form c_i[s] * sum_t c_r[t] (minus the
+  /// diagonal's own-agent correction) runs one multiply per initiator row
+  /// and leaves the inner loop a pure vectorizable count gather; uint64
+  /// arithmetic is exact mod 2^64 and the true value fits, so the sum
+  /// matches the historical per-(s, t) product walk bit for bit.
+  std::uint64_t block_active(std::size_t u, std::size_t v) {
     const Urn& urn_i = urns[u];
     const Urn& urn_r = urns[v];
     const bool diag = u == v;
+    std::uint64_t* rows = row_sums.data() + (u * num_urns + v) * engine.num_states_;
     std::uint64_t sum = 0;
     const kernel::CompiledProtocol* k = engine.kernel_;
     if (k != nullptr && k->has_adjacency()) {
-      // The kernel's active-responder index skips null pairs wholesale; the
-      // sum is order-independent, so this matches the fallback bit for bit.
+      // The kernel's active-responder index skips null pairs wholesale.
       for (const pp::StateId s : urn_i.present) {
+        std::uint64_t acc = 0;
         for (const pp::StateId t : k->active_responders(s)) {
-          sum += urn_i.counts[s] *
-                 (urn_r.counts[t] - (diag && s == t ? 1 : 0));
+          acc += urn_r.counts[t];
         }
+        std::uint64_t row = urn_i.counts[s] * acc;
+        // On diagonal blocks an agent cannot meet itself: one unit of
+        // responder mass per initiator agent disappears iff (s, s) is
+        // non-null (then and only then did the walk above count it).
+        if (diag && engine.nonnull(s, s)) row -= urn_i.counts[s];
+        rows[s] = row;
+        sum += row;
       }
     } else {
       for (const pp::StateId s : urn_i.present) {
+        std::uint64_t acc = 0;
         for (const pp::StateId t : urn_r.present) {
           if (!engine.nonnull(s, t)) continue;
-          sum += urn_i.counts[s] *
-                 (urn_r.counts[t] - (diag && s == t ? 1 : 0));
+          acc += urn_r.counts[t];
         }
+        std::uint64_t row = urn_i.counts[s] * acc;
+        // diag implies urn_r == urn_i, so s is in urn_r.present and the
+        // walk counted (s, s) iff it is non-null.
+        if (diag && engine.nonnull(s, s)) row -= urn_i.counts[s];
+        rows[s] = row;
+        sum += row;
       }
     }
     return sum;
   }
 
   void refresh_active() {
-    for (Urn& urn : urns) compact(urn);
+    std::size_t total_present = 0;
+    for (Urn& urn : urns) {
+      compact(urn);
+      total_present += urn.present.size();
+    }
+    // Pool the per-block recomputes only when the O(present^2) work
+    // plausibly beats the dispatch overhead. The gate reads deterministic
+    // state only, and the per-block sums are identical either way.
+    const bool pooled = pool_threads > 1 && num_urns > 1 &&
+                        total_present * total_present >= 4096;
+    run_tasks(num_urns * num_urns, pooled, [this](std::size_t b) {
+      active[b] = block_active(b / num_urns, b % num_urns);
+    });
     live_active = 0;
-    for (std::size_t u = 0; u < num_urns; ++u) {
-      for (std::size_t v = 0; v < num_urns; ++v) {
-        const std::size_t b = u * num_urns + v;
-        active[b] = block_active(u, v);
-        if (rates[b] > 0.0) live_active += active[b];
-      }
+    for (std::size_t b = 0; b < num_urns * num_urns; ++b) {
+      if (rates[b] > 0.0) live_active += active[b];
     }
   }
 
@@ -307,15 +405,25 @@ struct DenseEngine::Sim {
   }
 
   /// Draw the ordered active state pair within block (bu, bv), conditioned
-  /// on being active (weights c_u[s] * (c_v[t] - [diag][s == t])).
+  /// on being active (weights c_u[s] * (c_v[t] - [diag][s == t])). Every
+  /// call happens right after a refresh_active(), so row_sums is current:
+  /// whole initiator rows are skipped in O(1) and only the selected row
+  /// rewalks its responders — the same pair the historical full (s, t)
+  /// walk landed on, because each row's mass equals its walked prefix.
   void pick_active_pair(std::size_t bu, std::size_t bv, pp::StateId& si,
                         pp::StateId& sr) {
     const Urn& urn_i = urns[bu];
     const Urn& urn_r = urns[bv];
     const bool diag = bu == bv;
+    const std::uint64_t* rows =
+        row_sums.data() + (bu * num_urns + bv) * engine.num_states_;
     std::uint64_t r = rng.uniform_below(active[bu * num_urns + bv]);
     for (const pp::StateId s : urn_i.present) {
-      if (urn_i.counts[s] == 0) continue;
+      const std::uint64_t row = rows[s];
+      if (r >= row) {
+        r -= row;
+        continue;
+      }
       for (const pp::StateId t : urn_r.present) {
         if (!engine.nonnull(s, t)) continue;
         const std::uint64_t w =
@@ -327,6 +435,7 @@ struct DenseEngine::Sim {
         }
         r -= w;
       }
+      break;  // unreachable: the row walk covers exactly rows[s] mass
     }
     CIRCLES_CHECK_MSG(false, "active-pair draw walked past the count");
   }
@@ -487,6 +596,7 @@ pp::RunResult DenseEngine::run_impl(Sim& sim, obs::Recorder* recorder) const {
   } else {
     run_batched(sim, result, recorder);
   }
+  sim.sync_out();
 
   if (!result.silent && result.interactions >= options_.max_interactions) {
     result.budget_exhausted = true;
@@ -514,6 +624,19 @@ pp::RunResult DenseEngine::run_impl(Sim& sim, obs::Recorder* recorder) const {
     m.counter("dense.fast_forward_jumps").add(sim.m_ff_jumps);
     m.counter("dense.fast_forward_interactions").add(sim.m_ff_skipped);
     m.counter("dense.mvhg_draws").add(sim.m_mvhg_draws);
+    m.counter("dense.parallel_epochs").add(sim.m_parallel_epochs);
+    if (sim.m_pool_regions > 0) {
+      // Summed worker busy time across this run's parallel regions, and the
+      // fraction of the regions' (wall x budget) area it filled.
+      m.timer("dense.parallel_workers")
+          .record_ms(static_cast<double>(sim.m_pool_busy_ns) / 1e6);
+      const double area = static_cast<double>(sim.m_pool_wall_ns) *
+                          static_cast<double>(run_threads_);
+      if (area > 0.0) {
+        m.gauge("dense.parallel_utilization")
+            .set(static_cast<double>(sim.m_pool_busy_ns) / area);
+      }
+    }
   }
   return result;
 }
@@ -587,17 +710,55 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
     epoch_mean = 0.886 * std::sqrt(2.0 / inv);
   }
 
+  // Multi-urn epochs fan their per-urn and per-block stages out across the
+  // shared worker pool. Every stage writes task-indexed disjoint state and
+  // the reductions below run serially in ascending index order, so results
+  // are bitwise identical for any thread count (single-urn runs are pinned
+  // to the historical main-stream order and never pool).
+  const bool pooled = !single && sim.pool_threads > 1;
+  if (pooled) warm_log_factorial();
+
   LastChangeMark mark;
 
-  // Per-epoch scratch, hoisted out of the loop.
+  // Per-epoch scratch, carved from the run's arena once: stride-S rows per
+  // block for the role deals, per-urn rows for the participant draws. Only
+  // `seq` and the recorded pair groups keep dynamic vectors (their length
+  // varies per epoch); both reuse their capacity across epochs.
+  const std::size_t states = num_states_;
   std::vector<std::uint32_t> seq;                  // multi-urn block sequence
-  std::vector<std::uint64_t> block_len(num_blocks, 0);
-  std::vector<std::uint64_t> block_productive(num_blocks, 0);
-  std::vector<std::uint64_t> phase1_used(u_count, 0);
-  std::vector<std::vector<std::uint64_t>> block_init(num_blocks),
-      block_resp(num_blocks);
-  std::vector<std::size_t> width(u_count, 0);
-  std::vector<std::uint64_t> pool, drawn, rem;
+  const std::span<std::uint64_t> block_len =
+      sim.arena.alloc<std::uint64_t>(num_blocks);
+  const std::span<std::uint64_t> block_productive =
+      sim.arena.alloc<std::uint64_t>(num_blocks);
+  const std::span<std::uint64_t> phase1_used =
+      sim.arena.alloc<std::uint64_t>(u_count);
+  const std::span<std::size_t> width = sim.arena.alloc<std::size_t>(u_count);
+  const std::span<std::uint64_t> init_flat =
+      sim.arena.alloc<std::uint64_t>(num_blocks * states);
+  const std::span<std::uint64_t> resp_flat =
+      sim.arena.alloc<std::uint64_t>(num_blocks * states);
+  const std::span<std::uint64_t> pool_flat =
+      sim.arena.alloc<std::uint64_t>(u_count * states);
+  const std::span<std::uint64_t> drawn_flat =
+      sim.arena.alloc<std::uint64_t>(u_count * states);
+  const std::span<std::uint64_t> rem_flat =
+      sim.arena.alloc<std::uint64_t>(u_count * states);
+  const std::span<std::uint64_t> mvhg_draws =
+      sim.arena.alloc<std::uint64_t>(u_count);
+
+  // One recorded transition group from an epoch's pairing stage: m matched
+  // (s, t) pairs of one block, mapping through tr. The pairing draws read
+  // only the dealt role rows and the frozen present-list prefixes — never
+  // the counts they will mutate — so recording groups per block (possibly
+  // concurrently) and applying them in ascending (block, group) order
+  // reproduces the historical interleaved loop bit for bit.
+  struct PairGroup {
+    pp::StateId s;
+    pp::StateId t;
+    pp::Transition tr;
+    std::uint64_t m;
+  };
+  std::vector<std::vector<PairGroup>> groups(num_blocks);
 
   while (!result.silent && result.interactions < options_.max_interactions) {
     const std::uint64_t remaining =
@@ -749,15 +910,19 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
     // from the urn's counts, then sequential splits deal the drawn states
     // across the urn's roles. Single-urn runs draw on the main RNG stream
     // (the historical order); multi-urn runs give urn u the forked
-    // sub-stream fork(u), so the draws do not depend on urn iteration order.
-    for (std::size_t u = 0; u < u_count; ++u) {
+    // sub-stream fork(u), so the draws do not depend on urn iteration order
+    // — which is what lets the urn tasks run concurrently: urn u writes
+    // only its own pool/drawn/rem rows, the init rows (u, *), and the resp
+    // rows (*, u), all disjoint across urns.
+    const auto deal_urn = [&](std::size_t u) {
       Sim::Urn& urn = sim.urns[u];
-      width[u] = urn.present.size();
+      const std::size_t w = urn.present.size();
+      width[u] = w;
       std::uint64_t t_u = 0;
       for (std::size_t v = 0; v < u_count; ++v) {
         t_u += block_len[u * u_count + v] + block_len[v * u_count + u];
       }
-      if (t_u == 0) continue;
+      if (t_u == 0) return;
 
       util::Rng forked(0);
       util::Rng* stream = &rng;
@@ -766,53 +931,64 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
         stream = &forked;
       }
 
-      pool.resize(width[u]);
-      for (std::size_t i = 0; i < width[u]; ++i) {
+      const std::span<std::uint64_t> pool = pool_flat.subspan(u * states, w);
+      const std::span<std::uint64_t> drawn = drawn_flat.subspan(u * states, w);
+      const std::span<std::uint64_t> rem = rem_flat.subspan(u * states, w);
+      for (std::size_t i = 0; i < w; ++i) {
         pool[i] = urn.counts[urn.present[i]];
       }
-      drawn.resize(width[u]);
       multivariate_hypergeometric(*stream, pool, t_u, drawn);
-      sim.m_mvhg_draws += 1;
+      mvhg_draws[u] += 1;
 
-      rem = drawn;
+      std::copy(drawn.begin(), drawn.end(), rem.begin());
       std::uint64_t rem_total = t_u;
-      const auto deal_role = [&](std::vector<std::uint64_t>& target,
+      const auto deal_role = [&](std::span<std::uint64_t> target,
                                  std::uint64_t count) {
         if (count == 0) return;
         if (rem_total == count) {
-          target = rem;  // last live role takes the remainder outright
+          // The last live role takes the remainder outright.
+          std::copy(rem.begin(), rem.end(), target.begin());
           rem_total = 0;
           return;
         }
-        target.resize(width[u]);
         multivariate_hypergeometric(*stream, rem, count, target);
-        sim.m_mvhg_draws += 1;
-        for (std::size_t i = 0; i < width[u]; ++i) rem[i] -= target[i];
+        mvhg_draws[u] += 1;
+        for (std::size_t i = 0; i < w; ++i) rem[i] -= target[i];
         rem_total -= count;
       };
       for (std::size_t v = 0; v < u_count; ++v) {
-        deal_role(block_init[u * u_count + v], block_len[u * u_count + v]);
+        const std::size_t b = u * u_count + v;
+        deal_role(init_flat.subspan(b * states, w), block_len[b]);
       }
       for (std::size_t v = 0; v < u_count; ++v) {
-        deal_role(block_resp[v * u_count + u], block_len[v * u_count + u]);
+        const std::size_t b = v * u_count + u;
+        deal_role(resp_flat.subspan(b * states, w), block_len[b]);
       }
-    }
+    };
+    sim.run_tasks(u_count, pooled, deal_urn);
+    if (pooled) sim.m_parallel_epochs += 1;
 
     sim.reset_used();
 
     // Pair initiators with responders per block: a uniformly random perfect
     // matching, sampled group by group as a hypergeometric contingency
-    // table. Blocks iterate in ascending order but draw from their own
-    // forked sub-streams (fork(U + b)) on multi-urn runs.
-    std::uint64_t epoch_productive = 0;
-    for (std::size_t b = 0; b < num_blocks; ++b) {
-      if (block_len[b] == 0) continue;
+    // table. Blocks draw from their own forked sub-streams (fork(U + b)) on
+    // multi-urn runs, so the record stage fans out per block; the draws
+    // depend only on the dealt role rows and the frozen present prefixes
+    // (present lists are append-only, so indices below width stay stable
+    // while later groups apply).
+    const auto pair_block = [&](std::size_t b) {
+      std::vector<PairGroup>& out = groups[b];
+      out.clear();
+      if (block_len[b] == 0) return;
       const std::size_t u = b / u_count;
       const std::size_t v = b % u_count;
-      Sim::Urn& urn_i = sim.urns[u];
-      Sim::Urn& urn_r = sim.urns[v];
-      std::vector<std::uint64_t>& init = block_init[b];
-      std::vector<std::uint64_t>& resp = block_resp[b];
+      const Sim::Urn& urn_i = sim.urns[u];
+      const Sim::Urn& urn_r = sim.urns[v];
+      const std::span<const std::uint64_t> init =
+          init_flat.subspan(b * states, width[u]);
+      const std::span<std::uint64_t> resp =
+          resp_flat.subspan(b * states, width[v]);
 
       util::Rng forked(0);
       util::Rng* stream = &rng;
@@ -822,11 +998,11 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
       }
 
       std::uint64_t resp_pool = block_len[b];
-      for (std::size_t a = 0; a < width[u]; ++a) {
+      for (std::size_t a = 0; a < init.size(); ++a) {
         std::uint64_t need = init[a];
         if (need == 0) continue;
         std::uint64_t pool_total = resp_pool;
-        for (std::size_t c = 0; c < width[v] && need > 0; ++c) {
+        for (std::size_t c = 0; c < resp.size() && need > 0; ++c) {
           const std::uint64_t avail = resp[c];
           if (avail == 0) continue;
           const std::uint64_t m =
@@ -837,22 +1013,36 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
           if (m == 0) continue;
           const pp::StateId s = urn_i.present[a];
           const pp::StateId t = urn_r.present[c];
-          const pp::Transition tr = transition(s, t);
-          urn_i.counts[s] -= m;
-          urn_r.counts[t] -= m;
-          urn_i.counts[tr.initiator] += m;
-          urn_r.counts[tr.responder] += m;
-          sim.note_state(urn_i, tr.initiator);
-          sim.note_state(urn_r, tr.responder);
-          sim.touch_used(urn_i, tr.initiator, m);
-          sim.touch_used(urn_r, tr.responder, m);
-          sim.apply_agg(s, t, tr, m);
-          if (tr.initiator != s || tr.responder != t) {
-            block_productive[b] += m;
-          }
+          out.push_back({s, t, transition(s, t), m});
         }
         CIRCLES_DCHECK(need == 0);
         resp_pool -= init[a];
+      }
+    };
+    sim.run_tasks(num_blocks, pooled, pair_block);
+
+    // Apply the recorded groups in ascending (block, group) order — the
+    // exact mutation order of the historical interleaved loop, and the only
+    // stage that touches counts, presence, the used masses, or the
+    // aggregate view.
+    std::uint64_t epoch_productive = 0;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      if (block_len[b] == 0) continue;
+      Sim::Urn& urn_i = sim.urns[b / u_count];
+      Sim::Urn& urn_r = sim.urns[b % u_count];
+      for (const PairGroup& g : groups[b]) {
+        urn_i.counts[g.s] -= g.m;
+        urn_r.counts[g.t] -= g.m;
+        urn_i.counts[g.tr.initiator] += g.m;
+        urn_r.counts[g.tr.responder] += g.m;
+        sim.note_state(urn_i, g.tr.initiator);
+        sim.note_state(urn_r, g.tr.responder);
+        sim.touch_used(urn_i, g.tr.initiator, g.m);
+        sim.touch_used(urn_r, g.tr.responder, g.m);
+        sim.apply_agg(g.s, g.t, g.tr, g.m);
+        if (g.tr.initiator != g.s || g.tr.responder != g.t) {
+          block_productive[b] += g.m;
+        }
       }
       epoch_productive += block_productive[b];
     }
@@ -869,8 +1059,9 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
       mark.multi = !single;
       if (!single) {
         mark.seq.assign(seq.begin(), seq.end());
-        mark.block_len = block_len;
-        mark.block_productive = block_productive;
+        mark.block_len.assign(block_len.begin(), block_len.end());
+        mark.block_productive.assign(block_productive.begin(),
+                                     block_productive.end());
       }
     }
 
@@ -947,6 +1138,10 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
                         sim.live_active, sim.rec_present(), sim.rec_urns());
     }
   }
+
+  // The deal tasks count their mvhg draws per urn (so pooled stages never
+  // share a counter); fold them into the run total here.
+  for (std::size_t u = 0; u < u_count; ++u) sim.m_mvhg_draws += mvhg_draws[u];
 
   // Resolve the exact step of the final change. Within an epoch each
   // block's slot assignment is exchangeable, so its productive slots form a

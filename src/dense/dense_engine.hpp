@@ -54,6 +54,15 @@
 // epochs give every urn and every urn-pair block a sub-stream derived with
 // util::Rng::fork, so per-block draws are reproducible regardless of block
 // iteration order.
+//
+// Intra-run parallelism: that same sub-stream structure makes the batched
+// multi-urn epoch stages embarrassingly parallel — per-urn participant
+// deals and per-block contingency pairing write task-indexed disjoint
+// state, and the recorded transition groups are applied serially in
+// ascending (block, group) order. EngineOptions::run_threads > 1 fans the
+// stages (and the per-block active-pair refresh) out across
+// util::ThreadPool::shared(); results are bitwise identical for every
+// thread count, including 1. Single-urn runs and per-step mode never pool.
 #pragma once
 
 #include <cstdint>
@@ -132,6 +141,9 @@ class DenseEngine {
   const pp::EngineOptions& options() const { return options_; }
   /// Empty sizes = single urn of whatever n the configuration carries.
   const pp::UrnLumping& lumping() const { return lumping_; }
+  /// Resolved intra-run worker budget: EngineOptions::run_threads with 0
+  /// expanded to the hardware's core count. 1 = fully serial.
+  std::uint32_t run_threads() const { return run_threads_; }
 
  private:
   struct Sim;
@@ -162,6 +174,7 @@ class DenseEngine {
   DenseMode mode_;
   std::uint64_t num_states_;
   pp::UrnLumping lumping_;
+  std::uint32_t run_threads_ = 1;  // resolved at construction (0 -> cores)
 };
 
 }  // namespace circles::dense

@@ -30,6 +30,8 @@ const std::array<double, kFactorialTableSize>& log_factorial_table() {
 
 }  // namespace
 
+void warm_log_factorial() { (void)log_factorial_table(); }
+
 double log_factorial(std::uint64_t x) {
   if (x < kFactorialTableSize) return log_factorial_table()[x];
   // Stirling series for log Gamma(x + 1).

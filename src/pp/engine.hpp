@@ -45,6 +45,15 @@ struct EngineOptions {
   /// boundaries. Null disables telemetry at zero hot-path cost; results are
   /// bitwise identical either way (metrics never touch an RNG stream).
   metrics::MetricsRegistry* metrics = nullptr;
+
+  /// Worker threads INSIDE one run. Only the dense engine consumes it (the
+  /// multi-urn batched epoch stages fan out across util::ThreadPool::
+  /// shared()); the agent/gillespie/fluid engines are inherently serial per
+  /// run and ignore it. 1 (default) = fully serial; 0 = one thread per
+  /// hardware core; results are bitwise identical for every value (the
+  /// parallel stages reduce in a deterministic order). Across-trial
+  /// parallelism is a different knob: BatchOptions::threads.
+  std::uint32_t run_threads = 1;
 };
 
 class Engine {

@@ -162,6 +162,10 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
   // the fields the prebuilt-engine consistency checks compare.
   pp::EngineOptions engine_options = spec.engine;
   if (engine_options.metrics == nullptr) engine_options.metrics = metrics;
+  // An explicit per-spec inner width overrides the engine default; 0 keeps
+  // whatever the options carry (1 when locally built, or the budgeted width
+  // BatchRunner::run baked into a prebuilt dense engine).
+  if (spec.run_threads > 0) engine_options.run_threads = spec.run_threads;
   util::Rng workload_rng(mix_seed(trial_seed, kWorkloadSalt));
   rec.workload =
       spec.workload.materialize(workload_rng, spec.n, protocol.num_colors());
@@ -398,6 +402,25 @@ std::vector<SpecResult> BatchRunner::run(
   // scheduler's lumpability, the population size and the state count.
   std::vector<EngineKind> backends(specs.size(), EngineKind::kAgentArray);
 
+  // Outer/inner thread budget, resolved before the engines are built so the
+  // inner width can be baked into the per-spec dense engines. The outer
+  // across-trial pool takes the machine first (trials parallelize
+  // perfectly); only when there are fewer jobs than cores do the leftover
+  // cores move INSIDE the runs (dense multi-urn epoch stages). A spec with
+  // run_threads != 0 pins its own inner width instead. Results are bitwise
+  // identical under every split — this is purely a wall-clock decision.
+  std::size_t total_jobs = 0;
+  for (const RunSpec& spec : specs) total_jobs += spec.trials;
+  std::uint32_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::uint32_t threads = options_.threads == 0 ? hw : options_.threads;
+  threads = static_cast<std::uint32_t>(std::min<std::size_t>(
+      threads, std::max<std::size_t>(total_jobs, 1)));
+  const std::uint32_t inner_default =
+      total_jobs >= hw ? 1
+                       : std::max<std::uint32_t>(1, hw / std::max(threads, 1u));
+  std::vector<std::uint32_t> run_threads_resolved(specs.size(), 1);
+
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const RunSpec& spec = specs[i];
     if (spec.trials == 0) {
@@ -560,6 +583,9 @@ std::vector<SpecResult> BatchRunner::run(
     if (engine_options.metrics == nullptr) {
       engine_options.metrics = spec_metrics[i];
     }
+    run_threads_resolved[i] =
+        spec.run_threads != 0 ? spec.run_threads : inner_default;
+    engine_options.run_threads = run_threads_resolved[i];
     if (spec.use_kernel) {
       kernel::CompileOptions compile_options;
       // Sparse-cache hit counting costs one relaxed fetch_add per lookup on
@@ -669,14 +695,8 @@ std::vector<SpecResult> BatchRunner::run(
     }
   };
 
-  std::uint32_t threads = options_.threads;
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-  }
-  threads = static_cast<std::uint32_t>(
-      std::min<std::size_t>(threads, jobs.size()));
-
+  // `threads` (the outer pool width) was resolved with the inner budget,
+  // before the engines were built.
   const auto snapshot_progress = [&]() {
     BatchProgress progress;
     progress.trials_done = trials_done.load(std::memory_order_relaxed);
@@ -777,6 +797,8 @@ std::vector<SpecResult> BatchRunner::run(
     result.manifest.seed = spec_seeds[i];
     result.manifest.trials = specs[i].trials;
     result.manifest.threads = threads;
+    result.manifest.run_threads = run_threads_resolved[i];
+    result.manifest.utilization = utilization;
     result.manifest.finished_utc = finished;
     result.manifest.wall_ms =
         result.trial_ms.mean * static_cast<double>(result.trial_ms.count);

@@ -222,6 +222,7 @@ std::string RunSpec::to_string() const {
   if (backend != EngineKind::kAgentArray) {
     out += " backend=" + sim::to_string(backend);
   }
+  if (run_threads != 0) out += " threads=" + std::to_string(run_threads);
   if (rtol != 0.0) {
     char buffer[32];
     std::snprintf(buffer, sizeof(buffer), " rtol=%g", rtol);
@@ -347,6 +348,8 @@ RunSpec RunSpec::parse(const std::string& text) {
         spec.trials = static_cast<std::uint32_t>(parse_unsigned(value));
       } else if (key == "backend") {
         spec.backend = engine_kind_from_string(value);
+      } else if (key == "threads") {
+        spec.run_threads = static_cast<std::uint32_t>(parse_unsigned(value));
       } else if (key == "rtol" || key == "atol") {
         std::size_t used = 0;
         const double parsed = std::stod(value, &used);

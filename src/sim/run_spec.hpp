@@ -143,6 +143,15 @@ struct RunSpec {
   /// of refusing.
   EngineKind backend = EngineKind::kAgentArray;
 
+  /// Worker threads INSIDE each trial's run (dense backends only; feeds
+  /// pp::EngineOptions::run_threads). 0 (default) lets the BatchRunner
+  /// budget: trials get the whole machine via outer parallelism when there
+  /// are enough of them, otherwise leftover cores go inside the runs. Any
+  /// other value pins the inner width; results are bitwise identical for
+  /// every value. Rendered as a "threads=" token when non-zero. The outer
+  /// across-trial knob is BatchOptions::threads (sweep --threads).
+  std::uint32_t run_threads = 0;
+
   /// Fluid-backend integrator tolerances (backend=fluid or auto-resolved
   /// fluid); 0 = the engine defaults (rtol 1e-6, atol 1e-9). Setting them on
   /// a concrete non-fluid backend is an error the BatchRunner rejects up

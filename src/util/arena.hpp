@@ -1,0 +1,72 @@
+// Bump-allocated scratch arena for flat, contiguous run-local state.
+//
+// The dense engine's per-run state used to be a forest of nested
+// std::vectors (one per urn per field); the arena packs those into a few
+// contiguous (urn, state)-indexed slabs so the epoch hot loops walk
+// adjacent memory, and so per-epoch scratch is carved once per run instead
+// of reallocated per epoch. Allocation is append-only: alloc() never
+// invalidates earlier spans (each oversized request gets its own block), and
+// everything is released together when the arena dies. Trivial types only —
+// nothing is constructed or destroyed beyond optional zero-filling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace circles::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_bytes = 4096)
+      : default_block_bytes_(initial_bytes < 64 ? 64 : initial_bytes) {}
+
+  /// A zero-initialized span of `count` Ts, aligned for T, stable for the
+  /// arena's lifetime.
+  template <typename T>
+  std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "arena memory is raw bytes; only trivial types fit");
+    if (count == 0) return {};
+    const std::size_t bytes = count * sizeof(T);
+    std::size_t offset = (used_ + alignof(T) - 1) & ~(alignof(T) - 1);
+    if (blocks_.empty() || offset + bytes > blocks_.back().bytes) {
+      const std::size_t want = bytes > default_block_bytes_
+                                   ? bytes
+                                   : default_block_bytes_;
+      blocks_.push_back({std::make_unique<std::byte[]>(want), want});
+      offset = 0;
+      // Grow geometrically so a run with many small slabs settles into a
+      // handful of blocks instead of one per alloc.
+      default_block_bytes_ *= 2;
+    }
+    std::byte* base = blocks_.back().data.get() + offset;
+    used_ = offset + bytes;
+    std::memset(base, 0, bytes);
+    return std::span<T>(reinterpret_cast<T*>(base), count);
+  }
+
+  /// Total bytes reserved across all blocks (telemetry / tests).
+  std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Block& block : blocks_) total += block.bytes;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t bytes = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t used_ = 0;  // bump offset within blocks_.back()
+  std::size_t default_block_bytes_;
+};
+
+}  // namespace circles::util

@@ -123,6 +123,20 @@ TEST(RunSpecParseTest, BackendOmittedForAgentArrayAndDefaultsOnParse) {
             std::string::npos);
 }
 
+TEST(RunSpecParseTest, RunThreadsRoundTripAndDefaultOmitted) {
+  RunSpec spec;
+  spec.protocol = "circles";
+  spec.params.k = 3;
+  spec.n = 50;
+  // 0 = "let the BatchRunner budget it" and stays out of the string.
+  EXPECT_EQ(spec.to_string().find("threads="), std::string::npos);
+  spec.run_threads = 4;
+  EXPECT_NE(spec.to_string().find("threads=4"), std::string::npos);
+  const RunSpec reparsed = RunSpec::parse(spec.to_string());
+  EXPECT_EQ(reparsed.run_threads, 4u);
+  EXPECT_EQ(reparsed.to_string(), spec.to_string());
+}
+
 TEST(RunSpecParseTest, RejectsMalformedSpecs) {
   EXPECT_THROW(RunSpec::parse(""), std::invalid_argument);
   EXPECT_THROW(RunSpec::parse("circles n=10"), std::invalid_argument);
@@ -226,6 +240,29 @@ TEST(SpecsFromFlagsTest, BackendAxisJoinsTheCrossProduct) {
   const char* bad[] = {"prog", "--backend=quantum"};
   util::Cli bad_cli(2, const_cast<char**>(bad));
   EXPECT_THROW(specs_from_flags(bad_cli), std::invalid_argument);
+}
+
+TEST(SpecsFromFlagsTest, RunThreadsFlagAppliesToEveryCell) {
+  const char* argv[] = {"prog", "--n=10,20", "--backend=dense_batched",
+                        "--run-threads=2"};
+  util::Cli cli(4, const_cast<char**>(argv));
+  const SweepSpecs sweep = specs_from_flags(cli);
+  cli.finish();
+  ASSERT_EQ(sweep.specs.size(), 2u);
+  for (const RunSpec& spec : sweep.specs) EXPECT_EQ(spec.run_threads, 2u);
+
+  // The rejection names both knobs so --threads/--run-threads confusion is
+  // self-explaining.
+  const char* bad[] = {"prog", "--n=10", "--run-threads=-4"};
+  util::Cli bad_cli(3, const_cast<char**>(bad));
+  try {
+    (void)specs_from_flags(bad_cli);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("--run-threads"), std::string::npos) << message;
+    EXPECT_NE(message.find("--threads"), std::string::npos) << message;
+  }
 }
 
 TEST(RunSpecParseTest, RoundTripsClusterAndBridgeTokens) {
