@@ -18,6 +18,7 @@
 #include "kernel/compiled_protocol.hpp"
 #include "metrics/metrics.hpp"
 #include "pp/transition_cache.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -109,11 +110,25 @@ int main(int argc, char** argv) {
       "interaction budget for the dense_batched rate measurement at fluid_n"));
   const auto seed =
       static_cast<std::uint64_t>(cli.int_flag("seed", 2, "rng seed"));
+  const bool progress = cli.bool_flag(
+      "progress", false,
+      "stderr heartbeat every 2s: trials done, interactions/sec");
   auto batch = bench::batch_options(cli, seed);
   cli.finish();
   if (batch.threads == 0) {
     batch.threads = std::thread::hardware_concurrency();
     if (batch.threads == 0) batch.threads = 1;
+  }
+  if (progress) {
+    batch.progress = [](const sim::BatchProgress& p) {
+      std::fprintf(stderr,
+                   "progress: %llu/%llu trials, %u/%u specs, %.0f "
+                   "interactions/s, %.1fs elapsed\n",
+                   static_cast<unsigned long long>(p.trials_done),
+                   static_cast<unsigned long long>(p.trials_total),
+                   p.specs_done, p.specs_total, p.interactions_per_s(),
+                   p.elapsed_s);
+    };
   }
 
   // Batch-wide telemetry: every BatchRunner below flushes engine counters,
@@ -736,6 +751,93 @@ int main(int argc, char** argv) {
                 parallel_identical ? "yes" : "NO");
   }
 
+  // Span-tracing overhead: the clustered dumbbell from the urn section
+  // (dense_batched, n = urn_n) re-run to silence with and without a
+  // trace::Tracer attached. The tracing contract is observation-only —
+  // results must stay bitwise identical record by record — and the
+  // decimated spans must stay under 2% wall-clock overhead. Each mode takes
+  // the best of several passes so the 2% bound measures tracing, not
+  // scheduler noise.
+  double spans_overhead = 0.0;
+  bool spans_identical = true;
+  std::uint64_t spans_events = 0;
+  {
+    sim::RunSpec spec;
+    spec.protocol = "circles";
+    spec.params.k = 3;
+    spec.n = urn_n;
+    spec.trials = 1;
+    spec.seed = sim::mix_seed(seed, 0x59A2);
+    spec.scheduler = pp::SchedulerKind::kClustered;
+    spec.clusters = 2;
+    spec.bridge = urn_bridge;
+    spec.backend = sim::EngineKind::kDenseBatched;
+    spec.run_threads = run_threads_flag;
+    spec.engine.max_interactions = ~std::uint64_t{0};
+    auto options = batch;
+    options.keep_trials = true;
+    const int passes = smoke ? 1 : 3;
+
+    double off_seconds = 1e300;
+    sim::SpecResult off;
+    for (int pass = 0; pass < passes; ++pass) {
+      const auto start = Clock::now();
+      off = sim::BatchRunner(options).run_one(spec);
+      off_seconds = std::min(off_seconds, seconds_since(start));
+    }
+
+    double on_seconds = 1e300;
+    sim::SpecResult on;
+    for (int pass = 0; pass < passes; ++pass) {
+      // Fresh tracer per pass: ring buffers start empty, like a real run.
+      trace::Tracer tracer;
+      auto traced = options;
+      traced.tracer = &tracer;
+      const auto start = Clock::now();
+      on = sim::BatchRunner(traced).run_one(spec);
+      on_seconds = std::min(on_seconds, seconds_since(start));
+      spans_events = tracer.drain().size();
+    }
+
+    spans_identical = off.trials.size() == on.trials.size();
+    for (std::size_t t = 0; spans_identical && t < on.trials.size(); ++t) {
+      spans_identical =
+          off.trials[t].seed == on.trials[t].seed &&
+          off.trials[t].outcome.run.interactions ==
+              on.trials[t].outcome.run.interactions &&
+          off.trials[t].outcome.run.state_changes ==
+              on.trials[t].outcome.run.state_changes &&
+          off.trials[t].outcome.run.final_outputs ==
+              on.trials[t].outcome.run.final_outputs;
+    }
+    spans_overhead =
+        off_seconds > 0 ? on_seconds / off_seconds - 1.0 : 0.0;
+
+    report.add_cell()
+        .set("section", "spans_overhead")
+        .set("protocol", "circles")
+        .set("k", 3)
+        .set("backend", "dense_batched")
+        .set("n", urn_n)
+        .set("bridge", urn_bridge)
+        .set("wall_ms", on_seconds * 1000.0)
+        .set("baseline_wall_ms", off_seconds * 1000.0)
+        .set("overhead", spans_overhead)
+        .set("events", spans_events);
+    util::Table spans_table({"mode", "wall s", "events", "overhead"});
+    spans_table.add_row({"spans off", util::Table::num(off_seconds, 3), "-",
+                         "baseline"});
+    spans_table.add_row(
+        {"spans on", util::Table::num(on_seconds, 3),
+         util::Table::num(spans_events),
+         util::Table::num(spans_overhead * 100.0, 2) + "%"});
+    spans_table.print(
+        "span-tracing overhead — clustered dumbbell, dense_batched, n=" +
+        std::to_string(urn_n) + ", run to silence (bitwise identical "
+        "results: " +
+        std::string(spans_identical ? "yes" : "NO") + ")");
+  }
+
   // Emit the machine-readable perf trajectory before the verdict so a FAIL
   // run still leaves its numbers behind for diagnosis.
   if (!json_path.empty()) {
@@ -771,8 +873,13 @@ int main(int argc, char** argv) {
   const bool kernel_ok =
       kernel_identical &&
       (smoke || (best_kernel_speedup >= 2.0 && worst_kernel_speedup >= 0.7));
+  // Tracing is observation-only by contract: identical results always, and
+  // at real sizes the decimated spans must cost under 2% wall clock.
+  const bool spans_ok =
+      spans_identical && (smoke || spans_overhead < 0.02);
   const bool pass = identical && single_rate > 0 && speedup_ok && dense_ok &&
-                    kernel_ok && urn_ok && fluid_ok && parallel_ok;
+                    kernel_ok && urn_ok && fluid_ok && parallel_ok &&
+                    spans_ok;
   std::string failure;
   if (!identical) {
     failure = "thread count changed the results";
@@ -800,6 +907,11 @@ int main(int argc, char** argv) {
     failure = "clustered urn speedup below the 10x requirement (" +
               std::to_string(urn_speedup) + "x at n=" +
               std::to_string(urn_n) + ")";
+  } else if (!spans_identical) {
+    failure = "span tracing changed the results";
+  } else if (!spans_ok) {
+    failure = "span-tracing overhead above the 2% requirement (" +
+              std::to_string(spans_overhead * 100.0) + "%)";
   } else if (!fluid_converged) {
     failure = "fluid run failed to reach silent consensus at n=" +
               std::to_string(fluid_n);

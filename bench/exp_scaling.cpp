@@ -83,8 +83,22 @@ int main(int argc, char** argv) {
       "json", "",
       "write the schema-stable scaling report (BENCH_scaling.json) to this "
       "path");
+  const bool progress = cli.bool_flag(
+      "progress", false,
+      "stderr heartbeat every 2s: trials done, interactions/sec");
   auto batch = bench::batch_options(cli, seed);
   cli.finish();
+  if (progress) {
+    batch.progress = [](const sim::BatchProgress& p) {
+      std::fprintf(stderr,
+                   "progress: %llu/%llu trials, %u/%u specs, %.0f "
+                   "interactions/s, %.1fs elapsed\n",
+                   static_cast<unsigned long long>(p.trials_done),
+                   static_cast<unsigned long long>(p.trials_total),
+                   p.specs_done, p.specs_total, p.interactions_per_s(),
+                   p.elapsed_s);
+    };
+  }
 
   if (smoke) {
     ns = {1'000, 10'000};

@@ -33,10 +33,24 @@ int main(int argc, char** argv) try {
       "compile protocol kernels (off = legacy virtual-dispatch loops)");
   const std::string trace_flag = cli.string_flag(
       "trace", "",
-      "comma-separated probes per cell (counts, states, energy, active, "
-      "convergence; optional @grid like energy@log:256)");
+      "comma-separated count-trajectory probes per cell (counts, states, "
+      "energy, active, convergence; optional @grid like energy@log:256) — "
+      "for Chrome-trace span timelines use --spans-out instead");
   const std::string trace_out = cli.string_flag(
       "trace-out", "", "directory for per-cell trace envelopes (CSV + JSONL)");
+  const std::string spans_out = cli.string_flag(
+      "spans-out", "",
+      "directory for per-cell span timelines (spec<i>.trace.json, Chrome "
+      "Trace Event Format; open in chrome://tracing or ui.perfetto.dev) — "
+      "span timelines, not the --trace count probes; failing trials also "
+      "dump flight-recorder REPRO lines to stderr");
+  const std::string repro_spec = cli.string_flag(
+      "spec", "",
+      "replay exactly one trial from a full RunSpec string (as printed by "
+      "REPRO lines); needs --trial-seed and ignores the sweep grid");
+  const std::string repro_seed_text = cli.string_flag(
+      "trial-seed", "",
+      "the replayed trial's exact seed, copied from the REPRO line");
   const std::vector<double> sample_points = cli.double_list_flag(
       "sample-points", "",
       "explicit sample fractions of the budget overriding every probe grid");
@@ -49,6 +63,55 @@ int main(int argc, char** argv) try {
       "stderr heartbeat every 2s: trials done, interactions/sec");
   auto batch = bench::batch_options(cli, sweep.base_seed);
   cli.finish();
+
+  // Seed-exact replay of one (spec, trial): the flight recorder's REPRO
+  // lines point here. Prints the verdict and final counts in the dump's
+  // exact format so a failure and its replay diff cleanly.
+  if (!repro_spec.empty() || !repro_seed_text.empty()) {
+    if (repro_spec.empty() || repro_seed_text.empty()) {
+      throw std::invalid_argument(
+          "--spec and --trial-seed go together: both come from one REPRO "
+          "line");
+    }
+    char* end = nullptr;
+    const std::uint64_t seed = std::strtoull(repro_seed_text.c_str(), &end, 10);
+    if (end == repro_seed_text.c_str() || *end != '\0') {
+      throw std::invalid_argument(
+          "--trial-seed expects the unsigned integer from the REPRO line");
+    }
+    const sim::RunSpec spec = sim::RunSpec::parse(repro_spec);
+    if (spec.backend == sim::EngineKind::kAuto) {
+      throw std::invalid_argument(
+          "--spec replay needs a concrete backend= (REPRO lines bake the "
+          "resolved one in); backend=auto would leave the engine choice to "
+          "the batch runner");
+    }
+    const auto protocol =
+        sim::ProtocolRegistry::global().create(spec.protocol, spec.params);
+    const sim::TrialRecord rec =
+        sim::BatchRunner::execute_trial(*protocol, spec, seed);
+    bench::print_header("SWEEP REPRO",
+                        "seed-exact single-trial replay of a REPRO line");
+    std::printf("spec: %s\n", spec.to_string().c_str());
+    std::printf("backend: %s\n", sim::to_string(spec.backend).c_str());
+    std::printf("seed: %llu\n", static_cast<unsigned long long>(seed));
+    std::printf("verdict: correct=%d silent=%d budget_exhausted=%d "
+                "interactions=%llu state_changes=%llu\n",
+                rec.outcome.correct ? 1 : 0, rec.outcome.run.silent ? 1 : 0,
+                rec.outcome.run.budget_exhausted ? 1 : 0,
+                static_cast<unsigned long long>(rec.outcome.run.interactions),
+                static_cast<unsigned long long>(
+                    rec.outcome.run.state_changes));
+    std::printf("final outputs:");
+    for (const std::uint64_t count : rec.outcome.run.final_outputs) {
+      std::printf(" %llu", static_cast<unsigned long long>(count));
+    }
+    std::printf("\n");
+    return bench::verdict(rec.outcome.correct,
+                          rec.outcome.correct
+                              ? "replayed trial graded correct"
+                              : "replayed trial reproduced the failure");
+  }
 
   // --trace splits on commas, but frac: grids legitimately contain commas
   // ("energy@frac:0.1,0.9"): a purely numeric token continues the previous
@@ -99,6 +162,13 @@ int main(int argc, char** argv) try {
     for (std::size_t i = 0; i < sweep.specs.size(); ++i) {
       sweep.specs[i].metrics_out =
           metrics_out + "/spec" + std::to_string(i) + ".jsonl";
+    }
+  }
+  if (!spans_out.empty()) {
+    std::filesystem::create_directories(spans_out);
+    for (std::size_t i = 0; i < sweep.specs.size(); ++i) {
+      sweep.specs[i].spans_out =
+          spans_out + "/spec" + std::to_string(i) + ".trace.json";
     }
   }
   if (progress) {
@@ -153,6 +223,11 @@ int main(int argc, char** argv) try {
   if (!metrics_out.empty()) {
     std::printf("\nwrote %zu metric sinks (+manifests) to %s\n",
                 results.size(), metrics_out.c_str());
+  }
+  if (!spans_out.empty()) {
+    std::printf("\nwrote %zu span timelines to %s (chrome://tracing / "
+                "ui.perfetto.dev)\n",
+                results.size(), spans_out.c_str());
   }
 
   if (!trace_out.empty()) {

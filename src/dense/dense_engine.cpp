@@ -8,6 +8,7 @@
 #include "dense/sampling.hpp"
 #include "metrics/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "trace/trace.hpp"
 #include "util/arena.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -18,6 +19,14 @@ namespace {
 
 /// Sentinel "no state excluded" for the categorical walks below.
 constexpr std::uint64_t kNoExclude = ~std::uint64_t{0};
+
+/// Span decimation: the first kTraceFullEpochs epochs (and fast-forward
+/// jumps, and pooled stage regions) get full begin/end spans — enough to see
+/// the run's structure in a timeline — after which epochs collapse to one
+/// instant every kTraceStride so a billion-interaction run stays under the
+/// <2% tracing-overhead budget and inside the ring window.
+constexpr std::uint64_t kTraceFullEpochs = 512;
+constexpr std::uint64_t kTraceStride = 256;
 
 /// Where the most recent state change happened, at epoch granularity. The
 /// exact step index inside the epoch is only sampled once, at the end of the
@@ -119,6 +128,11 @@ struct DenseEngine::Sim {
   // whole rows through it instead of rewalking every (s, t) product.
   std::span<std::uint64_t> row_sums;
   std::uint64_t live_active = 0;
+
+  // This run's span buffer (the run thread's; null = tracing off). Workers
+  // resolve their own buffers through engine.options_.tracer inside
+  // run_tasks — a span always lands on the emitting thread's track.
+  trace::TraceBuffer* trace = nullptr;
 
   // Intra-run worker budget (the engine's resolved run_threads) and pool
   // telemetry. Parallel stages only ever run when pool_threads > 1 and the
@@ -224,16 +238,35 @@ struct DenseEngine::Sim {
   /// Runs fn(0), ..., fn(count - 1): on the shared pool when `pooled`,
   /// serially otherwise. Pooled callers write task-indexed disjoint state
   /// and reduce serially afterwards, so results are bitwise identical for
-  /// any worker count — `pooled` is purely a performance gate.
+  /// any worker count — `pooled` is purely a performance gate. `stage` names
+  /// the region in the span timeline: the issuing thread gets a pool-region
+  /// span and every task wraps itself in a `stage` span on its OWN thread's
+  /// buffer, so pool workers show up as distinct attributed tracks. Tracing
+  /// reads deterministic state only and never reorders the tasks.
   template <typename Fn>
-  void run_tasks(std::size_t count, bool pooled, Fn&& fn) {
+  void run_tasks(std::size_t count, bool pooled, const char* stage, Fn&& fn) {
     if (!pooled || count <= 1 || pool_threads <= 1) {
       for (std::size_t i = 0; i < count; ++i) fn(i);
       return;
     }
+    // Stage/worker spans follow the epoch decimation window so a long run's
+    // per-epoch fan-out does not swamp the ring or the overhead budget.
+    trace::Tracer* tracer =
+        m_epochs <= kTraceFullEpochs ? engine.options_.tracer : nullptr;
+    const trace::ScopedSpan region(tracer != nullptr ? trace : nullptr,
+                                   "dense.pool", "tasks", count);
     const auto start = std::chrono::steady_clock::now();
-    m_pool_busy_ns +=
-        util::ThreadPool::shared().parallel_for(count, pool_threads, fn);
+    if (tracer != nullptr) {
+      m_pool_busy_ns += util::ThreadPool::shared().parallel_for(
+          count, pool_threads, [&](std::size_t i) {
+            const trace::ScopedSpan task(trace::buffer(tracer, "worker"),
+                                         stage);
+            fn(i);
+          });
+    } else {
+      m_pool_busy_ns +=
+          util::ThreadPool::shared().parallel_for(count, pool_threads, fn);
+    }
     m_pool_wall_ns += static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)
@@ -336,9 +369,10 @@ struct DenseEngine::Sim {
     // state only, and the per-block sums are identical either way.
     const bool pooled = pool_threads > 1 && num_urns > 1 &&
                         total_present * total_present >= 4096;
-    run_tasks(num_urns * num_urns, pooled, [this](std::size_t b) {
-      active[b] = block_active(b / num_urns, b % num_urns);
-    });
+    run_tasks(num_urns * num_urns, pooled, "dense.stage.active",
+              [this](std::size_t b) {
+                active[b] = block_active(b / num_urns, b % num_urns);
+              });
     live_active = 0;
     for (std::size_t b = 0; b < num_urns * num_urns; ++b) {
       if (rates[b] > 0.0) live_active += active[b];
@@ -581,6 +615,16 @@ pp::RunResult DenseEngine::run_impl(Sim& sim, obs::Recorder* recorder) const {
   pp::RunResult result;
   if (options_.stop_when_silent && sim.live_active == 0) result.silent = true;
 
+  // One span per run on the calling thread; epochs/stages/jumps nest inside
+  // (decimated — see kTraceFullEpochs). Null tracer: sim.trace stays null
+  // and every emission site below is a pointer test.
+  sim.trace = trace::buffer(options_.tracer);
+  const trace::ScopedSpan run_span(sim.trace,
+                                   mode_ == DenseMode::kBatched
+                                       ? "dense.run_batched"
+                                       : "dense.run_per_step",
+                                   "n", sim.n);
+
   if (recorder != nullptr) {
     obs::ProbeContext ctx;
     ctx.protocol = protocol_;
@@ -669,6 +713,11 @@ void DenseEngine::run_per_step(Sim& sim, pp::RunResult& result,
     result.interactions += 1;
     if (options_.stop_when_silent && sim.live_active == 0) {
       result.silent = true;
+    }
+    // Per-step interactions are far too hot for per-event spans; one instant
+    // every 64Ki steps keeps the timeline alive at zero measurable cost.
+    if (sim.trace != nullptr && (result.interactions & 0xFFFF) == 0) {
+      sim.trace->instant("dense.steps", "interactions", result.interactions);
     }
     if (recorder != nullptr) {
       recorder->advance(result.interactions, 0.0, sim.rec_counts(),
@@ -786,7 +835,15 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
         }
       }
       sim.m_ff_jumps += 1;
-      sim.m_ff_skipped += nulls < remaining ? nulls : remaining;
+      const std::uint64_t skipped = nulls < remaining ? nulls : remaining;
+      sim.m_ff_skipped += skipped;
+      // Jumps are instants (the skipped null run has no internal structure),
+      // decimated like epochs so silence tails stay cheap.
+      if (sim.trace != nullptr &&
+          (sim.m_ff_jumps <= kTraceFullEpochs ||
+           sim.m_ff_jumps % kTraceStride == 0)) {
+        sim.trace->instant("dense.fast_forward", "skipped", skipped);
+      }
       if (nulls >= remaining) {
         result.interactions = options_.max_interactions;
         break;  // the budget ran out inside a null run
@@ -826,6 +883,15 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
     // within every urn), then the colliding interaction that ended the run,
     // then reset.
     sim.m_epochs += 1;
+    // Full epoch spans early, one instant per kTraceStride epochs after: a
+    // timeline shows the run's structure without per-epoch cost forever.
+    const bool trace_epoch =
+        sim.trace != nullptr && sim.m_epochs <= kTraceFullEpochs;
+    if (trace_epoch) {
+      sim.trace->begin("dense.epoch", "epoch", sim.m_epochs);
+    } else if (sim.trace != nullptr && sim.m_epochs % kTraceStride == 0) {
+      sim.trace->instant("dense.epochs", "stride", kTraceStride);
+    }
     std::fill(block_len.begin(), block_len.end(), 0);
     std::fill(block_productive.begin(), block_productive.end(), 0);
     std::uint64_t len = 0;
@@ -965,7 +1031,7 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
         deal_role(resp_flat.subspan(b * states, w), block_len[b]);
       }
     };
-    sim.run_tasks(u_count, pooled, deal_urn);
+    sim.run_tasks(u_count, pooled, "dense.stage.deal", deal_urn);
     if (pooled) sim.m_parallel_epochs += 1;
 
     sim.reset_used();
@@ -1019,7 +1085,7 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
         resp_pool -= init[a];
       }
     };
-    sim.run_tasks(num_blocks, pooled, pair_block);
+    sim.run_tasks(num_blocks, pooled, "dense.stage.pair", pair_block);
 
     // Apply the recorded groups in ascending (block, group) order — the
     // exact mutation order of the historical interleaved loop, and the only
@@ -1137,6 +1203,7 @@ void DenseEngine::run_batched(Sim& sim, pp::RunResult& result,
       recorder->advance(result.interactions, 0.0, sim.rec_counts(),
                         sim.live_active, sim.rec_present(), sim.rec_urns());
     }
+    if (trace_epoch) sim.trace->end("dense.epoch");
   }
 
   // The deal tasks count their mvhg draws per urn (so pooled stages never

@@ -9,6 +9,7 @@
 #include "metrics/metrics.hpp"
 #include "obs/probe.hpp"
 #include "obs/recorder.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace circles::fluid {
@@ -20,6 +21,13 @@ double inf_norm(std::span<const double> v) {
   for (const double value : v) norm = std::max(norm, std::fabs(value));
   return norm;
 }
+
+/// Span decimation for the integrator loops (same policy as the dense
+/// engine): full instants for the first kTraceFullSteps accepted steps /
+/// leaps, then one per kTraceStride. Rejections and redraws are rare enough
+/// to emit unconditionally.
+constexpr std::uint64_t kTraceFullSteps = 512;
+constexpr std::uint64_t kTraceStride = 256;
 
 }  // namespace
 
@@ -152,6 +160,7 @@ struct FluidEngine::Sim {
   bool budget = false;
 
   obs::Recorder* recorder = nullptr;
+  trace::TraceBuffer* trace = nullptr;  // run thread's span buffer (or null)
   std::vector<std::uint64_t> aggregate;               // full num_states
   std::vector<std::vector<std::uint64_t>> full_urns;  // U > 1 only
   std::vector<std::span<const std::uint64_t>> urn_spans;
@@ -279,6 +288,10 @@ void FluidEngine::run_ode(Sim& sim) const {
 
     if (errnorm <= 1.0) {
       sim.m_ode_accepted += 1;
+      if (sim.trace != nullptr && (sim.m_ode_accepted <= kTraceFullSteps ||
+                                   sim.m_ode_accepted % kTraceStride == 0)) {
+        sim.trace->instant("fluid.ode_accepted", "step", sim.m_ode_accepted);
+      }
       // Accept. State changes accrue at rate n * P(non-null interaction);
       // trapezoid over the step using the already-evaluated endpoints.
       sim.changes += step * sim.n * 0.5 * (w1 + w4);
@@ -306,6 +319,9 @@ void FluidEngine::run_ode(Sim& sim) const {
       }
     } else {
       sim.m_ode_rejected += 1;
+      if (sim.trace != nullptr) {
+        sim.trace->instant("fluid.ode_rejected", "step", sim.m_ode_rejected);
+      }
     }
 
     const double factor =
@@ -425,6 +441,9 @@ void FluidEngine::run_tau(Sim& sim, std::uint64_t seed) const {
       if (!feasible) {
         // Standard negative-count rejection: halve the leap and redraw.
         sim.m_tau_redraws += 1;
+        if (sim.trace != nullptr) {
+          sim.trace->instant("fluid.tau_redraw", "redraw", sim.m_tau_redraws);
+        }
         tau *= 0.5;
         continue;
       }
@@ -435,6 +454,10 @@ void FluidEngine::run_tau(Sim& sim, std::uint64_t seed) const {
       sim.changes += static_cast<double>(events);
       sim.t += tau;
       sim.m_tau_leaps += 1;
+      if (sim.trace != nullptr && (sim.m_tau_leaps <= kTraceFullSteps ||
+                                   sim.m_tau_leaps % kTraceStride == 0)) {
+        sim.trace->instant("fluid.tau_leap", "events", events);
+      }
       applied = true;
     }
     if (!applied) {
@@ -497,6 +520,12 @@ pp::RunResult FluidEngine::run_counts(
   }
   CIRCLES_CHECK_MSG(n >= 2, "fluid runs need at least two agents");
   sim.n = static_cast<double>(n);
+  // One span per run; accepted/rejected steps, leaps and redraws nest as
+  // (decimated) instants. Null tracer: every site is a pointer test.
+  sim.trace = trace::buffer(engine_.tracer);
+  const trace::ScopedSpan run_span(
+      sim.trace, options_.tau_leaping ? "fluid.run_tau" : "fluid.run_ode",
+      "n", n);
   sim.horizon = static_cast<double>(engine_.max_interactions) / sim.n;
   sim.drift_tol =
       options_.drift_tol > 0.0 ? options_.drift_tol : 0.5 / sim.n;

@@ -1,5 +1,6 @@
 #include "obs/recorder.hpp"
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace circles::obs {
@@ -82,14 +83,23 @@ void Recorder::sample(std::uint64_t interactions, double chemical_time,
   const Snapshot snapshot = make_snapshot(interactions, chemical_time, counts,
                                           active_pairs, present, urns,
                                           need_active);
+  std::uint64_t sampled = 0;
   for (Entry& entry : entries_) {
     if (entry.cursor >= entry.due.size() || entry.due[entry.cursor] > x) {
       continue;
     }
     entry.probe->on_sample(snapshot);
     entry.last_sampled = x;
+    sampled += 1;
     while (entry.cursor < entry.due.size() && entry.due[entry.cursor] <= x) {
       entry.cursor += 1;
+    }
+  }
+  // Flushes are already grid-decimated, so one instant each stays cheap; it
+  // lands on the sampling thread's track next to the engine spans.
+  if (sampled > 0) {
+    if (trace::TraceBuffer* tb = trace::buffer(options_.tracer)) {
+      tb->instant("obs.flush", "probes", sampled);
     }
   }
   refresh_next_due();

@@ -22,6 +22,10 @@
 #include "obs/grid.hpp"
 #include "obs/probe.hpp"
 
+namespace circles::trace {
+class Tracer;
+}
+
 namespace circles::obs {
 
 struct RecorderOptions {
@@ -36,6 +40,11 @@ struct RecorderOptions {
   /// Grid horizon under kChemical: the expected chemical time at budget
   /// (budget / n for uniform-rate kinetics).
   double chemical_horizon = 0.0;
+
+  /// Span tracer (see src/trace/): each probe flush emits one instant on the
+  /// sampling thread's track. Null = tracing off; sampling itself is never
+  /// affected (tracing is observation-only by contract).
+  trace::Tracer* tracer = nullptr;
 };
 
 class Recorder {

@@ -3,6 +3,7 @@
 #include "kernel/compiled_protocol.hpp"
 #include "metrics/metrics.hpp"
 #include "pp/silence.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace circles::pp {
@@ -29,6 +30,12 @@ RunResult run_loop(const EngineOptions& options, const Protocol& protocol,
   metrics::Timer* monitor_timer =
       monitors.empty() ? nullptr
                        : metrics::timer(options.metrics, "engine.monitor");
+
+  // Spans follow the same rule: the per-interaction loop emits nothing (one
+  // run = one span), so tracing costs two clock reads per run and zero when
+  // no tracer is attached.
+  trace::TraceBuffer* trace_buffer = trace::buffer(options.tracer);
+  const trace::ScopedSpan run_span(trace_buffer, "engine.run");
 
   for (Monitor* monitor : monitors) monitor->on_start(population, protocol);
 

@@ -27,6 +27,10 @@ namespace circles::metrics {
 class MetricsRegistry;
 }
 
+namespace circles::trace {
+class Tracer;
+}
+
 namespace circles::pp {
 
 struct EngineOptions {
@@ -45,6 +49,13 @@ struct EngineOptions {
   /// boundaries. Null disables telemetry at zero hot-path cost; results are
   /// bitwise identical either way (metrics never touch an RNG stream).
   metrics::MetricsRegistry* metrics = nullptr;
+
+  /// Optional span tracer; engines consuming EngineOptions emit phase spans
+  /// and decimated work events into it (see src/trace/). Same contract as
+  /// `metrics`: null disables tracing at the cost of a pointer test, and
+  /// spans-on vs spans-off runs are bitwise identical on every backend
+  /// (tracing never touches an RNG stream or reorders work).
+  trace::Tracer* tracer = nullptr;
 
   /// Worker threads INSIDE one run. Only the dense engine consumes it (the
   /// multi-urn batched epoch stages fan out across util::ThreadPool::

@@ -16,6 +16,7 @@
 #include "fluid/fluid_engine.hpp"
 #include "metrics/metrics.hpp"
 #include "obs/monitor_probe.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace circles::sim {
@@ -64,6 +65,45 @@ std::string manifest_path(const std::string& sink_path) {
     }
   }
   return sink_path + ".manifest.json";
+}
+
+/// Builds the flight-recorder context for one failing trial: the full spec
+/// string with the resolved backend baked in (so the REPRO line replays on
+/// the same concrete engine), plus the graded verdict when the trial
+/// produced one (`rec == nullptr`: the trial died in an exception).
+trace::FailureContext failure_context(const RunSpec& spec, EngineKind backend,
+                                      std::uint32_t trial_index,
+                                      std::uint64_t trial_seed,
+                                      const TrialRecord* rec) {
+  trace::FailureContext ctx;
+  RunSpec resolved = spec;
+  resolved.backend = backend;
+  // Forensics hygiene: the replay must not clobber the original run's sink
+  // files, so the REPRO spec drops the output paths (they never affect
+  // results — tracing and metrics are observation-only by contract).
+  resolved.metrics_out.clear();
+  resolved.spans_out.clear();
+  ctx.spec = resolved.to_string();
+  ctx.backend = sim::to_string(backend);
+  ctx.trial_index = trial_index;
+  ctx.trial_seed = trial_seed;
+  if (rec != nullptr) {
+    const pp::RunResult& run = rec->outcome.run;
+    ctx.reason = run.budget_exhausted ? "budget_exhausted" : "grader fail";
+    ctx.verdict = "correct=" + std::to_string(rec->outcome.correct ? 1 : 0) +
+                  " silent=" + std::to_string(run.silent ? 1 : 0) +
+                  " budget_exhausted=" +
+                  std::to_string(run.budget_exhausted ? 1 : 0) +
+                  " interactions=" + std::to_string(run.interactions) +
+                  " state_changes=" + std::to_string(run.state_changes);
+    std::string outputs;
+    for (std::size_t i = 0; i < run.final_outputs.size(); ++i) {
+      if (i != 0) outputs += ' ';
+      outputs += std::to_string(run.final_outputs[i]);
+    }
+    ctx.final_outputs = outputs;
+  }
+  return ctx;
 }
 
 void aggregate(SpecResult& result, bool keep_trials) {
@@ -138,7 +178,8 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
                                        const dense::DenseEngine* dense_engine,
                                        EngineKind backend_resolved,
                                        const fluid::FluidEngine* fluid_engine,
-                                       metrics::MetricsRegistry* metrics) {
+                                       metrics::MetricsRegistry* metrics,
+                                       trace::Tracer* tracer) {
   const EngineKind backend = backend_resolved == EngineKind::kAuto
                                  ? spec.backend
                                  : backend_resolved;
@@ -162,6 +203,13 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
   // the fields the prebuilt-engine consistency checks compare.
   pp::EngineOptions engine_options = spec.engine;
   if (engine_options.metrics == nullptr) engine_options.metrics = metrics;
+  if (engine_options.tracer == nullptr) engine_options.tracer = tracer;
+
+  // One span per trial, on whichever worker thread runs it; engines nest
+  // their own spans inside. Registers the thread on first use so batch
+  // workers get distinct named tracks in the exported timeline.
+  const trace::ScopedSpan trial_span(
+      trace::buffer(engine_options.tracer, "trial-worker"), "batch.trial");
   // An explicit per-spec inner width overrides the engine default; 0 keeps
   // whatever the options carry (1 when locally built, or the budgeted width
   // BatchRunner::run baked into a prebuilt dense engine).
@@ -186,6 +234,7 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
   if (!spec.probes.empty()) {
     obs::RecorderOptions recorder_options;
     recorder_options.interaction_horizon = spec.engine.max_interactions;
+    recorder_options.tracer = engine_options.tracer;
     if (spec.chemical_time) {
       recorder_options.clock = obs::RecorderOptions::Clock::kChemical;
       recorder_options.chemical_horizon =
@@ -371,6 +420,11 @@ TrialRecord BatchRunner::execute_trial(const pp::Protocol& protocol,
 std::vector<SpecResult> BatchRunner::run(
     std::span<const RunSpec> specs) const {
   const auto batch_start = std::chrono::steady_clock::now();
+  // The setup phase span opens on the batch-wide tracer only (per-spec
+  // tracers do not exist yet); run/aggregate phases cover every attached
+  // tracer — see phase_begin below.
+  trace::TraceBuffer* batch_tb = trace::buffer(options_.tracer);
+  if (batch_tb != nullptr) batch_tb->begin("batch.setup");
   // Environment fields (git describe, host, build type) are shared by every
   // spec of the batch; collected once, stamped with the batch start time.
   const metrics::RunManifest base_manifest = metrics::RunManifest::collect();
@@ -386,6 +440,12 @@ std::vector<SpecResult> BatchRunner::run(
       specs.size());
   std::vector<metrics::MetricsRegistry*> spec_metrics(specs.size(),
                                                       options_.metrics);
+  // Span tracer per spec, same override scheme: the batch-wide tracer from
+  // BatchOptions, or a private Tracer for specs with their own spans_out
+  // file (written as Chrome-trace JSON at the end of run()). A
+  // spec.engine.tracer set by the caller always wins inside execute_trial.
+  std::vector<std::unique_ptr<trace::Tracer>> owned_tracers(specs.size());
+  std::vector<trace::Tracer*> spec_tracers(specs.size(), options_.tracer);
   // Per-spec compiled kernels: each spec's protocol is lowered exactly once
   // and the immutable kernel is shared by every trial on every thread.
   std::vector<std::shared_ptr<const kernel::CompiledProtocol>> kernels(
@@ -577,16 +637,27 @@ std::vector<SpecResult> BatchRunner::run(
       owned_registries[i] = std::make_unique<metrics::MetricsRegistry>();
       spec_metrics[i] = owned_registries[i].get();
     }
+    if (!spec.spans_out.empty()) {
+      owned_tracers[i] = std::make_unique<trace::Tracer>();
+      spec_tracers[i] = owned_tracers[i].get();
+    }
     // Engine options for the per-spec engines: the spec's, with this spec's
-    // registry injected (never overriding a caller-provided one).
+    // registry and tracer injected (never overriding caller-provided ones).
     pp::EngineOptions engine_options = spec.engine;
     if (engine_options.metrics == nullptr) {
       engine_options.metrics = spec_metrics[i];
+    }
+    if (engine_options.tracer == nullptr) {
+      engine_options.tracer = spec_tracers[i];
     }
     run_threads_resolved[i] =
         spec.run_threads != 0 ? spec.run_threads : inner_default;
     engine_options.run_threads = run_threads_resolved[i];
     if (spec.use_kernel) {
+      // The compile runs once per spec on this thread; its span lands in the
+      // spec's own timeline so build time is visibly separate from trials.
+      const trace::ScopedSpan compile_span(
+          trace::buffer(engine_options.tracer), "kernel.compile");
       kernel::CompileOptions compile_options;
       // Sparse-cache hit counting costs one relaxed fetch_add per lookup on
       // THE hot path of sparse kernels; only pay it when someone is looking.
@@ -647,6 +718,35 @@ std::vector<SpecResult> BatchRunner::run(
     }
   }
   const double setup_ms = elapsed_ms(batch_start);
+  if (batch_tb != nullptr) batch_tb->end("batch.setup");
+
+  // Distinct tracers attached to this batch (batch-wide + per-spec owned):
+  // the run/aggregate phase spans are emitted into each from this thread,
+  // so every exported timeline carries the phase regions its trials nest
+  // under.
+  std::vector<trace::Tracer*> phase_tracers;
+  for (trace::Tracer* tracer : spec_tracers) {
+    if (tracer != nullptr &&
+        std::find(phase_tracers.begin(), phase_tracers.end(), tracer) ==
+            phase_tracers.end()) {
+      phase_tracers.push_back(tracer);
+    }
+  }
+  if (options_.tracer != nullptr &&
+      std::find(phase_tracers.begin(), phase_tracers.end(),
+                options_.tracer) == phase_tracers.end()) {
+    phase_tracers.push_back(options_.tracer);
+  }
+  const auto phase_begin = [&](const char* name) {
+    for (trace::Tracer* tracer : phase_tracers) {
+      tracer->thread_buffer()->begin(name);
+    }
+  };
+  const auto phase_end = [&](const char* name) {
+    for (trace::Tracer* tracer : phase_tracers) {
+      tracer->thread_buffer()->end(name);
+    }
+  };
 
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> failed{false};
@@ -671,15 +771,28 @@ std::vector<SpecResult> BatchRunner::run(
       const std::size_t index = cursor.fetch_add(1);
       if (index >= jobs.size()) break;
       const Job job = jobs[index];
+      trace::Tracer* tracer = spec_tracers[job.spec];
+      const std::uint64_t seed = trial_seed(spec_seeds[job.spec], job.trial);
+      // Flight-recorder dump on any failed trial when a tracer is attached
+      // (gating on the tracer keeps by-design-failing experiments quiet).
+      const auto dump = [&](const TrialRecord* rec, std::string reason = {}) {
+        if (tracer == nullptr) return;
+        trace::FailureContext ctx = failure_context(
+            specs[job.spec], backends[job.spec], job.trial, seed, rec);
+        if (!reason.empty()) ctx.reason = std::move(reason);
+        tracer->dump_failure(ctx, stderr);
+      };
       try {
         TrialRecord& rec = results[job.spec].trials[job.trial];
-        rec = execute_trial(*protocols[job.spec], specs[job.spec],
-                            trial_seed(spec_seeds[job.spec], job.trial),
+        rec = execute_trial(*protocols[job.spec], specs[job.spec], seed,
                             kernels[job.spec].get(),
                             dense_engines[job.spec].get(), backends[job.spec],
                             fluid_engines[job.spec].get(),
-                            spec_metrics[job.spec]);
+                            spec_metrics[job.spec], tracer);
         metrics::record_ms(spec_metrics[job.spec], "batch.trial", rec.wall_ms);
+        if (!rec.outcome.correct || rec.outcome.run.budget_exhausted) {
+          dump(&rec);
+        }
         trials_done.fetch_add(1, std::memory_order_relaxed);
         interactions_done.fetch_add(rec.outcome.run.interactions,
                                     std::memory_order_relaxed);
@@ -687,7 +800,13 @@ std::vector<SpecResult> BatchRunner::run(
                 1, std::memory_order_relaxed) == 1) {
           specs_done.fetch_add(1, std::memory_order_relaxed);
         }
+      } catch (const std::exception& e) {
+        dump(nullptr, std::string("worker exception: ") + e.what());
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed = true;
       } catch (...) {
+        dump(nullptr, "worker exception (unknown)");
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
         failed = true;
@@ -727,6 +846,7 @@ std::vector<SpecResult> BatchRunner::run(
     });
   }
 
+  phase_begin("batch.run");
   if (threads <= 1) {
     worker();
   } else {
@@ -743,10 +863,12 @@ std::vector<SpecResult> BatchRunner::run(
     heartbeat_cv.notify_all();
     heartbeat.join();
   }
+  phase_end("batch.run");
   const double run_ms = elapsed_ms(run_phase_start);
   if (error) std::rethrow_exception(error);
   if (options_.progress) options_.progress(snapshot_progress());
 
+  phase_begin("batch.aggregate");
   const auto aggregate_start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < specs.size(); ++i) {
     if (kernels[i] != nullptr) {
@@ -758,6 +880,7 @@ std::vector<SpecResult> BatchRunner::run(
   }
   for (SpecResult& result : results) aggregate(result, options_.keep_trials);
   const double aggregate_ms = elapsed_ms(aggregate_start);
+  phase_end("batch.aggregate");
 
   // Phase breakdown and utilization. busy/available measures how well the
   // (spec, trial) jobs filled the pool: low utilization on a long batch
@@ -817,6 +940,9 @@ std::vector<SpecResult> BatchRunner::run(
       record_batch(owned_registries[i].get());
       owned_registries[i]->write(specs[i].metrics_out);
       result.manifest.write(manifest_path(specs[i].metrics_out));
+    }
+    if (owned_tracers[i] != nullptr) {
+      owned_tracers[i]->write_chrome_trace(specs[i].spans_out);
     }
   }
   return results;

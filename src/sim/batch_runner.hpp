@@ -30,6 +30,10 @@ namespace circles::metrics {
 class MetricsRegistry;
 }
 
+namespace circles::trace {
+class Tracer;
+}
+
 namespace circles::sim {
 
 /// One trial's full record.
@@ -156,6 +160,14 @@ struct BatchOptions {
   /// instead, so per-spec files do not mix with batch-wide aggregation.
   metrics::MetricsRegistry* metrics = nullptr;
 
+  /// Batch-wide span tracer (see src/trace/): run() emits setup/run/
+  /// aggregate phase spans, per-trial spans and the kernel-compile span
+  /// into it, engines add their own, and failing trials dump the flight
+  /// recorder with a greppable REPRO line to stderr. Null = tracing off.
+  /// Specs with their own `spans_out` path get a private tracer instead,
+  /// written as Chrome Trace Event Format JSON when run() finishes.
+  trace::Tracer* tracer = nullptr;
+
   /// Progress heartbeat: invoked from a dedicated monitor thread every
   /// `progress_interval_s` seconds of wall clock while trials run, and once
   /// more after the last trial completes. Default off; never invoked
@@ -190,7 +202,9 @@ class BatchRunner {
   /// backend to run (kAuto = "use spec.backend", which must then itself be
   /// concrete — run() resolves auto specs before dispatching here).
   /// `metrics`, when non-null, receives the trial's engine counters (unless
-  /// spec.engine.metrics already names a registry, which wins).
+  /// spec.engine.metrics already names a registry, which wins). `tracer`
+  /// plays the same role for spans (spec.engine.tracer wins); this is the
+  /// entry point REPRO lines replay through (sweep --spec/--trial-seed).
   static TrialRecord execute_trial(
       const pp::Protocol& protocol, const RunSpec& spec,
       std::uint64_t trial_seed,
@@ -198,7 +212,8 @@ class BatchRunner {
       const dense::DenseEngine* dense_engine = nullptr,
       EngineKind backend_resolved = EngineKind::kAuto,
       const fluid::FluidEngine* fluid_engine = nullptr,
-      metrics::MetricsRegistry* metrics = nullptr);
+      metrics::MetricsRegistry* metrics = nullptr,
+      trace::Tracer* tracer = nullptr);
 
  private:
   BatchOptions options_;

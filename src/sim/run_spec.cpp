@@ -233,11 +233,15 @@ std::string RunSpec::to_string() const {
     std::snprintf(buffer, sizeof(buffer), " atol=%g", atol);
     out += buffer;
   }
+  if (engine.max_interactions != pp::EngineOptions{}.max_interactions) {
+    out += " budget=" + std::to_string(engine.max_interactions);
+  }
   if (!use_kernel) out += " kernel=off";
   for (const obs::ProbeSpec& probe : probes) {
     out += " trace=" + probe.to_string();
   }
   if (!metrics_out.empty()) out += " metrics=" + metrics_out;
+  if (!spans_out.empty()) out += " spans=" + spans_out;
   if (!label.empty()) out += " [" + label + "]";
   return out;
 }
@@ -366,14 +370,38 @@ RunSpec RunSpec::parse(const std::string& text) {
               "'");
         }
         spec.use_kernel = value == "on";
+      } else if (key == "budget") {
+        spec.engine.max_interactions = parse_unsigned(value);
+        if (spec.engine.max_interactions == 0) {
+          throw std::invalid_argument(
+              "RunSpec parse: budget must be >= 1 interaction in '" + text +
+              "'");
+        }
       } else if (key == "trace") {
-        spec.probes.push_back(obs::ProbeSpec::parse(value));
+        try {
+          spec.probes.push_back(obs::ProbeSpec::parse(value));
+        } catch (const std::invalid_argument& e) {
+          throw std::invalid_argument(
+              std::string(e.what()) +
+              " (trace= attaches obs count-trajectory probes, e.g. "
+              "trace=energy@log:256; for Chrome-trace span timelines use "
+              "spans=PATH instead)");
+        }
       } else if (key == "metrics") {
         if (value.empty()) {
           throw std::invalid_argument(
               "RunSpec parse: metrics= needs a sink path (.jsonl or .csv)");
         }
         spec.metrics_out = value;
+      } else if (key == "spans") {
+        if (value.empty()) {
+          throw std::invalid_argument(
+              "RunSpec parse: spans= needs an output path for the "
+              "Chrome-trace span timeline JSON (spans= records span "
+              "timelines; for obs count-trajectory probes use "
+              "trace=<kind>@<grid>)");
+        }
+        spec.spans_out = value;
       } else {
         throw std::invalid_argument("RunSpec parse: unknown field '" + key +
                                     "' in '" + text + "'");

@@ -182,6 +182,10 @@ struct RunSpec {
   /// compare protocols on identical inputs.
   std::optional<std::uint64_t> seed;
 
+  /// Engine knobs shared by every backend. The interaction budget
+  /// (engine.max_interactions) is rendered as a "budget=" token when
+  /// non-default, so a spec string reproduces budget_exhausted failures
+  /// exactly (the flight recorder's REPRO lines rely on this).
   pp::EngineOptions engine;
   Grading grading = Grading::kPluralityWinner;
 
@@ -217,6 +221,15 @@ struct RunSpec {
   /// "metrics=path" token by to_string()/parse(); the path therefore must
   /// not contain spaces.
   std::string metrics_out;
+
+  /// Per-spec span-trace sink: when non-empty, the BatchRunner gives this
+  /// spec a private trace::Tracer, routes every trial's engine spans plus
+  /// the kernel-compile span into it, and writes Chrome Trace Event Format
+  /// JSON here (open in chrome://tracing or Perfetto). Rendered as a
+  /// "spans=path" token by to_string()/parse(); the path therefore must not
+  /// contain spaces. Not to be confused with the "trace=" token, which
+  /// attaches obs:: count-trajectory probes (see `probes`).
+  std::string spans_out;
 
   /// Transient-fault injection: before the final run to silence, execute
   /// this many bursts, rebooting one random agent to its input state after

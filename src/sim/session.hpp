@@ -166,6 +166,20 @@ class SessionBuilder {
     spec_.metrics_out = std::move(path);
     return *this;
   }
+  /// Attach a span tracer: batch phases, per-trial spans, engine regions and
+  /// pool-worker attribution land in `tracer` (caller-owned; must outlive
+  /// run()), and failing trials dump flight-recorder REPRO lines to stderr.
+  SessionBuilder& spans(trace::Tracer* tracer) {
+    batch_.tracer = tracer;
+    return *this;
+  }
+  /// Write this spec's span timeline to `path` as Chrome Trace Event Format
+  /// JSON (open in chrome://tracing or ui.perfetto.dev). The count-probe
+  /// sibling is trace= / RunSpec::probes — see run_spec.hpp.
+  SessionBuilder& spans_out(std::string path) {
+    spec_.spans_out = std::move(path);
+    return *this;
+  }
   /// Progress heartbeat on a wall-clock cadence (default 2 s); see
   /// BatchOptions::progress.
   SessionBuilder& progress(std::function<void(const BatchProgress&)> callback,

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -180,6 +182,50 @@ TEST(ManifestTest, CollectFillsEnvironment) {
   ASSERT_EQ(manifest.started_utc.size(), 20u);
   EXPECT_EQ(manifest.started_utc[10], 'T');
   EXPECT_EQ(manifest.started_utc.back(), 'Z');
+}
+
+// Parses "2026-08-08T12:34:56Z" to Unix seconds; -1 on malformed input.
+std::int64_t utc_seconds(const std::string& ts) {
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  char z = 0;
+  if (std::sscanf(ts.c_str(), "%4d-%2d-%2dT%2d:%2d:%2d%c", &y, &mo, &d, &h,
+                  &mi, &s, &z) != 7 ||
+      z != 'Z') {
+    return -1;
+  }
+  using namespace std::chrono;
+  const auto day = sys_days(year{y} / mo / d);
+  return duration_cast<seconds>(
+             (day + hours{h} + minutes{mi} + seconds{s}).time_since_epoch())
+      .count();
+}
+
+TEST(ManifestTest, BatchTimestampsAreParseableAndConsistent) {
+  // One worker thread so wall_ms (the summed per-trial busy time) cannot
+  // exceed the started->finished window.
+  sim::BatchOptions options;
+  options.threads = 1;
+  sim::RunSpec spec;
+  spec.protocol = "circles";
+  spec.params.k = 3;
+  spec.n = 200;
+  spec.trials = 3;
+  spec.seed = 7;
+  const auto result = sim::BatchRunner(options).run_one(spec);
+  const metrics::RunManifest& m = result.manifest;
+
+  ASSERT_EQ(m.started_utc.size(), 20u) << m.started_utc;
+  ASSERT_EQ(m.finished_utc.size(), 20u) << m.finished_utc;
+  const std::int64_t start = utc_seconds(m.started_utc);
+  const std::int64_t finish = utc_seconds(m.finished_utc);
+  ASSERT_GE(start, 0) << m.started_utc;
+  ASSERT_GE(finish, 0) << m.finished_utc;
+  EXPECT_GE(finish, start);
+
+  // wall_ms must agree with the timestamp pair: non-negative, and within
+  // the window plus 2s of slack for the timestamps' 1-second resolution.
+  EXPECT_GE(m.wall_ms, 0.0);
+  EXPECT_LE(m.wall_ms / 1000.0, static_cast<double>(finish - start) + 2.0);
 }
 
 TEST(ManifestTest, ToJsonRoundTrip) {

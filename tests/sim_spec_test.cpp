@@ -380,6 +380,61 @@ TEST(RunSpecParseTest, RoundTripsFluidBackendWithTolerances) {
                std::invalid_argument);
 }
 
+TEST(RunSpecParseTest, RoundTripsBudgetToken) {
+  RunSpec spec;
+  spec.protocol = "circles";
+  spec.params.k = 3;
+  spec.n = 100;
+  // The default budget emits no token; REPRO lines rely on non-default
+  // budgets surviving the round trip so budget_exhausted failures replay.
+  EXPECT_EQ(spec.to_string().find("budget="), std::string::npos);
+  spec.engine.max_interactions = 5'000;
+  const std::string text = spec.to_string();
+  EXPECT_NE(text.find("budget=5000"), std::string::npos);
+  const RunSpec reparsed = RunSpec::parse(text);
+  EXPECT_EQ(reparsed.engine.max_interactions, 5'000u);
+  EXPECT_EQ(reparsed.to_string(), text);
+
+  EXPECT_THROW(RunSpec::parse("circles(k=3) n=10 budget=0"),
+               std::invalid_argument);
+  EXPECT_THROW(RunSpec::parse("circles(k=3) n=10 budget=-5"),
+               std::invalid_argument);
+}
+
+TEST(RunSpecParseTest, RoundTripsSpansTokenAndDisambiguatesFromTrace) {
+  RunSpec spec;
+  spec.protocol = "circles";
+  spec.params.k = 3;
+  spec.n = 100;
+  EXPECT_EQ(spec.to_string().find("spans="), std::string::npos);
+  spec.spans_out = "/tmp/cell0.trace.json";
+  const std::string text = spec.to_string();
+  EXPECT_NE(text.find("spans=/tmp/cell0.trace.json"), std::string::npos);
+  const RunSpec reparsed = RunSpec::parse(text);
+  EXPECT_EQ(reparsed.spans_out, spec.spans_out);
+  EXPECT_EQ(reparsed.to_string(), text);
+
+  // The two trace-ish tokens disambiguate each other: a bad spans= names
+  // trace= (obs count probes) and a bad trace= names spans= (Chrome-trace
+  // span timelines), so users land on the right knob either way.
+  try {
+    (void)RunSpec::parse("circles(k=3) n=10 spans=");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("spans="), std::string::npos) << what;
+    EXPECT_NE(what.find("trace="), std::string::npos) << what;
+  }
+  try {
+    (void)RunSpec::parse("circles(k=3) n=10 trace=bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("trace="), std::string::npos) << what;
+    EXPECT_NE(what.find("spans="), std::string::npos) << what;
+  }
+}
+
 TEST(SpecsFromFlagsTest, FluidBackendAndTolerancesFlowFromFlags) {
   const char* argv[] = {"prog",
                         "--n=1000000",
